@@ -1,0 +1,61 @@
+"""Extension bench: budget-constrained fitting and the online controller.
+
+Checks the two deployment extensions of the discriminator: (a) the offline
+budget fit trades recall for bandwidth monotonically, and (b) the online
+integral controller holds a drifting stream at its upload target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.adaptive import BudgetController, fit_for_budget
+from repro.core.cases import label_cases
+from repro.core.features import extract_feature_arrays
+
+
+def _run(harness):
+    setting = "voc07+12"
+    discriminator, _ = harness.discriminator("small1", "ssd", setting)
+    small_train = harness.detections("small1", setting, "train")
+    labels = label_cases(small_train, harness.detections("ssd", setting, "train"))
+    n_predict, n_estimated, min_area = extract_feature_arrays(
+        small_train, discriminator.confidence_threshold
+    )
+    budget_fits = {
+        budget: fit_for_budget(n_predict, n_estimated, min_area, labels, budget)
+        for budget in (0.2, 0.35, 0.5, 0.7)
+    }
+
+    controller = BudgetController(discriminator, target_ratio=0.3, gain=0.08)
+    for dets in harness.detections("small1", setting, "test"):
+        controller.decide(dets)
+    return budget_fits, controller
+
+
+def test_adaptive_budget(benchmark, harness):
+    budget_fits, controller = benchmark.pedantic(
+        _run, args=(harness,), rounds=1, iterations=1
+    )
+
+    print()
+    print("Budget-constrained fits (VOC07+12 train):")
+    for budget, fit in budget_fits.items():
+        print(
+            f"  budget {100 * budget:3.0f}%: upload {100 * fit.expected_upload_ratio:5.1f}% "
+            f"recall {100 * fit.recall:5.1f}% precision {100 * fit.precision:5.1f}% "
+            f"(count<={fit.count_threshold}, area<{fit.area_threshold:.2f})"
+        )
+    print(
+        f"online controller: target 30.0%, realised "
+        f"{100 * controller.realised_ratio:.1f}% over {controller.decisions} frames"
+    )
+
+    # Every fit respects its budget and recall grows with the budget.
+    recalls = []
+    for budget, fit in budget_fits.items():
+        assert fit.expected_upload_ratio <= budget + 1e-9
+        recalls.append(fit.recall)
+    assert all(b >= a - 1e-9 for a, b in zip(recalls, recalls[1:]))
+    # The controller holds the stream near its target.
+    assert controller.realised_ratio == np.clip(controller.realised_ratio, 0.2, 0.4)

@@ -1,0 +1,45 @@
+"""Extension bench: the automatic-compression Pareto front (Sec. VII).
+
+Sweeps edge-device size budgets and checks that the search produces a clean
+capability/size Pareto front anchored at the hand-designed small model 1.
+"""
+
+from __future__ import annotations
+
+from repro.zoo.autocompress import search_configuration
+from repro.zoo.ssd import build_small_model_1
+
+
+def _sweep():
+    budgets = (4.0, 8.0, 12.0, 18.5, 30.0)
+    return {budget: search_configuration(size_budget_mib=budget) for budget in budgets}
+
+
+def test_autocompress_pareto(benchmark):
+    results = benchmark(_sweep)
+
+    print()
+    print("Automatic compression Pareto front (size budget -> best candidate):")
+    for budget, result in results.items():
+        config = result.config
+        print(
+            f"  <= {budget:5.1f} MiB: {config.base:<13} w={config.width_multiplier:<5g} "
+            f"e/{config.extras_divisor} c7={config.conv7_channels:<5d} "
+            f"-> {result.spec.size_mib:6.2f} MiB {result.spec.gflops:6.2f} GFLOPs "
+            f"area_half={result.predicted_profile.area_half:.3f}"
+        )
+
+    budgets = sorted(results)
+    # Budgets are respected.
+    for budget, result in results.items():
+        assert result.spec.size_mib <= budget
+    # Compute (the capability proxy) is non-decreasing in the budget, and the
+    # predicted small-object response improves (area_half shrinks).
+    gflops = [results[b].spec.gflops for b in budgets]
+    assert all(b >= a - 1e-9 for a, b in zip(gflops, gflops[1:]))
+    area_halves = [results[b].predicted_profile.area_half for b in budgets]
+    assert area_halves[0] > area_halves[-1]
+    # At small model 1's own budget the search must do at least as well in
+    # compute as the paper's hand design.
+    hand = build_small_model_1()
+    assert results[18.5].spec.gflops >= hand.gflops * 0.8

@@ -1,0 +1,27 @@
+"""Figure 4 bench: easy/difficult distribution over (count, min-area-ratio)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure_04_case_scatter
+
+
+def test_fig04_case_scatter(benchmark, harness, emit):
+    figure = benchmark.pedantic(
+        figure_04_case_scatter, args=(harness,), rounds=1, iterations=1
+    )
+    emit(figure, "fig04")
+
+    easy_counts = np.asarray(figure.series["easy_count"])
+    difficult_counts = np.asarray(figure.series["difficult_count"])
+    easy_areas = np.asarray(figure.series["easy_min_area"])
+    difficult_areas = np.asarray(figure.series["difficult_min_area"])
+
+    # Paper's Fig. 4: difficult cases concentrate at many objects and small
+    # minimum area ratios; easy cases at few objects and large areas.
+    assert difficult_counts.mean() > easy_counts.mean() * 1.3
+    assert np.median(difficult_areas) < np.median(easy_areas) * 0.6
+    # Both populations are non-trivial (the split is not degenerate).
+    total = easy_counts.size + difficult_counts.size
+    assert 0.2 < difficult_counts.size / total < 0.7

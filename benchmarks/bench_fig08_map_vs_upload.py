@@ -1,0 +1,27 @@
+"""Figure 8 bench: end-to-end mAP under different upload ratios."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure_08_map_vs_upload
+
+
+def test_fig08_map_vs_upload(benchmark, harness, emit):
+    figure = benchmark.pedantic(
+        figure_08_map_vs_upload, args=(harness,), rounds=1, iterations=1
+    )
+    emit(figure, "fig08")
+
+    maps = np.asarray(figure.series["e2e_map"])
+    fraction = np.asarray(figure.series["fraction_of_cloud_only"])
+
+    # Monotone climb from small-only to cloud-only.
+    assert maps[0] < maps[-1]
+    assert (np.diff(maps) >= -0.8).all()
+    # Paper: at 50 % upload, mAP reaches ~90 % of the cloud-only value —
+    # the parabola's turning point.
+    assert fraction[5] >= 0.88
+    # Concavity (diminishing returns): the first half of the climb buys
+    # clearly more than the second half.
+    assert maps[5] - maps[0] > 1.5 * (maps[10] - maps[5])

@@ -1,0 +1,26 @@
+"""Figure 9 bench: detected objects under different upload ratios."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure_09_counts_vs_upload
+
+
+def test_fig09_counts_vs_upload(benchmark, harness, emit):
+    figure = benchmark.pedantic(
+        figure_09_counts_vs_upload, args=(harness,), rounds=1, iterations=1
+    )
+    emit(figure, "fig09")
+
+    counts = np.asarray(figure.series["e2e_detected"])
+    fraction = np.asarray(figure.series["fraction_of_cloud_only"])
+
+    # Counts rise slowly and monotonically with the upload ratio.
+    assert (np.diff(counts) >= -counts[0] * 0.01).all()
+    # Paper: at 50 % upload, >= 94 % of the cloud-only count; we allow a
+    # small margin for the synthetic substrate.
+    assert fraction[5] >= 0.90
+    assert fraction[-1] == 1.0
+    # Same knee shape as Fig. 8: diminishing returns past 50 %.
+    assert counts[5] - counts[0] > 1.5 * (counts[10] - counts[5])

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Unlike the table/figure benches (one-shot, full-scale), these measure
+steady-state throughput of the kernels every experiment leans on: IoU, NMS,
+per-image detection simulation, per-image discrimination and split-level
+mAP evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.boxes import iou_matrix
+from repro.detection.nms import nms_indices
+from repro.metrics.voc_ap import mean_average_precision
+
+
+@pytest.fixture(scope="module")
+def random_boxes():
+    rng = np.random.default_rng(0)
+    mins = rng.uniform(0, 0.7, size=(200, 2))
+    sizes = rng.uniform(0.02, 0.3, size=(200, 2))
+    boxes = np.concatenate([mins, np.minimum(mins + sizes, 1.0)], axis=1)
+    scores = rng.uniform(0.05, 1.0, size=200)
+    return boxes, scores
+
+
+def test_micro_iou_matrix_200x200(benchmark, random_boxes):
+    boxes, _ = random_boxes
+    result = benchmark(iou_matrix, boxes, boxes)
+    assert result.shape == (200, 200)
+
+
+def test_micro_nms_200_boxes(benchmark, random_boxes):
+    boxes, scores = random_boxes
+    keep = benchmark(nms_indices, boxes, scores, 0.45)
+    assert keep.size >= 1
+
+
+def test_micro_detect_one_image(benchmark, harness):
+    detector = harness.detector("small1", "voc07")
+    record = harness.dataset("voc07", "test").records[0]
+    detections = benchmark(detector.detect, record)
+    assert detections.image_id == record.image_id
+
+
+def test_micro_discriminator_decide(benchmark, harness):
+    discriminator, _ = harness.discriminator("small1", "ssd", "voc07")
+    detections = harness.detections("small1", "voc07", "test")[0]
+    verdict = benchmark(discriminator.decide, detections)
+    assert verdict in (True, False)
+
+
+def test_micro_map_500_images(benchmark, harness):
+    dataset = harness.dataset("voc07", "test").subset(500)
+    served = [
+        d.above(0.5) for d in harness.detections("ssd", "voc07", "test")[:500]
+    ]
+    value = benchmark.pedantic(
+        mean_average_precision,
+        args=(served, dataset.truths, dataset.num_classes),
+        rounds=3,
+        iterations=1,
+    )
+    assert 0.0 < value < 100.0

@@ -1,0 +1,26 @@
+"""Table II bench: model sizes, pruned ratios and FLOPs (analytic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table_02_model_zoo
+
+
+def test_table02_model_zoo(benchmark, harness, emit):
+    result = benchmark(table_02_model_zoo, harness)
+    emit(result, "table02")
+
+    ssd = result.row_for("model", "ssd")
+    small1 = result.row_for("model", "small1")
+    # SSD's fp32 checkpoint: paper reports 100.28 MB; the analytic count is
+    # essentially exact (26.3 M parameters).
+    assert ssd["size_mib"] == pytest.approx(100.28, abs=1.0)
+    assert ssd["gflops"] == pytest.approx(61.19, rel=0.05)
+    assert small1["size_mib"] == pytest.approx(18.50, rel=0.15)
+    # Every small model is pruned above 80 % (the paper's claim).
+    for name in ("small1", "small2", "small3"):
+        assert result.row_for("model", name)["pruned_percent"] > 80.0
+    # Size ordering: small3 < small2 < small1 << ssd.
+    sizes = [result.row_for("model", n)["size_mib"] for n in ("small3", "small2", "small1", "ssd")]
+    assert sizes == sorted(sizes)

@@ -1,0 +1,16 @@
+"""Table 4 bench: detected-object counts for small1 under SSD."""
+
+from __future__ import annotations
+
+from _shapes import assert_counts_table_shape
+
+from repro.experiments import table_04_counts_small1
+
+
+def test_table04_counts_small1(benchmark, harness, emit):
+    result = benchmark.pedantic(
+        table_04_counts_small1, args=(harness,), rounds=1, iterations=1
+    )
+    emit(result, "table04")
+    # Paper: the end-to-end scheme keeps >= ~93 % of the cloud-only count.
+    assert_counts_table_shape(result, ratio_floor=88.0)

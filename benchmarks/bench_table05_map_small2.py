@@ -1,0 +1,19 @@
+"""Table 5 bench: mAP table for small2 under SSD (paper Table 5)."""
+
+from __future__ import annotations
+
+from _shapes import assert_map_table_shape
+
+from repro.experiments import table_05_map_small2
+
+
+def test_table05_map_small2(benchmark, harness, emit):
+    result = benchmark.pedantic(
+        table_05_map_small2, args=(harness,), rounds=1, iterations=1
+    )
+    emit(result, "table05")
+    # Paper: upload ratio ~50-52 % on every dataset; e2e mAP between the
+    # small and big models and at ~88-95 % of cloud-only.  Our synthetic
+    # COCO-18's difficult-case prevalence differs from the real subset, so
+    # its upload ratio is allowed a wider band (see EXPERIMENTS.md).
+    assert_map_table_shape(result, upload_lo=25.0, upload_hi=70.0)

@@ -1,0 +1,16 @@
+"""Table 6 bench: detected-object counts for small2 under SSD."""
+
+from __future__ import annotations
+
+from _shapes import assert_counts_table_shape
+
+from repro.experiments import table_06_counts_small2
+
+
+def test_table06_counts_small2(benchmark, harness, emit):
+    result = benchmark.pedantic(
+        table_06_counts_small2, args=(harness,), rounds=1, iterations=1
+    )
+    emit(result, "table06")
+    # Paper: the end-to-end scheme keeps >= ~93 % of the cloud-only count.
+    assert_counts_table_shape(result, ratio_floor=88.0)

@@ -1,0 +1,16 @@
+"""Table 8 bench: detected-object counts for small3 under SSD."""
+
+from __future__ import annotations
+
+from _shapes import assert_counts_table_shape
+
+from repro.experiments import table_08_counts_small3
+
+
+def test_table08_counts_small3(benchmark, harness, emit):
+    result = benchmark.pedantic(
+        table_08_counts_small3, args=(harness,), rounds=1, iterations=1
+    )
+    emit(result, "table08")
+    # Paper: the end-to-end scheme keeps >= ~93 % of the cloud-only count.
+    assert_counts_table_shape(result, ratio_floor=88.0)

@@ -1,0 +1,21 @@
+"""Table IX bench: mAP with YOLOv4 as the big model (~20 % upload ratio)."""
+
+from __future__ import annotations
+
+from _shapes import assert_map_table_shape
+
+from repro.experiments import table_09_map_yolov4
+
+
+def test_table09_map_yolov4(benchmark, harness, emit):
+    result = benchmark.pedantic(
+        table_09_map_yolov4, args=(harness,), rounds=1, iterations=1
+    )
+    emit(result, "table09")
+    # Paper: because YOLOv4 produces far fewer difficult cases, a high
+    # end-to-end mAP is reached with only ~21 % of images uploaded.
+    assert_map_table_shape(
+        result, upload_lo=5.0, upload_hi=40.0, e2e_fraction_floor=0.88
+    )
+    # The YOLO pairing uploads far less than the SSD pairing's ~50 %.
+    assert result.rows[-1]["upload_percent"] < 40.0

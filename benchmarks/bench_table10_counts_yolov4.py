@@ -1,0 +1,16 @@
+"""Table X bench: detected-object counts with YOLOv4 as the big model."""
+
+from __future__ import annotations
+
+from _shapes import assert_counts_table_shape
+
+from repro.experiments import table_10_counts_yolov4
+
+
+def test_table10_counts_yolov4(benchmark, harness, emit):
+    result = benchmark.pedantic(
+        table_10_counts_yolov4, args=(harness,), rounds=1, iterations=1
+    )
+    emit(result, "table10")
+    # Paper: e2e keeps ~98.6 % of YOLOv4's detections on average.
+    assert_counts_table_shape(result, ratio_floor=93.0)

@@ -1,0 +1,28 @@
+"""Table XI bench: real-world Helmet deployment (Jetson Nano + WLAN + server)."""
+
+from __future__ import annotations
+
+from repro.experiments import table_11_helmet_realworld
+
+
+def test_table11_helmet_realworld(benchmark, harness, emit):
+    result = benchmark.pedantic(
+        table_11_helmet_realworld, args=(harness,), rounds=1, iterations=1
+    )
+    emit(result, "table11")
+
+    maps = result.row_for("metric", "mAP")
+    counts = result.row_for("metric", "detected_objects")
+    times = result.row_for("metric", "total_inference_time_s")
+    upload = result.row_for("metric", "upload_ratio_percent")
+
+    # Accuracy ordering: edge-only < ours < cloud-only (paper 75.04 / 86.07 / 92.40).
+    assert maps["edge_only"] < maps["ours"] < maps["cloud_only"]
+    # Counts: ours close to cloud-only (paper: within ~1.4 %).
+    assert counts["ours"] >= 0.90 * counts["cloud_only"]
+    # Latency: edge << ours < cloud; ours saves real time vs cloud-only
+    # (paper: 32 % saved).
+    assert times["edge_only"] < times["ours"] < times["cloud_only"]
+    assert times["ours"] <= 0.8 * times["cloud_only"]
+    # Bandwidth: a real fraction of frames stays at the edge.
+    assert 0.0 < upload["ours"] < 100.0

@@ -1,0 +1,18 @@
+"""Table 13 bench: detected objects — random uploading vs ours."""
+
+from __future__ import annotations
+
+from repro.experiments import table_13_random_counts
+
+
+def test_table13_random_counts(benchmark, harness, emit):
+    result = benchmark.pedantic(
+        table_13_random_counts, args=(harness,), rounds=1, iterations=1
+    )
+    emit(result, "table13")
+    # Paper: ours keeps a higher share of the cloud-only detections than the
+    # random baseline on every dataset (paper: ours ~94 % vs ~74-77 %).
+    for row in result.rows[:-1]:
+        assert row["ours_ratio_percent"] > row["baseline_ratio_percent"], row["setting"]
+    average = result.rows[-1]
+    assert average["ours_ratio_percent"] - average["baseline_ratio_percent"] > 3.0

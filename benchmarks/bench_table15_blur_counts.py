@@ -1,0 +1,18 @@
+"""Table 15 bench: detected objects — blurred-image uploading vs ours."""
+
+from __future__ import annotations
+
+from repro.experiments import table_15_blur_counts
+
+
+def test_table15_blur_counts(benchmark, harness, emit):
+    result = benchmark.pedantic(
+        table_15_blur_counts, args=(harness,), rounds=1, iterations=1
+    )
+    emit(result, "table15")
+    # Paper: ours keeps a higher share of the cloud-only detections than the
+    # blurred-image baseline on every dataset (paper: ours ~94 % vs ~74-77 %).
+    for row in result.rows[:-1]:
+        assert row["ours_ratio_percent"] > row["baseline_ratio_percent"], row["setting"]
+    average = result.rows[-1]
+    assert average["ours_ratio_percent"] - average["baseline_ratio_percent"] > 3.0

@@ -1,0 +1,74 @@
+"""Baseline comparison: the discriminator vs the Sec. VI.E upload strategies.
+
+Run:  python examples/baseline_comparison.py [setting]
+
+At a matched upload budget, compares end-to-end mAP and detected-object
+counts of four ways to choose which images go to the cloud:
+
+* the paper's difficult-case discriminator (semantic features),
+* random selection,
+* Brenner-gradient blur ranking (Eq. 2, computed on rendered pixels),
+* mean top-1 confidence ranking.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import DifficultCaseDiscriminator, SmallBigSystem, load_dataset
+from repro.baselines import (
+    BlurUploadPolicy,
+    ConfidenceUploadPolicy,
+    RandomUploadPolicy,
+)
+from repro.simulate import make_detector
+
+
+def main(setting: str = "voc07") -> None:
+    print(f"setting: {setting}")
+    small = make_detector("small1", setting)
+    big = make_detector("ssd", setting)
+
+    train = load_dataset(setting, "train", fraction=1500 / 5011)
+    discriminator, _ = DifficultCaseDiscriminator.fit(
+        small.detect_split(train), big.detect_split(train), train.truths
+    )
+    system = SmallBigSystem(
+        small_model=small, big_model=big, discriminator=discriminator
+    )
+
+    test = load_dataset(setting, "test", fraction=0.4)
+    small_dets = small.detect_split(test)
+    big_dets = big.detect_split(test)
+
+    ours = system.run(test, small_detections=small_dets, big_detections=big_dets)
+    budget = ours.upload_ratio
+    print(f"upload budget (set by the discriminator): {100 * budget:.1f}%\n")
+
+    policies = {
+        "ours (discriminator)": None,
+        "random": RandomUploadPolicy(ratio=budget),
+        "blurred (Brenner)": BlurUploadPolicy(ratio=budget),
+        "top-1 confidence": ConfidenceUploadPolicy(ratio=budget),
+    }
+    print(f"{'strategy':<22}{'e2e mAP':>10}{'detected':>10}{'upload %':>10}")
+    for name, policy in policies.items():
+        if policy is None:
+            run = ours
+        else:
+            mask = policy.select(test, small_dets)
+            run = system.run(
+                test, small_detections=small_dets, big_detections=big_dets,
+                uploaded=mask,
+            )
+        print(
+            f"{name:<22}{run.end_to_end_map():>10.2f}"
+            f"{run.end_to_end_counts().detected:>10d}"
+            f"{100 * run.upload_ratio:>10.1f}"
+        )
+    print(f"\ncloud-only reference: mAP {ours.big_model_map():.2f}, "
+          f"{ours.big_model_counts().detected} objects")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "voc07")

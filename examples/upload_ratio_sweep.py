@@ -1,0 +1,71 @@
+"""Upload-ratio sweep (Figs. 8 and 9): accuracy/bandwidth trade-off curves.
+
+Run:  python examples/upload_ratio_sweep.py
+
+Ranks test images by the discriminator's difficulty signals, sweeps the
+fraction uploaded to the cloud from 0 % to 100 %, and prints the end-to-end
+mAP and detected-object curves with their characteristic knee at ~50 %.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DifficultCaseDiscriminator, SmallBigSystem, load_dataset
+from repro.core.features import extract_feature_arrays
+from repro.experiments.figures import difficulty_priority
+from repro.simulate import make_detector
+
+
+def main() -> None:
+    setting = "voc07+12"
+    small = make_detector("small1", setting)
+    big = make_detector("ssd", setting)
+    train = load_dataset(setting, "train", fraction=2000 / 16551)
+    discriminator, _ = DifficultCaseDiscriminator.fit(
+        small.detect_split(train), big.detect_split(train), train.truths
+    )
+    system = SmallBigSystem(
+        small_model=small, big_model=big, discriminator=discriminator
+    )
+
+    test = load_dataset(setting, "test", fraction=0.4)
+    small_dets = small.detect_split(test)
+    big_dets = big.detect_split(test)
+
+    n_predict, n_estimated, min_area = extract_feature_arrays(
+        small_dets, discriminator.confidence_threshold
+    )
+    priority = difficulty_priority(
+        n_predict, n_estimated, min_area,
+        count_threshold=discriminator.count_threshold,
+        area_threshold=discriminator.area_threshold,
+    )
+    order = np.lexsort((np.arange(priority.shape[0]), -priority))
+
+    print(f"{'upload %':>9}  {'e2e mAP':>8}  {'% of cloud':>10}  "
+          f"{'detected':>9}  {'% of cloud':>10}")
+    cloud_map = cloud_count = None
+    for ratio in np.arange(0.0, 1.01, 0.1):
+        mask = np.zeros(len(test), dtype=bool)
+        mask[order[: int(round(ratio * len(test)))]] = True
+        run = system.run(
+            test, small_detections=small_dets, big_detections=big_dets,
+            uploaded=mask,
+        )
+        e2e_map = run.end_to_end_map()
+        e2e_count = run.end_to_end_counts().detected
+        if ratio == 1.0 or cloud_map is None:
+            cloud_map = run.big_model_map()
+            cloud_count = run.big_model_counts().detected
+        print(
+            f"{100 * ratio:>8.0f}%  {e2e_map:>8.2f}  "
+            f"{100 * e2e_map / cloud_map:>9.1f}%  {e2e_count:>9d}  "
+            f"{100 * e2e_count / cloud_count:>9.1f}%"
+        )
+    print("\nThe knee sits near 50% upload: ~90% of cloud-only mAP and ~94%")
+    print("of its detections for half the bandwidth (the paper's headline).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Baseline 2: upload the blurriest images (Sec. VI.E.2).
+
+Ambiguity is measured with the Brenner gradient (Eq. 2) computed on the
+actual rendered pixels — the blurrier the image, the smaller the gradient —
+and the lowest-scoring ``ratio`` of the split is uploaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.policy import UploadPolicy, quota_mask
+from repro.data.datasets import Dataset
+from repro.data.render import brenner_gradient, render_image
+from repro.detection.types import Detections
+from repro.errors import ConfigurationError
+
+__all__ = ["BlurUploadPolicy"]
+
+
+@dataclass
+class BlurUploadPolicy(UploadPolicy):
+    """Upload the ``ratio`` images with the lowest Brenner gradient."""
+
+    ratio: float = 0.5
+    render_size: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ratio <= 1.0:
+            raise ConfigurationError(f"ratio must be in [0, 1], got {self.ratio}")
+
+    def sharpness(self, dataset: Dataset) -> np.ndarray:
+        """Brenner gradient of every image in the split."""
+        return np.array(
+            [
+                brenner_gradient(render_image(record, size=self.render_size))
+                for record in dataset.records
+            ]
+        )
+
+    def select(
+        self, dataset: Dataset, small_detections: list[Detections]
+    ) -> np.ndarray:
+        self._check_alignment(dataset, small_detections)
+        # Lowest sharpness = highest upload priority.
+        return quota_mask(-self.sharpness(dataset), self.ratio)

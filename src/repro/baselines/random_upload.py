@@ -1,0 +1,43 @@
+"""Baseline 1: randomly upload a fixed fraction of images (Sec. VI.E.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._rng import DEFAULT_SEED, generator_for
+from repro.baselines.policy import UploadPolicy
+from repro.data.datasets import Dataset
+from repro.detection.types import Detections
+from repro.errors import ConfigurationError
+
+__all__ = ["RandomUploadPolicy"]
+
+
+@dataclass
+class RandomUploadPolicy(UploadPolicy):
+    """Upload ``ratio`` of the images chosen uniformly at random.
+
+    The selection is deterministic in the seed and the dataset identity, so
+    repeated experiment runs produce identical tables.
+    """
+
+    ratio: float = 0.5
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ratio <= 1.0:
+            raise ConfigurationError(f"ratio must be in [0, 1], got {self.ratio}")
+
+    def select(
+        self, dataset: Dataset, small_detections: list[Detections]
+    ) -> np.ndarray:
+        self._check_alignment(dataset, small_detections)
+        rng = generator_for(self.seed, "random-upload", dataset.name, dataset.split)
+        count = int(round(self.ratio * len(dataset)))
+        mask = np.zeros(len(dataset), dtype=bool)
+        if count:
+            chosen = rng.choice(len(dataset), size=count, replace=False)
+            mask[chosen] = True
+        return mask

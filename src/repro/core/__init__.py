@@ -1,0 +1,37 @@
+"""The paper's contribution: difficult-case discriminator + small-big system."""
+
+from repro.core.adaptive import BudgetController, BudgetFit, fit_for_budget
+from repro.core.cases import SERVING_THRESHOLD, is_difficult_case, label_cases
+from repro.core.discriminator import DifficultCaseDiscriminator, DiscriminatorFitReport
+from repro.core.features import CaseFeatures, extract_feature_arrays, extract_features
+from repro.core.system import SmallBigSystem, SystemRun
+from repro.core.thresholds import (
+    ThresholdFit,
+    area_threshold_sweep,
+    count_loss_curve,
+    decide_rule,
+    fit_confidence_threshold,
+    fit_decision_thresholds,
+)
+
+__all__ = [
+    "BudgetController",
+    "BudgetFit",
+    "fit_for_budget",
+    "SERVING_THRESHOLD",
+    "is_difficult_case",
+    "label_cases",
+    "DifficultCaseDiscriminator",
+    "DiscriminatorFitReport",
+    "CaseFeatures",
+    "extract_feature_arrays",
+    "extract_features",
+    "SmallBigSystem",
+    "SystemRun",
+    "ThresholdFit",
+    "area_threshold_sweep",
+    "count_loss_curve",
+    "decide_rule",
+    "fit_confidence_threshold",
+    "fit_decision_thresholds",
+]

@@ -1,0 +1,173 @@
+"""The difficult-case discriminator (Sec. V).
+
+The discriminator is the system's core: a three-threshold model over two
+semantic features of the small model's raw output.  :meth:`fit` reproduces
+the paper's full calibration procedure; :meth:`decide` implements the
+three-step runtime rule of Sec. V.C.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cases import SERVING_THRESHOLD, label_cases
+from repro.core.features import extract_feature_arrays, extract_features
+from repro.core.thresholds import (
+    ThresholdFit,
+    decide_rule,
+    fit_confidence_threshold,
+    fit_decision_thresholds,
+)
+from repro.detection.types import Detections, GroundTruth
+from repro.errors import CalibrationError
+from repro.metrics.classify import BinaryMetrics, binary_metrics
+
+__all__ = ["DiscriminatorFitReport", "DifficultCaseDiscriminator"]
+
+
+@dataclass(frozen=True)
+class DiscriminatorFitReport:
+    """Everything Table I needs about a fit.
+
+    ``ground_truth_metrics`` evaluates the decision rule with *true*
+    features on the training split (Table I row "Ground Truth");
+    ``predicted_metrics`` evaluates the deployed rule — estimated features
+    from the small model's output — on the same split (row "Predicted" uses
+    the test split; the harness recomputes it there).
+    """
+
+    fit: ThresholdFit
+    ground_truth_metrics: BinaryMetrics
+    predicted_metrics: BinaryMetrics
+    num_train_images: int
+    difficult_fraction: float
+
+
+@dataclass(frozen=True)
+class DifficultCaseDiscriminator:
+    """Three-threshold difficult-case discriminator.
+
+    Attributes
+    ----------
+    confidence_threshold:
+        Noise-filter threshold for estimating object count/min-area from the
+        small model's raw boxes (paper: 0.15-0.35).
+    count_threshold:
+        "Too many objects" cut-off (paper: 2).
+    area_threshold:
+        "Too small an object" cut-off on the minimum area ratio
+        (paper: 0.31).
+    """
+
+    confidence_threshold: float
+    count_threshold: int
+    area_threshold: float
+    serving_threshold: float = SERVING_THRESHOLD
+
+    def decide(self, detections: Detections) -> bool:
+        """Classify one image from its small-model detections.
+
+        Returns ``True`` when the image is a difficult case (upload it).
+        """
+        features = extract_features(
+            detections,
+            self.confidence_threshold,
+            serving_threshold=self.serving_threshold,
+        )
+        verdict = decide_rule(
+            np.array([features.n_predict]),
+            np.array([features.n_estimated]),
+            np.array([features.min_area_estimated]),
+            self.count_threshold,
+            self.area_threshold,
+        )
+        return bool(verdict[0])
+
+    def decide_split(self, detections: list[Detections]) -> np.ndarray:
+        """Vectorised verdicts for a whole split (True = difficult)."""
+        n_predict, n_estimated, min_area = extract_feature_arrays(
+            detections,
+            self.confidence_threshold,
+            serving_threshold=self.serving_threshold,
+        )
+        return decide_rule(
+            n_predict, n_estimated, min_area,
+            self.count_threshold, self.area_threshold,
+        )
+
+    def evaluate(
+        self,
+        small_detections: list[Detections],
+        big_detections: list[Detections],
+    ) -> BinaryMetrics:
+        """Classification quality against difficult-case labels."""
+        labels = label_cases(small_detections, big_detections)
+        predicted = self.decide_split(small_detections)
+        return binary_metrics(predicted, labels)
+
+    # ------------------------------------------------------------------ #
+    # calibration
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def fit(
+        cls,
+        small_detections: list[Detections],
+        big_detections: list[Detections],
+        truths: list[GroundTruth],
+        *,
+        serving_threshold: float = SERVING_THRESHOLD,
+    ) -> tuple["DifficultCaseDiscriminator", DiscriminatorFitReport]:
+        """Calibrate all three thresholds on a training split (Sec. V.D).
+
+        Parameters
+        ----------
+        small_detections / big_detections:
+            Both models' raw outputs on the *training* split.
+        truths:
+            The training annotations (ground truths for Eq. 1 and for the
+            true-feature grid search).
+        """
+        if not (len(small_detections) == len(big_detections) == len(truths)):
+            raise CalibrationError(
+                "small detections, big detections and truths must align"
+            )
+        if not truths:
+            raise CalibrationError("cannot fit a discriminator on an empty split")
+
+        labels = label_cases(
+            small_detections, big_detections, threshold=serving_threshold
+        )
+        confidence_threshold = fit_confidence_threshold(small_detections, truths)
+
+        n_predict = np.array(
+            [d.count_above(serving_threshold) for d in small_detections],
+            dtype=np.int64,
+        )
+        true_counts = np.array([len(t) for t in truths], dtype=np.int64)
+        true_min_areas = np.array([t.min_area_ratio for t in truths])
+        count_threshold, area_threshold, gt_metrics = fit_decision_thresholds(
+            n_predict, true_counts, true_min_areas, labels
+        )
+
+        discriminator = cls(
+            confidence_threshold=confidence_threshold,
+            count_threshold=count_threshold,
+            area_threshold=area_threshold,
+            serving_threshold=serving_threshold,
+        )
+        predicted_metrics = discriminator.evaluate(small_detections, big_detections)
+        report = DiscriminatorFitReport(
+            fit=ThresholdFit(
+                confidence_threshold=confidence_threshold,
+                count_threshold=count_threshold,
+                area_threshold=area_threshold,
+                train_metrics=gt_metrics,
+            ),
+            ground_truth_metrics=gt_metrics,
+            predicted_metrics=predicted_metrics,
+            num_train_images=len(truths),
+            difficult_fraction=float(np.mean(labels)),
+        )
+        return discriminator, report

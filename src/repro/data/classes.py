@@ -1,0 +1,44 @@
+"""Class vocabularies of the paper's three datasets.
+
+* PASCAL VOC: the standard 20 categories.
+* COCO-18: the paper selects 98 267 COCO images containing 18 of the VOC
+  categories ("the same 18 classes as in the VOC dataset").  COCO has no
+  exact ``diningtable``/``pottedplant`` counterparts under VOC naming, so we
+  take the VOC vocabulary minus those two — any fixed 18-subset preserves
+  the experiment's structure.
+* Helmet: the Sedna/KubeEdge safety-helmet dataset distinguishes workers
+  wearing helmets from bare heads.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VOC_CLASSES", "COCO18_CLASSES", "HELMET_CLASSES"]
+
+VOC_CLASSES: tuple[str, ...] = (
+    "aeroplane",
+    "bicycle",
+    "bird",
+    "boat",
+    "bottle",
+    "bus",
+    "car",
+    "cat",
+    "chair",
+    "cow",
+    "diningtable",
+    "dog",
+    "horse",
+    "motorbike",
+    "person",
+    "pottedplant",
+    "sheep",
+    "sofa",
+    "train",
+    "tvmonitor",
+)
+
+COCO18_CLASSES: tuple[str, ...] = tuple(
+    name for name in VOC_CLASSES if name not in ("diningtable", "pottedplant")
+)
+
+HELMET_CLASSES: tuple[str, ...] = ("helmet", "head")

@@ -1,0 +1,170 @@
+"""Synthetic scene sampling.
+
+A *scene* is the annotation content of one image: how many objects it has,
+their classes, their area ratios and their placement.  The joint distribution
+of (object count, minimum object area ratio) is the statistic every paper
+experiment keys on — Fig. 4's easy/difficult separation, the discriminator
+thresholds (2 objects / 0.31 area ratio) and the ~50 % difficult-case
+prevalence all derive from it — so the generator controls it explicitly.
+
+Count model:   ``K = 1 + NegativeBinomial(dispersion, p)`` (zero-truncated,
+capped), giving VOC-like single-object dominance with a long crowded tail.
+Area model:    log-normal area ratios, clipped; aspect ratios log-normal
+around 1.  Class model: Zipf-tilted categorical over the vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SceneProfile", "Scene", "sample_scene"]
+
+
+@dataclass(frozen=True)
+class SceneProfile:
+    """Distribution parameters for one dataset's scenes.
+
+    Attributes
+    ----------
+    mean_extra_objects:
+        Mean of the zero-truncated part: mean object count is 1 + this.
+    count_dispersion:
+        Negative-binomial ``n``; smaller values give heavier crowded tails.
+    max_objects:
+        Hard cap on per-image object count.
+    area_median:
+        Median object area ratio (log-normal location).
+    area_sigma:
+        Log-normal shape; larger = wider spread toward tiny/huge objects.
+    area_min, area_max:
+        Clip bounds for a single object's area ratio.
+    class_zipf:
+        Zipf exponent tilting class frequencies (0 = uniform).
+    aspect_sigma:
+        Log-normal sigma of the box aspect ratio around 1.
+    """
+
+    mean_extra_objects: float
+    count_dispersion: float
+    max_objects: int = 40
+    area_median: float = 0.09
+    area_sigma: float = 1.3
+    area_min: float = 3e-4
+    area_max: float = 0.9
+    class_zipf: float = 0.8
+    aspect_sigma: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.mean_extra_objects < 0:
+            raise ConfigurationError("mean_extra_objects must be >= 0")
+        if self.count_dispersion <= 0:
+            raise ConfigurationError("count_dispersion must be > 0")
+        if not 0 < self.area_min < self.area_max <= 1.0:
+            raise ConfigurationError(
+                f"area bounds must satisfy 0 < min < max <= 1, got "
+                f"({self.area_min}, {self.area_max})"
+            )
+        if not self.area_min <= self.area_median <= self.area_max:
+            raise ConfigurationError("area_median outside clip bounds")
+        if self.max_objects < 1:
+            raise ConfigurationError("max_objects must be >= 1")
+
+    @property
+    def count_p(self) -> float:
+        """Negative-binomial success probability implied by the mean."""
+        if self.mean_extra_objects == 0:
+            return 1.0
+        return self.count_dispersion / (self.count_dispersion + self.mean_extra_objects)
+
+
+@dataclass(frozen=True)
+class Scene:
+    """One sampled scene: normalised boxes, labels, derived statistics."""
+
+    boxes: np.ndarray
+    labels: np.ndarray
+    areas: np.ndarray = field(repr=False)
+
+    @property
+    def num_objects(self) -> int:
+        """Number of objects in the scene."""
+        return int(self.labels.shape[0])
+
+    @property
+    def min_area_ratio(self) -> float:
+        """Smallest object area ratio (1.0 for an empty scene)."""
+        return float(self.areas.min()) if self.areas.size else 1.0
+
+
+def _sample_count(profile: SceneProfile, rng: np.random.Generator) -> int:
+    if profile.mean_extra_objects == 0:
+        return 1
+    extra = int(rng.negative_binomial(profile.count_dispersion, profile.count_p))
+    return min(1 + extra, profile.max_objects)
+
+
+def _sample_areas(
+    profile: SceneProfile, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    mu = np.log(profile.area_median)
+    areas = np.exp(rng.normal(mu, profile.area_sigma, size=count))
+    return np.clip(areas, profile.area_min, profile.area_max)
+
+
+def _class_weights(num_classes: int, zipf: float) -> np.ndarray:
+    ranks = np.arange(1, num_classes + 1, dtype=np.float64)
+    weights = ranks ** (-zipf)
+    return weights / weights.sum()
+
+
+def _place_boxes(
+    areas: np.ndarray, aspect_sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Place boxes of given areas uniformly so that each fits the image.
+
+    Aspect ratio is log-normal around 1; width/height are capped at 1 (the
+    area is preserved where possible, then the box is clipped).
+    """
+    count = areas.shape[0]
+    aspect = np.exp(rng.normal(0.0, aspect_sigma, size=count))
+    widths = np.sqrt(areas * aspect)
+    heights = np.sqrt(areas / aspect)
+    # If a side overflows the unit square, transfer extent to the other side
+    # to preserve area, then clip.
+    overflow_w = widths > 1.0
+    heights[overflow_w] = np.minimum(areas[overflow_w], 1.0)
+    widths[overflow_w] = 1.0
+    overflow_h = heights > 1.0
+    widths[overflow_h] = np.minimum(areas[overflow_h], 1.0)
+    heights[overflow_h] = 1.0
+    cx = rng.uniform(widths / 2.0, 1.0 - widths / 2.0)
+    cy = rng.uniform(heights / 2.0, 1.0 - heights / 2.0)
+    return np.stack(
+        [cx - widths / 2.0, cy - heights / 2.0, cx + widths / 2.0, cy + heights / 2.0],
+        axis=1,
+    )
+
+
+def sample_scene(
+    profile: SceneProfile, num_classes: int, rng: np.random.Generator
+) -> Scene:
+    """Draw one scene from ``profile``.
+
+    The returned boxes are normalised xyxy within the unit square; labels are
+    class indices drawn from the Zipf-tilted categorical distribution.
+    """
+    if num_classes < 1:
+        raise ConfigurationError("num_classes must be >= 1")
+    count = _sample_count(profile, rng)
+    areas = _sample_areas(profile, count, rng)
+    weights = _class_weights(num_classes, profile.class_zipf)
+    labels = rng.choice(num_classes, size=count, p=weights).astype(np.int64)
+    boxes = _place_boxes(areas, profile.aspect_sigma, rng)
+    # Areas after placement can differ slightly from the sampled ones when a
+    # box overflowed; recompute so Scene statistics match the boxes.
+    final_areas = (boxes[:, 2] - boxes[:, 0]) * (boxes[:, 3] - boxes[:, 1])
+    return Scene(boxes=boxes, labels=labels, areas=final_areas)

@@ -1,0 +1,121 @@
+"""Greedy matching of detections to ground truth.
+
+This is the standard PASCAL VOC protocol: detections are visited in order of
+descending score; each claims the highest-IoU unclaimed ground-truth box of
+the same class, provided the IoU passes the threshold (0.5 for VOC).  The
+result drives both the AP computation and the paper's "number of detected
+objects" metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.boxes import iou_matrix
+from repro.detection.types import Detections, GroundTruth
+from repro.errors import ConfigurationError
+
+__all__ = ["MatchResult", "match_detections", "true_positive_count"]
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of matching one image's detections against its annotation.
+
+    Attributes
+    ----------
+    is_tp:
+        ``(num_detections,)`` boolean, aligned with the detections'
+        score-descending order.
+    matched_gt:
+        ``(num_detections,)`` index of the claimed ground-truth box, or -1.
+    gt_detected:
+        ``(num_gt,)`` boolean: was this annotated object found?
+    """
+
+    is_tp: np.ndarray
+    matched_gt: np.ndarray
+    gt_detected: np.ndarray
+
+    @property
+    def num_tp(self) -> int:
+        """Number of true-positive detections."""
+        return int(np.count_nonzero(self.is_tp))
+
+    @property
+    def num_fp(self) -> int:
+        """Number of false-positive detections."""
+        return int(self.is_tp.shape[0] - self.num_tp)
+
+    @property
+    def num_missed(self) -> int:
+        """Number of annotated objects no detection claimed."""
+        return int(np.count_nonzero(~self.gt_detected))
+
+
+def match_detections(
+    detections: Detections,
+    truth: GroundTruth,
+    *,
+    iou_threshold: float = 0.5,
+    class_aware: bool = True,
+) -> MatchResult:
+    """Greedily match ``detections`` to ``truth``.
+
+    Parameters
+    ----------
+    iou_threshold:
+        Minimum IoU for a detection to claim a ground-truth box (VOC: 0.5).
+    class_aware:
+        When true (the VOC protocol), a detection may only claim a
+        ground-truth box of its own class.
+    """
+    if not 0.0 < iou_threshold <= 1.0:
+        raise ConfigurationError(
+            f"iou_threshold must be in (0, 1], got {iou_threshold}"
+        )
+    num_det = len(detections)
+    num_gt = len(truth)
+    is_tp = np.zeros(num_det, dtype=bool)
+    matched_gt = np.full(num_det, -1, dtype=np.int64)
+    gt_detected = np.zeros(num_gt, dtype=bool)
+    if num_det == 0 or num_gt == 0:
+        return MatchResult(is_tp=is_tp, matched_gt=matched_gt, gt_detected=gt_detected)
+
+    iou = iou_matrix(detections.boxes, truth.boxes)
+    if class_aware:
+        same_class = detections.labels[:, None] == truth.labels[None, :]
+        iou = np.where(same_class, iou, 0.0)
+
+    claimed = np.zeros(num_gt, dtype=bool)
+    # Detections are already score-descending (Detections sorts on init).
+    for det_idx in range(num_det):
+        candidates = iou[det_idx].copy()
+        candidates[claimed] = 0.0
+        best_gt = int(np.argmax(candidates))
+        if candidates[best_gt] >= iou_threshold:
+            claimed[best_gt] = True
+            is_tp[det_idx] = True
+            matched_gt[det_idx] = best_gt
+    gt_detected = claimed
+    return MatchResult(is_tp=is_tp, matched_gt=matched_gt, gt_detected=gt_detected)
+
+
+def true_positive_count(
+    detections: Detections,
+    truth: GroundTruth,
+    *,
+    score_threshold: float = 0.5,
+    iou_threshold: float = 0.5,
+) -> int:
+    """The paper's "number of detected objects" for one image.
+
+    Counts detections that (a) pass the serving score threshold (0.5
+    throughout the paper) and (b) correctly claim a ground-truth object of
+    their class at the VOC IoU threshold.
+    """
+    served = detections.above(score_threshold)
+    result = match_detections(served, truth, iou_threshold=iou_threshold)
+    return result.num_tp

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+any library failure with a single ``except`` clause while still being able to
+distinguish configuration mistakes from runtime data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class GeometryError(ReproError):
+    """A bounding-box array is malformed (wrong shape, inverted corners...)."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated or a split name is unknown."""
+
+
+class CalibrationError(ReproError):
+    """Profile or threshold calibration failed to converge."""
+
+
+class RegistryError(ReproError):
+    """An unknown name was looked up in a registry (models, datasets...)."""
+
+
+class RuntimeModelError(ReproError):
+    """The edge-cloud runtime was asked to do something inconsistent."""

@@ -1,0 +1,100 @@
+"""Plain-text and Markdown rendering of table/figure results."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.results import FigureResult, TableResult
+
+__all__ = ["format_table", "format_table_markdown", "format_figure", "sparkline"]
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        return f"{value:.2f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(result: TableResult) -> str:
+    """Fixed-width text rendering (used by the benchmark harness output)."""
+    headers = list(result.columns)
+    body = [[_format_cell(row.get(col)) for col in headers] for row in result.rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [f"Table {result.table_id}: {result.title}"]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in body:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)
+
+
+def format_table_markdown(result: TableResult) -> str:
+    """Markdown rendering with measured-vs-paper columns where available."""
+    headers = list(result.columns)
+    lines = [f"### Table {result.table_id} — {result.title}", ""]
+    if result.paper_rows is None:
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("|" + "|".join("---" for _ in headers) + "|")
+        for row in result.rows:
+            lines.append(
+                "| " + " | ".join(_format_cell(row.get(col)) for col in headers) + " |"
+            )
+    else:
+        key_col = headers[0]
+        value_cols = headers[1:]
+        expanded = [key_col]
+        for col in value_cols:
+            expanded.extend([f"{col} (measured)", f"{col} (paper)"])
+        lines.append("| " + " | ".join(expanded) + " |")
+        lines.append("|" + "|".join("---" for _ in expanded) + "|")
+        paper_by_key = {row.get(key_col): row for row in result.paper_rows}
+        for row in result.rows:
+            paper = paper_by_key.get(row.get(key_col), {})
+            cells = [_format_cell(row.get(key_col))]
+            for col in value_cols:
+                cells.append(_format_cell(row.get(col)))
+                cells.append(_format_cell(paper.get(col)) if paper else "-")
+            lines.append("| " + " | ".join(cells) + " |")
+    if result.notes:
+        lines.append("")
+        lines.append(f"*{result.notes}*")
+    lines.append("")
+    return "\n".join(lines)
+
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """Unicode sparkline of a series (empty-safe)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if math.isclose(lo, hi):
+        return _SPARK_CHARS[3] * len(values)
+    out = []
+    for value in values:
+        index = int((value - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[index])
+    return "".join(out)
+
+
+def format_figure(result: FigureResult) -> str:
+    """Compact text rendering of a figure's series."""
+    lines = [f"Figure {result.figure_id}: {result.title}"]
+    lines.append(f"x ({result.x_label}): " + ", ".join(f"{x:g}" for x in result.x_values[:12]))
+    for name, values in result.series.items():
+        preview = ", ".join(f"{v:.3g}" for v in values[:12])
+        lines.append(f"  {name}: [{preview}{'...' if len(values) > 12 else ''}]  {sparkline(values[:40])}")
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)

@@ -1,0 +1,260 @@
+"""Experiment harness: shared datasets, detectors, detections and fits.
+
+Every table and figure draws on the same handful of expensive artifacts —
+materialised splits, calibrated detectors, per-split detections and fitted
+discriminators.  The harness memoises all of them (detections additionally
+on disk), so the full benchmark suite runs each model/setting combination
+exactly once regardless of how many tables consume it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro._rng import DEFAULT_SEED
+from repro.core.discriminator import DifficultCaseDiscriminator, DiscriminatorFitReport
+from repro.core.system import SmallBigSystem, SystemRun
+from repro.data.datasets import DATASET_SETTINGS, Dataset, load_dataset
+from repro.detection.types import Detections
+from repro.metrics.counting import CountSummary, count_summary
+from repro.metrics.voc_ap import mean_average_precision
+from repro.simulate.detector import SimulatedDetector
+from repro.simulate.presets import make_detector
+
+__all__ = ["HarnessConfig", "Harness"]
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Sizing and caching knobs for an experiment run.
+
+    ``quick()`` returns a configuration small enough for unit tests (a few
+    hundred images per split) while exercising every code path.
+    """
+
+    seed: int = DEFAULT_SEED
+    train_images: int = 5000
+    test_fraction: float = 1.0
+    cache_dir: str | None = None
+
+    @classmethod
+    def quick(cls) -> "HarnessConfig":
+        """A fast configuration for tests: ~600 train / ~15 % test images."""
+        return cls(train_images=600, test_fraction=0.08)
+
+    def resolve_cache_dir(self) -> Path | None:
+        """Directory for the on-disk detection cache (None disables)."""
+        if self.cache_dir is not None:
+            return Path(self.cache_dir)
+        env = os.environ.get("REPRO_CACHE")
+        if env:
+            return Path(env)
+        return Path(__file__).resolve().parents[3] / ".repro_cache"
+
+
+@dataclass
+class Harness:
+    """Memoising façade over the whole pipeline."""
+
+    config: HarnessConfig = field(default_factory=HarnessConfig)
+    _datasets: dict = field(default_factory=dict, repr=False)
+    _detections: dict = field(default_factory=dict, repr=False)
+    _discriminators: dict = field(default_factory=dict, repr=False)
+    _maps: dict = field(default_factory=dict, repr=False)
+    _counts: dict = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # artifacts
+    # ------------------------------------------------------------------ #
+    def dataset(self, setting: str, split: str) -> Dataset:
+        """Materialise (once) a split at the harness's configured size."""
+        key = (setting, split)
+        if key not in self._datasets:
+            entry = DATASET_SETTINGS[setting]
+            if split == "train":
+                fraction = min(1.0, self.config.train_images / entry.train_size)
+            else:
+                fraction = self.config.test_fraction
+            self._datasets[key] = load_dataset(
+                setting, split, seed=self.config.seed, fraction=fraction
+            )
+        return self._datasets[key]
+
+    def detector(self, model: str, setting: str) -> SimulatedDetector:
+        """Calibrated detector (preset-cached)."""
+        return make_detector(model, setting, seed=self.config.seed)
+
+    def detections(self, model: str, setting: str, split: str) -> list[Detections]:
+        """Raw detections of a model over a split, memory- and disk-cached."""
+        key = (model, setting, split)
+        if key in self._detections:
+            return self._detections[key]
+        dataset = self.dataset(setting, split)
+        detector = self.detector(model, setting)
+        cached = self._load_disk(detector, dataset)
+        if cached is None:
+            cached = detector.detect_split(dataset)
+            self._store_disk(detector, dataset, cached)
+        self._detections[key] = cached
+        return cached
+
+    def discriminator(
+        self, small: str, big: str, setting: str
+    ) -> tuple[DifficultCaseDiscriminator, DiscriminatorFitReport]:
+        """Fit (once) the discriminator for a model pair on a train split."""
+        key = (small, big, setting)
+        if key not in self._discriminators:
+            train = self.dataset(setting, "train")
+            self._discriminators[key] = DifficultCaseDiscriminator.fit(
+                self.detections(small, setting, "train"),
+                self.detections(big, setting, "train"),
+                train.truths,
+            )
+        return self._discriminators[key]
+
+    # ------------------------------------------------------------------ #
+    # system runs
+    # ------------------------------------------------------------------ #
+    def system_run(
+        self,
+        small: str,
+        big: str,
+        setting: str,
+        *,
+        uploaded: np.ndarray | None = None,
+    ) -> SystemRun:
+        """Serve the test split: ours when ``uploaded`` is None, otherwise a
+        baseline policy's externally supplied mask."""
+        discriminator, _ = self.discriminator(small, big, setting)
+        system = SmallBigSystem(
+            small_model=self.detector(small, setting),
+            big_model=self.detector(big, setting),
+            discriminator=discriminator,
+        )
+        return system.run(
+            self.dataset(setting, "test"),
+            small_detections=self.detections(small, setting, "test"),
+            big_detections=self.detections(big, setting, "test"),
+            uploaded=uploaded,
+        )
+
+    # ------------------------------------------------------------------ #
+    # memoised metrics
+    # ------------------------------------------------------------------ #
+    def model_map(self, model: str, setting: str) -> float:
+        """Served mAP (percent) of one model on the test split."""
+        key = (model, setting)
+        if key not in self._maps:
+            dataset = self.dataset(setting, "test")
+            served = [d.above(0.5) for d in self.detections(model, setting, "test")]
+            self._maps[key] = mean_average_precision(
+                served, dataset.truths, dataset.num_classes
+            )
+        return self._maps[key]
+
+    def model_counts(self, model: str, setting: str) -> CountSummary:
+        """Detected-object count of one model on the test split."""
+        key = (model, setting)
+        if key not in self._counts:
+            dataset = self.dataset(setting, "test")
+            self._counts[key] = count_summary(
+                self.detections(model, setting, "test"), dataset.truths
+            )
+        return self._counts[key]
+
+    # ------------------------------------------------------------------ #
+    # disk cache
+    # ------------------------------------------------------------------ #
+    def _cache_path(self, detector: SimulatedDetector, dataset: Dataset) -> Path | None:
+        root = self.config.resolve_cache_dir()
+        if root is None:
+            return None
+        content_probe = b""
+        if dataset.records:
+            content_probe = (
+                dataset.records[0].truth.boxes.tobytes()
+                + dataset.records[-1].truth.boxes.tobytes()
+            )
+        fingerprint = hashlib.sha256(
+            repr(
+                (
+                    self.config.seed,
+                    detector.profile,
+                    dataset.name,
+                    dataset.split,
+                    len(dataset),
+                    dataset.total_objects,
+                )
+            ).encode()
+            + content_probe
+        ).hexdigest()[:20]
+        return root / f"det-{fingerprint}.npz"
+
+    def _load_disk(
+        self, detector: SimulatedDetector, dataset: Dataset
+    ) -> list[Detections] | None:
+        path = self._cache_path(detector, dataset)
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = np.load(path)
+            offsets = payload["offsets"]
+            boxes, scores, labels = payload["boxes"], payload["scores"], payload["labels"]
+        except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile):
+            return None  # corrupt/stale cache entries are recomputed
+        if offsets.shape[0] != len(dataset) + 1:
+            return None
+        out: list[Detections] = []
+        for index, record in enumerate(dataset.records):
+            lo, hi = int(offsets[index]), int(offsets[index + 1])
+            out.append(
+                Detections(
+                    image_id=record.image_id,
+                    boxes=boxes[lo:hi],
+                    scores=scores[lo:hi],
+                    labels=labels[lo:hi],
+                    detector=detector.name,
+                )
+            )
+        return out
+
+    def _store_disk(
+        self,
+        detector: SimulatedDetector,
+        dataset: Dataset,
+        detections: list[Detections],
+    ) -> None:
+        path = self._cache_path(detector, dataset)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        offsets = np.zeros(len(detections) + 1, dtype=np.int64)
+        for index, dets in enumerate(detections):
+            offsets[index + 1] = offsets[index] + len(dets)
+        boxes = (
+            np.concatenate([d.boxes for d in detections], axis=0)
+            if detections
+            else np.zeros((0, 4))
+        )
+        scores = (
+            np.concatenate([d.scores for d in detections])
+            if detections
+            else np.zeros(0)
+        )
+        labels = (
+            np.concatenate([d.labels for d in detections])
+            if detections
+            else np.zeros(0, dtype=np.int64)
+        )
+        try:
+            np.savez_compressed(
+                path, offsets=offsets, boxes=boxes, scores=scores, labels=labels
+            )
+        except OSError:
+            pass  # cache is best effort

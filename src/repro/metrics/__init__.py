@@ -1,0 +1,30 @@
+"""Evaluation substrate: VOC AP/mAP, counting, classification, latency."""
+
+from repro.metrics.classify import BinaryMetrics, binary_metrics, confusion_counts
+from repro.metrics.counting import CountSummary, count_detected_objects, count_summary
+from repro.metrics.latency import LatencySummary, summarize_latencies
+from repro.metrics.voc_ap import (
+    EvalResult,
+    PRCurve,
+    evaluate_detections,
+    mean_average_precision,
+    precision_recall_curve,
+    voc_ap_from_pr,
+)
+
+__all__ = [
+    "BinaryMetrics",
+    "binary_metrics",
+    "confusion_counts",
+    "CountSummary",
+    "count_detected_objects",
+    "count_summary",
+    "LatencySummary",
+    "summarize_latencies",
+    "EvalResult",
+    "PRCurve",
+    "evaluate_detections",
+    "mean_average_precision",
+    "precision_recall_curve",
+    "voc_ap_from_pr",
+]

@@ -1,0 +1,87 @@
+"""Binary-classification metrics for the difficult-case discriminator.
+
+Table I and Fig. 7 report accuracy, precision, recall and F1 (the paper calls
+it "hm", harmonic mean) with *difficult* cases as the positive class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BinaryMetrics", "binary_metrics", "confusion_counts"]
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """Confusion-matrix derived metrics, difficult = positive."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def total(self) -> int:
+        """Number of classified samples."""
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def accuracy(self) -> float:
+        """(TP + TN) / total; 0 on an empty sample."""
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 0 when nothing was predicted positive."""
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 0 when there are no positives."""
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (the paper's "hm")."""
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) > 0.0 else 0.0
+
+    def as_row(self) -> dict[str, float]:
+        """Table-I style row: percentages for accuracy/precision/recall."""
+        return {
+            "accuracy": 100.0 * self.accuracy,
+            "f1": self.f1,
+            "precision": 100.0 * self.precision,
+            "recall": 100.0 * self.recall,
+        }
+
+
+def confusion_counts(
+    predicted: np.ndarray | list[bool], actual: np.ndarray | list[bool]
+) -> tuple[int, int, int, int]:
+    """Return ``(tp, fp, tn, fn)`` for boolean arrays (positive = True)."""
+    pred = np.asarray(predicted, dtype=bool).reshape(-1)
+    act = np.asarray(actual, dtype=bool).reshape(-1)
+    if pred.shape != act.shape:
+        raise ConfigurationError(
+            f"predicted and actual differ in length: {pred.shape} vs {act.shape}"
+        )
+    tp = int(np.count_nonzero(pred & act))
+    fp = int(np.count_nonzero(pred & ~act))
+    tn = int(np.count_nonzero(~pred & ~act))
+    fn = int(np.count_nonzero(~pred & act))
+    return tp, fp, tn, fn
+
+
+def binary_metrics(
+    predicted: np.ndarray | list[bool], actual: np.ndarray | list[bool]
+) -> BinaryMetrics:
+    """Build :class:`BinaryMetrics` from predicted/actual boolean labels."""
+    tp, fp, tn, fn = confusion_counts(predicted, actual)
+    return BinaryMetrics(tp=tp, fp=fp, tn=tn, fn=fn)

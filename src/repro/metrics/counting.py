@@ -1,0 +1,80 @@
+"""Detected-object counting — the paper's second headline metric.
+
+Tables IV/VI/VIII/X/XI/XIII/XV/XVII all report "the number of detected
+objects": how many annotated objects a scheme's served detections correctly
+find at serving threshold 0.5.  We count true positives (class-aware,
+IoU >= 0.5) rather than raw box counts so that false positives cannot inflate
+the numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detection.matching import true_positive_count
+from repro.detection.types import Detections, GroundTruth
+from repro.errors import ConfigurationError
+
+__all__ = ["CountSummary", "count_detected_objects", "count_summary"]
+
+
+@dataclass(frozen=True)
+class CountSummary:
+    """Aggregate detection counts of one scheme over one split."""
+
+    detected: int
+    total_ground_truth: int
+
+    @property
+    def detected_fraction(self) -> float:
+        """Share of annotated objects detected (0 when the split is empty)."""
+        if self.total_ground_truth == 0:
+            return 0.0
+        return self.detected / self.total_ground_truth
+
+    def ratio_to(self, other: "CountSummary") -> float:
+        """This scheme's count relative to ``other``'s, in percent.
+
+        This is the paper's "End-to-end / Big model (%)" column.
+        """
+        if other.detected == 0:
+            return 0.0
+        return 100.0 * self.detected / other.detected
+
+
+def count_detected_objects(
+    detections: list[Detections],
+    truths: list[GroundTruth],
+    *,
+    score_threshold: float = 0.5,
+    iou_threshold: float = 0.5,
+) -> int:
+    """Total true-positive count over a split."""
+    if len(detections) != len(truths):
+        raise ConfigurationError(
+            f"got {len(detections)} detection sets for {len(truths)} images"
+        )
+    return sum(
+        true_positive_count(
+            dets, truth, score_threshold=score_threshold, iou_threshold=iou_threshold
+        )
+        for dets, truth in zip(detections, truths)
+    )
+
+
+def count_summary(
+    detections: list[Detections],
+    truths: list[GroundTruth],
+    *,
+    score_threshold: float = 0.5,
+    iou_threshold: float = 0.5,
+) -> CountSummary:
+    """Detected-object count plus the split's ground-truth total."""
+    detected = count_detected_objects(
+        detections,
+        truths,
+        score_threshold=score_threshold,
+        iou_threshold=iou_threshold,
+    )
+    total = sum(len(truth) for truth in truths)
+    return CountSummary(detected=detected, total_ground_truth=total)

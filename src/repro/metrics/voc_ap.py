@@ -1,0 +1,203 @@
+"""PASCAL VOC average-precision evaluation.
+
+Implements both the classic 11-point interpolated AP (VOC2007 devkit, the
+protocol behind every mAP number in the paper) and the all-point variant
+(VOC2010+/COCO-style area under the interpolated PR curve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.detection.boxes import iou_matrix
+from repro.detection.types import Detections, GroundTruth
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PRCurve",
+    "EvalResult",
+    "voc_ap_from_pr",
+    "precision_recall_curve",
+    "evaluate_detections",
+    "mean_average_precision",
+]
+
+
+@dataclass(frozen=True)
+class PRCurve:
+    """A precision/recall curve for one class, sorted by descending score."""
+
+    recall: np.ndarray
+    precision: np.ndarray
+    scores: np.ndarray
+    num_gt: int
+
+    def ap(self, *, use_07_metric: bool = True) -> float:
+        """Average precision of this curve."""
+        return voc_ap_from_pr(
+            self.recall, self.precision, use_07_metric=use_07_metric
+        )
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Full evaluation of one detector over one dataset split."""
+
+    per_class_ap: dict[int, float]
+    per_class_curves: dict[int, PRCurve] = field(repr=False)
+    use_07_metric: bool = True
+
+    @property
+    def map(self) -> float:
+        """Mean average precision over classes that have ground truth."""
+        if not self.per_class_ap:
+            return 0.0
+        return float(np.mean(list(self.per_class_ap.values())))
+
+    @property
+    def map_percent(self) -> float:
+        """mAP expressed in percent, as the paper's tables report it."""
+        return 100.0 * self.map
+
+
+def voc_ap_from_pr(
+    recall: np.ndarray, precision: np.ndarray, *, use_07_metric: bool = True
+) -> float:
+    """Average precision from a PR curve.
+
+    With ``use_07_metric`` the 11-point interpolation of the VOC2007 devkit
+    is used (mean of interpolated precision at recall 0, 0.1, ..., 1.0);
+    otherwise the exact area under the monotonised curve.
+    """
+    recall = np.asarray(recall, dtype=np.float64).reshape(-1)
+    precision = np.asarray(precision, dtype=np.float64).reshape(-1)
+    if recall.shape != precision.shape:
+        raise ConfigurationError("recall and precision must have equal length")
+    if recall.size == 0:
+        return 0.0
+    if use_07_metric:
+        ap = 0.0
+        for point in np.linspace(0.0, 1.0, 11):
+            mask = recall >= point
+            p = float(precision[mask].max()) if mask.any() else 0.0
+            ap += p / 11.0
+        return ap
+    # All-point metric: monotonise precision from the right, then integrate.
+    mrec = np.concatenate([[0.0], recall, [1.0]])
+    mpre = np.concatenate([[0.0], precision, [0.0]])
+    for i in range(mpre.size - 2, -1, -1):
+        mpre[i] = max(mpre[i], mpre[i + 1])
+    changes = np.flatnonzero(mrec[1:] != mrec[:-1]) + 1
+    return float(np.sum((mrec[changes] - mrec[changes - 1]) * mpre[changes]))
+
+
+def precision_recall_curve(
+    detections: list[Detections],
+    truths: list[GroundTruth],
+    label: int,
+    *,
+    iou_threshold: float = 0.5,
+) -> PRCurve:
+    """Dataset-wide PR curve for one class.
+
+    Pools every detection of class ``label`` across images, sorts by score,
+    and greedily matches against unclaimed ground truth per the VOC protocol.
+    """
+    if len(detections) != len(truths):
+        raise ConfigurationError(
+            f"got {len(detections)} detection sets for {len(truths)} images"
+        )
+    num_gt = 0
+    gt_boxes_per_image: list[np.ndarray] = []
+    pooled_scores: list[np.ndarray] = []
+    pooled_images: list[np.ndarray] = []
+    pooled_boxes: list[np.ndarray] = []
+    for img_idx, (dets, truth) in enumerate(zip(detections, truths)):
+        gt_boxes = truth.boxes[truth.labels == label]
+        gt_boxes_per_image.append(gt_boxes)
+        num_gt += int(gt_boxes.shape[0])
+        mask = dets.labels == label
+        if mask.any():
+            pooled_scores.append(dets.scores[mask])
+            pooled_boxes.append(dets.boxes[mask])
+            pooled_images.append(np.full(int(mask.sum()), img_idx, dtype=np.int64))
+    if not pooled_scores:
+        return PRCurve(
+            recall=np.zeros(0), precision=np.zeros(0), scores=np.zeros(0), num_gt=num_gt
+        )
+    scores = np.concatenate(pooled_scores)
+    boxes = np.concatenate(pooled_boxes, axis=0)
+    images = np.concatenate(pooled_images)
+    order = np.argsort(-scores, kind="stable")
+    scores, boxes, images = scores[order], boxes[order], images[order]
+
+    claimed = [np.zeros(g.shape[0], dtype=bool) for g in gt_boxes_per_image]
+    tp_flags = np.zeros(scores.shape[0], dtype=bool)
+    for rank in range(scores.shape[0]):
+        img_idx = int(images[rank])
+        gt_boxes = gt_boxes_per_image[img_idx]
+        if gt_boxes.shape[0] == 0:
+            continue
+        ious = iou_matrix(boxes[rank : rank + 1], gt_boxes)[0]
+        ious[claimed[img_idx]] = 0.0
+        best = int(np.argmax(ious))
+        if ious[best] >= iou_threshold:
+            claimed[img_idx][best] = True
+            tp_flags[rank] = True
+
+    tp_cum = np.cumsum(tp_flags)
+    fp_cum = np.cumsum(~tp_flags)
+    recall = tp_cum / num_gt if num_gt > 0 else np.zeros(scores.shape[0])
+    precision = tp_cum / np.maximum(tp_cum + fp_cum, 1)
+    return PRCurve(recall=recall, precision=precision, scores=scores, num_gt=num_gt)
+
+
+def evaluate_detections(
+    detections: list[Detections],
+    truths: list[GroundTruth],
+    num_classes: int,
+    *,
+    iou_threshold: float = 0.5,
+    use_07_metric: bool = True,
+) -> EvalResult:
+    """Evaluate a detector over a split: per-class AP and mAP.
+
+    Classes with no ground-truth instances in the split are skipped, matching
+    the VOC devkit behaviour.
+    """
+    per_class_ap: dict[int, float] = {}
+    per_class_curves: dict[int, PRCurve] = {}
+    for label in range(num_classes):
+        curve = precision_recall_curve(
+            detections, truths, label, iou_threshold=iou_threshold
+        )
+        if curve.num_gt == 0:
+            continue
+        per_class_curves[label] = curve
+        per_class_ap[label] = curve.ap(use_07_metric=use_07_metric)
+    return EvalResult(
+        per_class_ap=per_class_ap,
+        per_class_curves=per_class_curves,
+        use_07_metric=use_07_metric,
+    )
+
+
+def mean_average_precision(
+    detections: list[Detections],
+    truths: list[GroundTruth],
+    num_classes: int,
+    *,
+    iou_threshold: float = 0.5,
+    use_07_metric: bool = True,
+) -> float:
+    """Convenience wrapper returning the mAP in percent."""
+    result = evaluate_detections(
+        detections,
+        truths,
+        num_classes,
+        iou_threshold=iou_threshold,
+        use_07_metric=use_07_metric,
+    )
+    return result.map_percent

@@ -1,0 +1,35 @@
+"""Edge-cloud execution substrate: devices, links, codecs, latency."""
+
+from repro.runtime.codec import JpegCodec, detections_payload_bytes
+from repro.runtime.devices import JETSON_NANO, RTX3060_SERVER, RYZEN9_CPU, ComputeDevice
+from repro.runtime.executor import (
+    DISCRIMINATOR_FLOPS,
+    Deployment,
+    EdgeCloudRuntime,
+    RunCost,
+)
+from repro.runtime.events import EventLoop, FifoResource
+from repro.runtime.network import ETHERNET_1G, LTE, WLAN, NetworkLink
+from repro.runtime.stream import StreamConfig, StreamReport, StreamSimulator
+
+__all__ = [
+    "EventLoop",
+    "FifoResource",
+    "StreamConfig",
+    "StreamReport",
+    "StreamSimulator",
+    "JpegCodec",
+    "detections_payload_bytes",
+    "JETSON_NANO",
+    "RTX3060_SERVER",
+    "RYZEN9_CPU",
+    "ComputeDevice",
+    "DISCRIMINATOR_FLOPS",
+    "Deployment",
+    "EdgeCloudRuntime",
+    "RunCost",
+    "ETHERNET_1G",
+    "LTE",
+    "WLAN",
+    "NetworkLink",
+]

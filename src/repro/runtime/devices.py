@@ -1,0 +1,58 @@
+"""Compute-device models.
+
+A device is characterised by its *effective* sustained throughput on
+detection workloads (not peak TFLOPS): inference latency is simply
+``model FLOPs / effective throughput`` plus a fixed per-invocation overhead.
+The presets are calibrated so that the paper's Table XI testbed reproduces:
+small model 1 (~6 GFLOPs) on a Jetson Nano runs at ~47 ms and SSD
+(~63 GFLOPs) on the RTX3060 server at ~25 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ComputeDevice", "JETSON_NANO", "RTX3060_SERVER", "RYZEN9_CPU"]
+
+
+@dataclass(frozen=True)
+class ComputeDevice:
+    """One execution platform.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    effective_gflops:
+        Sustained detection throughput in GFLOP/s.
+    overhead_s:
+        Fixed per-inference overhead (pre/post-processing, memory traffic).
+    """
+
+    name: str
+    effective_gflops: float
+    overhead_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.effective_gflops <= 0.0:
+            raise ConfigurationError("effective_gflops must be > 0")
+        if self.overhead_s < 0.0:
+            raise ConfigurationError("overhead_s must be >= 0")
+
+    def inference_latency(self, flops: float) -> float:
+        """Seconds to run one forward pass of ``flops`` floating ops."""
+        if flops < 0.0:
+            raise ConfigurationError("flops must be >= 0")
+        return self.overhead_s + flops / (self.effective_gflops * 1e9)
+
+
+#: NVIDIA Jetson Nano — the paper's edge device (Sec. VI.A).
+JETSON_NANO = ComputeDevice(name="jetson-nano", effective_gflops=125.0)
+
+#: RTX3060 + Ryzen9 5900HX — the paper's server / cloud machine.
+RTX3060_SERVER = ComputeDevice(name="rtx3060-server", effective_gflops=2600.0)
+
+#: The server's CPU alone (used for ablations).
+RYZEN9_CPU = ComputeDevice(name="ryzen9-5900hx", effective_gflops=250.0)

@@ -1,0 +1,121 @@
+"""Discrete-event simulation core for the streaming runtime.
+
+A tiny, dependency-free event-driven simulator: a priority queue of timed
+events plus FIFO resources that serialise work (an edge accelerator, the
+WLAN uplink, a cloud GPU).  The streaming module builds the paper's
+motivating scenario — continuous video frames — on top of it, so queueing
+delay under load is modelled rather than assumed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import RuntimeModelError
+
+__all__ = ["EventLoop", "FifoResource"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventLoop:
+    """A minimal deterministic discrete-event loop.
+
+    Events scheduled for the same instant fire in scheduling order, which
+    keeps runs reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` ``delay`` seconds from the current time."""
+        if delay < 0.0:
+            raise RuntimeModelError(f"cannot schedule into the past: {delay}")
+        heapq.heappush(
+            self._heap, _Event(self._now + delay, next(self._counter), action)
+        )
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event queue (optionally stopping at time ``until``).
+
+        Returns the final simulation time.
+        """
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self._now = until
+                return self._now
+            event = heapq.heappop(self._heap)
+            self._now = event.time
+            event.action()
+        return self._now
+
+
+class FifoResource:
+    """A single-server FIFO resource (accelerator, link, GPU).
+
+    ``acquire`` enqueues a job with a known service time and a completion
+    callback; jobs are served one at a time in arrival order.  Utilisation
+    and queueing statistics are tracked for the stream report.
+    """
+
+    def __init__(self, loop: EventLoop, name: str) -> None:
+        self._loop = loop
+        self.name = name
+        self._queue: list[tuple[float, Callable[[float], None]]] = []
+        self._busy = False
+        self.busy_time = 0.0
+        self.jobs_served = 0
+        self.max_queue_depth = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently waiting (not including the one in service)."""
+        return len(self._queue)
+
+    def acquire(
+        self, service_time: float, on_done: Callable[[float], None]
+    ) -> None:
+        """Enqueue a job; ``on_done(completion_time)`` fires when served."""
+        if service_time < 0.0:
+            raise RuntimeModelError(f"negative service time: {service_time}")
+        self._queue.append((service_time, on_done))
+        self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        service_time, on_done = self._queue.pop(0)
+        self.busy_time += service_time
+        self.jobs_served += 1
+
+        def _complete() -> None:
+            on_done(self._loop.now)
+            self._start_next()
+
+        self._loop.schedule(service_time, _complete)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` spent serving jobs."""
+        if elapsed <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)

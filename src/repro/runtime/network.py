@@ -1,0 +1,65 @@
+"""Network-link model for the edge-to-cloud WLAN."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["NetworkLink", "WLAN", "ETHERNET_1G", "LTE"]
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A point-to-point link with bandwidth, propagation delay and jitter.
+
+    Attributes
+    ----------
+    bandwidth_mbps:
+        Sustained goodput in megabits per second.
+    rtt_s:
+        Round-trip propagation + protocol latency in seconds.
+    jitter_s:
+        Standard deviation of a log-normal multiplicative jitter applied to
+        each transfer when an RNG is supplied; 0 disables jitter.
+    """
+
+    name: str
+    bandwidth_mbps: float
+    rtt_s: float = 0.01
+    jitter_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0.0:
+            raise ConfigurationError("bandwidth_mbps must be > 0")
+        if self.rtt_s < 0.0 or self.jitter_s < 0.0:
+            raise ConfigurationError("rtt_s and jitter_s must be >= 0")
+
+    def transfer_time(
+        self, payload_bytes: int, rng: np.random.Generator | None = None
+    ) -> float:
+        """Seconds to move ``payload_bytes`` across the link (one way).
+
+        Includes half the RTT as the one-way protocol cost; a full
+        request/response exchange therefore costs one RTT plus both
+        serialisation times.
+        """
+        if payload_bytes < 0:
+            raise ConfigurationError("payload_bytes must be >= 0")
+        serialisation = payload_bytes * 8 / (self.bandwidth_mbps * 1e6)
+        base = self.rtt_s / 2.0 + serialisation
+        if rng is not None and self.jitter_s > 0.0:
+            base *= float(np.exp(rng.normal(0.0, self.jitter_s)))
+        return base
+
+
+#: The paper's testbed link: edge and server on the same WLAN.
+WLAN = NetworkLink(name="wlan", bandwidth_mbps=5.5, rtt_s=0.012, jitter_s=0.15)
+
+#: Wired lab link (ablations).
+ETHERNET_1G = NetworkLink(name="ethernet-1g", bandwidth_mbps=940.0, rtt_s=0.001)
+
+#: Cellular uplink (ablations — the wide-area deployment the intro motivates).
+LTE = NetworkLink(name="lte", bandwidth_mbps=5.0, rtt_s=0.05, jitter_s=0.3)

@@ -1,0 +1,249 @@
+"""Streaming (video) serving simulation.
+
+The paper motivates edge-cloud collaboration with video workloads
+("Edge-Cloud collaboration focuses more on timeliness (e.g., object
+detection for video stream)").  This module serves a *continuous frame
+stream* through the three schemes and measures what the static Table XI
+totals cannot show: queueing delay, saturation and drop behaviour under
+load.
+
+Model
+-----
+* Frames arrive periodically or as a Poisson process.
+* **edge-only**: every frame queues for the edge accelerator.
+* **cloud-only**: every frame queues for the WLAN uplink (serialisation is
+  the bottleneck), then for the cloud GPU.
+* **collaborative**: every frame first queues for the edge accelerator
+  (small model + discriminator); frames ruled difficult then take the
+  cloud path.  The edge and cloud stages pipeline naturally.
+
+A bounded edge queue with drop-oldest backpressure models a real camera
+buffer: the stream report counts drops instead of letting latency diverge
+when a scheme saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._rng import DEFAULT_SEED, generator_for
+from repro.data.datasets import Dataset
+from repro.errors import RuntimeModelError
+from repro.metrics.latency import LatencySummary, summarize_latencies
+from repro.runtime.codec import detections_payload_bytes
+from repro.runtime.events import EventLoop, FifoResource
+from repro.runtime.executor import DISCRIMINATOR_FLOPS, Deployment
+
+__all__ = ["StreamConfig", "StreamReport", "StreamSimulator"]
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Workload description for one streaming run.
+
+    Attributes
+    ----------
+    fps:
+        Mean frame arrival rate.
+    poisson:
+        Poisson arrivals when true; exactly periodic otherwise.
+    duration_s:
+        Stream length in simulated seconds.
+    max_edge_queue:
+        Camera buffer bound; an arriving frame is dropped when the edge
+        (or, for cloud-only, the uplink) queue is this deep.
+    """
+
+    fps: float = 10.0
+    poisson: bool = True
+    duration_s: float = 60.0
+    max_edge_queue: int = 30
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0.0 or self.duration_s <= 0.0:
+            raise RuntimeModelError("fps and duration_s must be positive")
+        if self.max_edge_queue < 1:
+            raise RuntimeModelError("max_edge_queue must be >= 1")
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """Outcome of one streaming run."""
+
+    scheme: str
+    latency: LatencySummary
+    frames_offered: int
+    frames_served: int
+    frames_dropped: int
+    frames_uploaded: int
+    edge_utilization: float
+    uplink_utilization: float
+    cloud_utilization: float
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered frames dropped at the buffer."""
+        if self.frames_offered == 0:
+            return 0.0
+        return self.frames_dropped / self.frames_offered
+
+    @property
+    def upload_ratio(self) -> float:
+        """Fraction of served frames that crossed the uplink."""
+        if self.frames_served == 0:
+            return 0.0
+        return self.frames_uploaded / self.frames_served
+
+
+class StreamSimulator:
+    """Serve a frame stream drawn from a dataset through one deployment.
+
+    Frames cycle through ``dataset.records``; the per-frame upload decision
+    for the collaborative scheme is supplied as a boolean mask aligned with
+    the records (typically a :class:`SystemRun`'s ``uploaded``), so the
+    *actual* discriminator verdicts drive the queueing behaviour.
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        dataset: Dataset,
+        *,
+        seed: int = DEFAULT_SEED,
+    ) -> None:
+        if len(dataset) == 0:
+            raise RuntimeModelError("cannot stream an empty dataset")
+        self.deployment = deployment
+        self.dataset = dataset
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    def _arrivals(self, config: StreamConfig) -> np.ndarray:
+        rng = generator_for(self.seed, "stream-arrivals", config.fps, config.poisson)
+        if config.poisson:
+            gaps = rng.exponential(1.0 / config.fps, size=int(config.fps * config.duration_s * 2))
+        else:
+            gaps = np.full(int(config.fps * config.duration_s * 2), 1.0 / config.fps)
+        times = np.cumsum(gaps)
+        return times[times < config.duration_s]
+
+    def _edge_service(self) -> float:
+        dep = self.deployment
+        return dep.edge.inference_latency(dep.small_model_flops) + dep.edge.inference_latency(
+            DISCRIMINATOR_FLOPS
+        )
+
+    def _uplink_service(self, record) -> float:
+        dep = self.deployment
+        return dep.link.transfer_time(dep.codec.encoded_bytes(record))
+
+    def _cloud_service(self) -> float:
+        dep = self.deployment
+        return dep.cloud.inference_latency(dep.big_model_flops)
+
+    def _downlink_latency(self) -> float:
+        return self.deployment.link.transfer_time(detections_payload_bytes(8))
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        scheme: str,
+        config: StreamConfig,
+        uploaded: np.ndarray | None = None,
+    ) -> StreamReport:
+        """Simulate one scheme over the configured stream.
+
+        Parameters
+        ----------
+        scheme:
+            ``"edge"``, ``"cloud"`` or ``"collaborative"``.
+        uploaded:
+            Per-record upload mask, required for ``"collaborative"``.
+        """
+        if scheme not in ("edge", "cloud", "collaborative"):
+            raise RuntimeModelError(f"unknown scheme {scheme!r}")
+        if scheme == "collaborative":
+            if uploaded is None:
+                raise RuntimeModelError("collaborative scheme needs an upload mask")
+            uploaded = np.asarray(uploaded, dtype=bool).reshape(-1)
+            if uploaded.shape[0] != len(self.dataset):
+                raise RuntimeModelError("upload mask misaligned with dataset")
+
+        loop = EventLoop()
+        edge = FifoResource(loop, "edge")
+        uplink = FifoResource(loop, "uplink")
+        cloud = FifoResource(loop, "cloud")
+
+        latencies: list[float] = []
+        served = dropped = uploads = 0
+        arrivals = self._arrivals(config)
+        records = self.dataset.records
+
+        def finish(start: float) -> None:
+            nonlocal served
+            served += 1
+            latencies.append(loop.now - start + self._downlink_latency())
+
+        def finish_local(start: float) -> None:
+            nonlocal served
+            served += 1
+            latencies.append(loop.now - start)
+
+        def cloud_path(record, start: float) -> None:
+            nonlocal uploads
+            uploads += 1
+            uplink.acquire(
+                self._uplink_service(record),
+                lambda _t: cloud.acquire(self._cloud_service(), lambda _t2: finish(start)),
+            )
+
+        def on_frame(index: int, arrival: float) -> None:
+            nonlocal dropped
+            record = records[index % len(records)]
+            entry_queue = edge if scheme != "cloud" else uplink
+            if entry_queue.queue_depth >= config.max_edge_queue:
+                dropped += 1
+                return
+            start = arrival
+            if scheme == "edge":
+                edge.acquire(self._edge_service(), lambda _t: finish_local(start))
+            elif scheme == "cloud":
+                cloud_path(record, start)
+            else:
+                send = bool(uploaded[index % len(records)])
+
+                def after_edge(_t: float, record=record, send=send) -> None:
+                    if send:
+                        cloud_path(record, start)
+                    else:
+                        finish_local(start)
+
+                edge.acquire(self._edge_service(), after_edge)
+
+        for index, arrival in enumerate(arrivals):
+            loop.schedule(arrival, lambda i=index, a=arrival: on_frame(i, a))
+        elapsed = loop.run()
+
+        return StreamReport(
+            scheme=scheme,
+            latency=summarize_latencies(latencies),
+            frames_offered=int(arrivals.shape[0]),
+            frames_served=served,
+            frames_dropped=dropped,
+            frames_uploaded=uploads,
+            edge_utilization=edge.utilization(elapsed),
+            uplink_utilization=uplink.utilization(elapsed),
+            cloud_utilization=cloud.utilization(elapsed),
+        )
+
+    def compare(
+        self, config: StreamConfig, uploaded: np.ndarray
+    ) -> dict[str, StreamReport]:
+        """Run all three schemes over the same arrival process."""
+        return {
+            "edge": self.run("edge", config),
+            "cloud": self.run("cloud", config),
+            "collaborative": self.run("collaborative", config, uploaded),
+        }

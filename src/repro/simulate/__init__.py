@@ -1,0 +1,34 @@
+"""Detector-behaviour simulation substrate."""
+
+from repro.simulate.calibrate import calibrate_profile, expected_recall, solve_base_recall
+from repro.simulate.confidence import miss_scores, noise_scores, served_scores
+from repro.simulate.detector import SimulatedDetector
+from repro.simulate.presets import (
+    MAP_REFERENCES,
+    PAPER_COUNTS,
+    PAPER_GT_TOTALS,
+    RECALL_TARGETS,
+    SHAPE_PRESETS,
+    available_pairs,
+    make_detector,
+)
+from repro.simulate.profile import DetectorProfile, detection_probability
+
+__all__ = [
+    "calibrate_profile",
+    "expected_recall",
+    "solve_base_recall",
+    "miss_scores",
+    "noise_scores",
+    "served_scores",
+    "SimulatedDetector",
+    "MAP_REFERENCES",
+    "PAPER_COUNTS",
+    "PAPER_GT_TOTALS",
+    "RECALL_TARGETS",
+    "SHAPE_PRESETS",
+    "available_pairs",
+    "make_detector",
+    "DetectorProfile",
+    "detection_probability",
+]

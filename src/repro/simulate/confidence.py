@@ -1,0 +1,52 @@
+"""Confidence-score models for the simulated detectors.
+
+Three score populations leave a detector, mirroring the structure visible in
+the paper's Fig. 6 dump of raw SSD output:
+
+* **served detections** — scores in ``[0.5, 1)``, concentrated around the
+  object's difficulty, so that per-class rankings produce realistic PR
+  curves;
+* **sub-threshold misses** — objects the detector noticed but could not
+  commit to (the dog at 0.2507): scores in ``(0.1, 0.45)``, far above the
+  noise floor.  These carry the signal the difficult-case discriminator's
+  estimated-count feature exploits;
+* **noise boxes** — an exponential tail hugging zero, occasionally crossing
+  into the sub-threshold band, very rarely past 0.5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulate.profile import DetectorProfile
+
+__all__ = ["served_scores", "miss_scores", "noise_scores"]
+
+
+def served_scores(
+    profile: DetectorProfile,
+    difficulty: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Scores of served (>= 0.5) detections.
+
+    ``difficulty`` is the per-object detection probability; easier objects
+    (higher probability) receive higher scores on average, which is what
+    makes the simulated PR curves decrease plausibly.
+    """
+    q = np.clip(np.asarray(difficulty, dtype=np.float64).reshape(-1), 0.05, 0.995)
+    kappa = profile.score_sharpness
+    alpha = 1.0 + kappa * q
+    beta = 1.0 + kappa * (1.0 - q)
+    return 0.5 + 0.4999 * rng.beta(alpha, beta)
+
+
+def miss_scores(profile: DetectorProfile, count: int, rng: np.random.Generator) -> np.ndarray:
+    """Scores of sub-threshold boxes for missed-but-visible objects."""
+    return rng.uniform(profile.miss_score_lo, profile.miss_score_hi, size=count)
+
+
+def noise_scores(profile: DetectorProfile, count: int, rng: np.random.Generator) -> np.ndarray:
+    """Scores of spurious noise boxes: exponential, clipped to [0.01, 0.98]."""
+    raw = 0.01 + rng.exponential(profile.fp_score_scale, size=count)
+    return np.clip(raw, 0.01, 0.98)

@@ -1,0 +1,150 @@
+"""The simulated detector: profile + image -> class-scored boxes.
+
+Detections are a *pure function* of ``(seed, profile name, image id)``:
+running the small model during discrimination and again during evaluation
+yields identical boxes, exactly like a deterministic neural network.  All
+downstream numbers (mAP, counts, difficult-case labels, baselines) are
+measured from these boxes with the real VOC evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._rng import DEFAULT_SEED, generator_for
+from repro.data.datasets import Dataset, ImageRecord
+from repro.detection.boxes import clip_boxes
+from repro.detection.nms import class_aware_nms
+from repro.detection.types import Detections
+from repro.simulate.confidence import miss_scores, noise_scores, served_scores
+from repro.simulate.profile import DetectorProfile, detection_probability
+
+__all__ = ["SimulatedDetector"]
+
+
+def _jitter_boxes(
+    boxes: np.ndarray, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Perturb box centres and sizes by relative Gaussian noise."""
+    if boxes.shape[0] == 0 or sigma <= 0.0:
+        return boxes.copy()
+    widths = boxes[:, 2] - boxes[:, 0]
+    heights = boxes[:, 3] - boxes[:, 1]
+    cx = (boxes[:, 0] + boxes[:, 2]) / 2.0 + rng.normal(0.0, sigma, boxes.shape[0]) * widths
+    cy = (boxes[:, 1] + boxes[:, 3]) / 2.0 + rng.normal(0.0, sigma, boxes.shape[0]) * heights
+    scale_w = np.exp(rng.normal(0.0, sigma, boxes.shape[0]))
+    scale_h = np.exp(rng.normal(0.0, sigma, boxes.shape[0]))
+    half_w = widths * scale_w / 2.0
+    half_h = heights * scale_h / 2.0
+    jittered = np.stack([cx - half_w, cy - half_h, cx + half_w, cy + half_h], axis=1)
+    return clip_boxes(jittered)
+
+
+def _random_fp_boxes(count: int, rng: np.random.Generator) -> np.ndarray:
+    """Small random boxes for noise detections."""
+    if count == 0:
+        return np.zeros((0, 4))
+    areas = np.exp(rng.normal(np.log(0.01), 1.0, size=count))
+    areas = np.clip(areas, 5e-4, 0.2)
+    aspect = np.exp(rng.normal(0.0, 0.4, size=count))
+    widths = np.minimum(np.sqrt(areas * aspect), 0.95)
+    heights = np.minimum(np.sqrt(areas / aspect), 0.95)
+    cx = rng.uniform(widths / 2.0, 1.0 - widths / 2.0)
+    cy = rng.uniform(heights / 2.0, 1.0 - heights / 2.0)
+    return np.stack(
+        [cx - widths / 2.0, cy - heights / 2.0, cx + widths / 2.0, cy + heights / 2.0],
+        axis=1,
+    )
+
+
+@dataclass(frozen=True)
+class SimulatedDetector:
+    """A deterministic simulated detector.
+
+    Parameters
+    ----------
+    profile:
+        The capability profile (usually produced by
+        :mod:`repro.simulate.presets` with a calibrated ``base_recall``).
+    num_classes:
+        Class vocabulary size of the dataset the detector is "trained" on.
+    seed:
+        Experiment seed; detections depend only on
+        ``(seed, profile.name, image_id)``.
+    """
+
+    profile: DetectorProfile
+    num_classes: int
+    seed: int = DEFAULT_SEED
+
+    @property
+    def name(self) -> str:
+        """Detector name (the profile's name)."""
+        return self.profile.name
+
+    def detect(self, record: ImageRecord) -> Detections:
+        """Run the detector on one image record."""
+        profile = self.profile
+        truth = record.truth
+        rng = generator_for(self.seed, "detect", profile.name, truth.image_id)
+
+        areas = truth.area_ratios
+        count = len(truth)
+        boxes_parts: list[np.ndarray] = []
+        scores_parts: list[np.ndarray] = []
+        labels_parts: list[np.ndarray] = []
+
+        if count:
+            p = detection_probability(profile, areas, count, record.quality)
+            detected = rng.uniform(size=count) < p
+
+            det_idx = np.flatnonzero(detected)
+            if det_idx.size:
+                det_boxes = _jitter_boxes(truth.boxes[det_idx], profile.loc_sigma, rng)
+                det_scores = served_scores(profile, p[det_idx], rng)
+                det_labels = truth.labels[det_idx].copy()
+                confused = rng.uniform(size=det_idx.size) < profile.class_confusion
+                if confused.any() and self.num_classes > 1:
+                    shift = rng.integers(1, self.num_classes, size=int(confused.sum()))
+                    det_labels[confused] = (det_labels[confused] + shift) % self.num_classes
+                boxes_parts.append(det_boxes)
+                scores_parts.append(det_scores)
+                labels_parts.append(det_labels)
+
+            miss_idx = np.flatnonzero(~detected)
+            if miss_idx.size:
+                visible = rng.uniform(size=miss_idx.size) < profile.miss_visibility
+                vis_idx = miss_idx[visible]
+                if vis_idx.size:
+                    vis_boxes = _jitter_boxes(
+                        truth.boxes[vis_idx], profile.loc_sigma * 1.5, rng
+                    )
+                    vis_scores = miss_scores(profile, vis_idx.size, rng)
+                    boxes_parts.append(vis_boxes)
+                    scores_parts.append(vis_scores)
+                    labels_parts.append(truth.labels[vis_idx].copy())
+
+        num_fp = int(rng.poisson(profile.fp_rate))
+        if num_fp:
+            boxes_parts.append(_random_fp_boxes(num_fp, rng))
+            scores_parts.append(noise_scores(profile, num_fp, rng))
+            labels_parts.append(
+                rng.integers(0, self.num_classes, size=num_fp).astype(np.int64)
+            )
+
+        if not boxes_parts:
+            return Detections.empty(truth.image_id, detector=profile.name)
+        raw = Detections(
+            image_id=truth.image_id,
+            boxes=np.concatenate(boxes_parts, axis=0),
+            scores=np.concatenate(scores_parts),
+            labels=np.concatenate(labels_parts),
+            detector=profile.name,
+        )
+        return class_aware_nms(raw)
+
+    def detect_split(self, dataset: Dataset) -> list[Detections]:
+        """Run the detector over every record of a split, in order."""
+        return [self.detect(record) for record in dataset.records]

@@ -1,0 +1,64 @@
+"""Model-architecture substrate: analytic specs for every detector used."""
+
+from repro.zoo.autocompress import (
+    CompressionResult,
+    SmallModelConfig,
+    build_candidate,
+    predict_profile,
+    search_configuration,
+)
+from repro.zoo.backbones import (
+    BackboneResult,
+    cspdarknet53_trunk,
+    mobilenet_v1_trunk,
+    mobilenet_v2_trunk,
+    vgg16_ssd_trunk,
+    vgg_lite_trunk,
+)
+from repro.zoo.faster_rcnn import build_faster_rcnn_vgg16, faster_rcnn_feature_maps
+from repro.zoo.layers import BYTES_PER_PARAM_FP32, LayerStat, Tape, TensorShape
+from repro.zoo.registry import MODEL_BUILDERS, build_model, list_models, model_zoo_table
+from repro.zoo.ssd import (
+    DetectorSpec,
+    build_small_model_1,
+    build_small_model_2,
+    build_small_model_3,
+    build_ssd300_vgg16,
+)
+from repro.zoo.yolo import (
+    build_small_yolo_mobilenet_v1,
+    build_yolov4,
+    yolo_small_feature_maps,
+)
+
+__all__ = [
+    "CompressionResult",
+    "SmallModelConfig",
+    "build_candidate",
+    "predict_profile",
+    "search_configuration",
+    "build_faster_rcnn_vgg16",
+    "faster_rcnn_feature_maps",
+    "BackboneResult",
+    "cspdarknet53_trunk",
+    "mobilenet_v1_trunk",
+    "mobilenet_v2_trunk",
+    "vgg16_ssd_trunk",
+    "vgg_lite_trunk",
+    "BYTES_PER_PARAM_FP32",
+    "LayerStat",
+    "Tape",
+    "TensorShape",
+    "MODEL_BUILDERS",
+    "build_model",
+    "list_models",
+    "model_zoo_table",
+    "DetectorSpec",
+    "build_small_model_1",
+    "build_small_model_2",
+    "build_small_model_3",
+    "build_ssd300_vgg16",
+    "build_yolov4",
+    "build_small_yolo_mobilenet_v1",
+    "yolo_small_feature_maps",
+]

@@ -1,0 +1,218 @@
+"""Automatic small-model compression (the paper's Sec. VII future work).
+
+    "In the future, we will design automatic object detection model
+     compression, that is, the users only need to select the object
+     detection models in the cloud, and then a lightweight object detection
+     model suitable for given edge devices and the difficult-case
+     discriminator can be automatically obtained."
+
+This module implements that loop for the SSD family: given a size and/or
+FLOPs budget (the edge device's constraints), it searches the small-model
+design space of Sec. IV.B — base-network width, extra-feature-layer width,
+Conv7 width — and returns the largest candidate that fits, together with a
+*predicted* capability profile so the rest of the pipeline (calibration,
+discriminator fitting, the small-big system) can run unchanged.
+
+The capability prediction is a documented heuristic, not magic: within one
+architecture family, recall scales with compute and the area/crowding
+response scales with the anchor budget and trunk capacity.  The constants
+are anchored at small model 1's calibrated profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import product
+
+from repro.detection.anchors import ssd300_small_feature_maps
+from repro.errors import ConfigurationError
+from repro.simulate.profile import DetectorProfile
+from repro.zoo.backbones import (
+    mobilenet_v1_trunk,
+    mobilenet_v2_trunk,
+    vgg_lite_trunk,
+)
+from repro.zoo.ssd import DetectorSpec, _assemble, build_small_model_1
+
+__all__ = [
+    "SmallModelConfig",
+    "CompressionResult",
+    "build_candidate",
+    "predict_profile",
+    "search_configuration",
+]
+
+_BASES = ("vgg-lite", "mobilenet-v1", "mobilenet-v2")
+
+#: Search grids (kept coarse on purpose: each point is an exact analytic
+#: build, so the whole space evaluates in well under a second).
+_WIDTHS = (0.25, 0.375, 0.5, 0.625, 0.75, 1.0, 1.25)
+_EXTRA_DIVISORS = (1, 2, 4)
+_CONV7_WIDTHS = (256, 384, 512, 768, 1024)
+
+
+@dataclass(frozen=True)
+class SmallModelConfig:
+    """One point in the small-model design space of Sec. IV.B."""
+
+    base: str = "vgg-lite"
+    width_multiplier: float = 0.625
+    extras_divisor: int = 2
+    conv7_channels: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.base not in _BASES:
+            raise ConfigurationError(
+                f"unknown base {self.base!r}; expected one of {_BASES}"
+            )
+        if not 0.1 <= self.width_multiplier <= 2.0:
+            raise ConfigurationError("width_multiplier out of range [0.1, 2]")
+        if self.extras_divisor not in (1, 2, 4, 8):
+            raise ConfigurationError("extras_divisor must be one of 1/2/4/8")
+        if self.conv7_channels < 64:
+            raise ConfigurationError("conv7_channels must be >= 64")
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Outcome of an automatic compression search."""
+
+    config: SmallModelConfig
+    spec: DetectorSpec
+    predicted_profile: DetectorProfile
+    size_budget_mib: float | None
+    flops_budget_g: float | None
+
+
+def build_candidate(config: SmallModelConfig, num_classes: int = 20) -> DetectorSpec:
+    """Materialise one configuration as an analytic detector spec.
+
+    All candidates follow the small-model recipe: no 38x38 feature map,
+    SSD-style extra layers, heads on the remaining five maps.
+    """
+    if config.base == "vgg-lite":
+        backbone = vgg_lite_trunk(
+            width_multiplier=config.width_multiplier,
+            conv7_channels=config.conv7_channels,
+        )
+    elif config.base == "mobilenet-v1":
+        backbone = mobilenet_v1_trunk(
+            width_multiplier=config.width_multiplier, truncate_at_stride=16
+        )
+        tape = backbone.tape
+        tape.goto(backbone.taps["final"])
+        tape.conv("conv7", config.conv7_channels, kernel=1)
+        backbone.taps["conv7"] = tape.shape
+    else:  # mobilenet-v2
+        backbone = mobilenet_v2_trunk(
+            width_multiplier=config.width_multiplier, truncate_at_stride=16
+        )
+        tape = backbone.tape
+        tape.goto(backbone.taps["final"])
+        tape.conv("conv7", config.conv7_channels, kernel=1)
+        backbone.taps["conv7"] = tape.shape
+    name = (
+        f"auto-{config.base}-w{config.width_multiplier:g}"
+        f"-e{config.extras_divisor}-c{config.conv7_channels}"
+    )
+    return _assemble(
+        name,
+        backbone,
+        base_tap="conv7",
+        maps=ssd300_small_feature_maps(),
+        num_classes=num_classes,
+        extra_width_divisor=config.extras_divisor,
+    )
+
+
+def predict_profile(
+    spec: DetectorSpec,
+    reference_profile: DetectorProfile,
+    *,
+    reference_spec: DetectorSpec | None = None,
+) -> DetectorProfile:
+    """Predict a capability profile for an unseen small model.
+
+    Heuristic, anchored at a calibrated reference (small model 1 by
+    default):
+
+    * ``area_half`` shrinks with compute — more FLOPs buys small-object
+      recall — with elasticity 0.35;
+    * ``crowd_half`` grows with parameter count (capacity to keep crowded
+      scenes apart), elasticity 0.5;
+    * ``base_recall`` scales with compute, elasticity 0.2 (diminishing
+      returns), and is recalibrated downstream anyway.
+    """
+    reference = reference_spec if reference_spec is not None else build_small_model_1()
+    flops_ratio = max(spec.flops / reference.flops, 1e-3)
+    params_ratio = max(spec.params / reference.params, 1e-3)
+    return replace(
+        reference_profile,
+        name=f"{spec.name}@predicted",
+        area_half=float(reference_profile.area_half * flops_ratio**-0.35),
+        crowd_half=float(reference_profile.crowd_half * params_ratio**0.5),
+        base_recall=float(reference_profile.base_recall * flops_ratio**0.2),
+    )
+
+
+def search_configuration(
+    *,
+    size_budget_mib: float | None = None,
+    flops_budget_g: float | None = None,
+    base: str | None = None,
+    num_classes: int = 20,
+    reference_profile: DetectorProfile | None = None,
+) -> CompressionResult:
+    """Find the most capable small model within the given budgets.
+
+    At least one budget must be supplied.  Candidates are ranked by FLOPs
+    (compute buys recall within a family), with parameter count as the
+    tie-break; the heuristic profile of the winner is attached so the
+    caller can calibrate and deploy it directly.
+    """
+    if size_budget_mib is None and flops_budget_g is None:
+        raise ConfigurationError("supply a size and/or FLOPs budget")
+    if size_budget_mib is not None and size_budget_mib <= 0:
+        raise ConfigurationError("size budget must be positive")
+    if flops_budget_g is not None and flops_budget_g <= 0:
+        raise ConfigurationError("FLOPs budget must be positive")
+    bases = (base,) if base is not None else _BASES
+
+    best: tuple[float, float, SmallModelConfig, DetectorSpec] | None = None
+    for candidate_base, width, divisor, conv7 in product(
+        bases, _WIDTHS, _EXTRA_DIVISORS, _CONV7_WIDTHS
+    ):
+        try:
+            config = SmallModelConfig(
+                base=candidate_base,
+                width_multiplier=width,
+                extras_divisor=divisor,
+                conv7_channels=conv7,
+            )
+            spec = build_candidate(config, num_classes)
+        except ConfigurationError:
+            continue
+        if size_budget_mib is not None and spec.size_mib > size_budget_mib:
+            continue
+        if flops_budget_g is not None and spec.gflops > flops_budget_g:
+            continue
+        key = (spec.gflops, spec.params)
+        if best is None or key > (best[0], best[1]):
+            best = (spec.gflops, float(spec.params), config, spec)
+    if best is None:
+        raise ConfigurationError(
+            f"no configuration fits within size<={size_budget_mib} MiB, "
+            f"flops<={flops_budget_g} GFLOPs"
+        )
+    _, _, config, spec = best
+    if reference_profile is None:
+        from repro.simulate.presets import SHAPE_PRESETS
+
+        reference_profile = SHAPE_PRESETS["small1"]
+    return CompressionResult(
+        config=config,
+        spec=spec,
+        predicted_profile=predict_profile(spec, reference_profile),
+        size_budget_mib=size_budget_mib,
+        flops_budget_g=flops_budget_g,
+    )

@@ -1,0 +1,104 @@
+"""Faster R-CNN architecture spec — two-stage big-model support.
+
+The paper's footnote 1 states "Our framework can also be applied for
+Two-Stage algorithms"; this module makes that concrete by providing the
+canonical two-stage detector (Ren et al., 2017: VGG16 + RPN + Fast R-CNN
+head) as an analytic spec, plus a capability preset, so the small-big
+system can pair any small model with a two-stage cloud model.
+
+Cost accounting
+---------------
+Two-stage cost is input-dependent (per-RoI head work); following common
+practice we account for a fixed RoI budget (300 proposals after NMS, the
+test-time default) so the spec remains a single number the runtime model
+can consume.
+"""
+
+from __future__ import annotations
+
+from repro.detection.anchors import FeatureMapSpec, num_anchors
+from repro.zoo.backbones import vgg16_ssd_trunk
+from repro.zoo.layers import Tape, TensorShape
+from repro.zoo.ssd import DetectorSpec
+
+__all__ = ["build_faster_rcnn_vgg16", "faster_rcnn_feature_maps"]
+
+#: Test-time RoI budget (proposals entering the second stage).
+_ROI_BUDGET = 300
+
+#: RoI pooling output resolution.
+_ROI_POOL = 7
+
+
+def faster_rcnn_feature_maps(input_size: int = 600) -> tuple[FeatureMapSpec, ...]:
+    """The RPN anchor grid: one stride-16 map, 3 scales x 3 ratios.
+
+    At the canonical 600-pixel input this is a 37x37 map with 9 anchors per
+    location (12 321 anchors).
+    """
+    size = input_size // 16
+    return (
+        FeatureMapSpec(
+            size=size,
+            scale=0.25,
+            next_scale=0.5,
+            aspect_ratios=(2.0, 3.0, 1.5),
+        ),
+    )
+
+
+def build_faster_rcnn_vgg16(num_classes: int = 20, input_size: int = 600) -> DetectorSpec:
+    """Faster R-CNN with a VGG16 backbone at a 600-pixel input.
+
+    Stage 1 (RPN): 3x3x512 conv + 1x1 objectness/box heads over the
+    stride-16 map.  Stage 2: fc6/fc7 (4096-d) over each pooled 7x7x512 RoI
+    plus per-class classification/regression heads, charged for the fixed
+    RoI budget.  Evaluates to ~137 M parameters — the published VGG16
+    Faster R-CNN weight count.
+    """
+    backbone = vgg16_ssd_trunk(input_size)
+    tape = backbone.tape
+    # Faster R-CNN taps conv5_3 (stride 16) rather than SSD's conv7; the
+    # SSD-specific conv6/conv7 stats are removed from the tape.
+    tape.stats = [
+        stat for stat in tape.stats if stat.name not in ("conv6", "conv7", "pool5")
+    ]
+    stride16 = TensorShape(512, input_size // 16, input_size // 16)
+
+    # --- stage 1: region proposal network -------------------------------- #
+    tape.goto(stride16)
+    tape.conv("rpn/conv", 512, kernel=3)
+    anchors_per_loc = faster_rcnn_feature_maps(input_size)[0].boxes_per_location
+    tape.goto(stride16)
+    tape.conv("rpn/objectness", anchors_per_loc * 2, kernel=1)
+    tape.goto(stride16)
+    tape.conv("rpn/boxes", anchors_per_loc * 4, kernel=1)
+
+    # --- stage 2: per-RoI head, charged for the RoI budget ---------------- #
+    roi_tape = Tape(TensorShape(512, _ROI_POOL, _ROI_POOL))
+    roi_features = 512 * _ROI_POOL * _ROI_POOL
+    # fc6: (512*7*7) -> 4096, fc7: 4096 -> 4096, modelled as 1x1 convs over
+    # a 1x1 spatial map so Tape accounting applies.
+    roi_tape.goto(TensorShape(roi_features, 1, 1))
+    roi_tape.conv("head/fc6", 4096, kernel=1)
+    roi_tape.conv("head/fc7", 4096, kernel=1)
+    roi_tape.goto(TensorShape(4096, 1, 1))
+    roi_tape.conv("head/cls", num_classes + 1, kernel=1)
+    roi_tape.goto(TensorShape(4096, 1, 1))
+    roi_tape.conv("head/reg", 4 * num_classes, kernel=1)
+
+    head_params = roi_tape.total_params
+    head_macs_per_roi = roi_tape.total_macs
+    total_params = tape.total_params + head_params
+    total_macs = tape.total_macs + head_macs_per_roi * _ROI_BUDGET
+
+    maps = faster_rcnn_feature_maps(input_size)
+    return DetectorSpec(
+        name="faster-rcnn-vgg16",
+        algorithm="faster-rcnn",
+        params=total_params,
+        macs=total_macs,
+        num_anchors=num_anchors(maps),
+        feature_maps=maps,
+        num_classes=num_classes,
+    )

@@ -1,0 +1,92 @@
+"""Model registry and Table II generation.
+
+Every architecture used in the paper's evaluation is registered here by the
+name the tables use, so experiments and examples can look models up without
+importing builder functions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import RegistryError
+from repro.zoo.faster_rcnn import build_faster_rcnn_vgg16
+from repro.zoo.ssd import (
+    DetectorSpec,
+    build_small_model_1,
+    build_small_model_2,
+    build_small_model_3,
+    build_ssd300_vgg16,
+)
+from repro.zoo.yolo import build_small_yolo_mobilenet_v1, build_yolov4
+
+__all__ = ["list_models", "build_model", "model_zoo_table", "MODEL_BUILDERS"]
+
+#: name -> builder(num_classes) for every architecture in the paper.
+MODEL_BUILDERS: dict[str, Callable[[int], DetectorSpec]] = {
+    "ssd": build_ssd300_vgg16,
+    "small1": build_small_model_1,
+    "small2": build_small_model_2,
+    "small3": build_small_model_3,
+    "yolov4": build_yolov4,
+    "small-yolo": build_small_yolo_mobilenet_v1,
+    "faster-rcnn": build_faster_rcnn_vgg16,
+}
+
+#: Paper aliases (Table II row names) -> registry names.
+_ALIASES: dict[str, str] = {
+    "ssd300": "ssd",
+    "big": "ssd",
+    "small model 1": "small1",
+    "small model 2": "small2",
+    "small model 3": "small3",
+    "mobilenet-v1-ssd": "small2",
+    "mobilenet-v2-ssd": "small3",
+    "vgg-lite-ssd": "small1",
+}
+
+
+def list_models() -> list[str]:
+    """Registered model names (canonical, sorted)."""
+    return sorted(MODEL_BUILDERS)
+
+
+def build_model(name: str, num_classes: int = 20) -> DetectorSpec:
+    """Build a registered architecture by (possibly aliased) name."""
+    key = _ALIASES.get(name.lower(), name.lower())
+    try:
+        builder = MODEL_BUILDERS[key]
+    except KeyError:
+        raise RegistryError(
+            f"unknown model {name!r}; available: {', '.join(list_models())}"
+        ) from None
+    return builder(num_classes)
+
+
+def model_zoo_table(num_classes: int = 20) -> list[dict[str, float | str]]:
+    """Reproduce Table II: size, pruned ratio and GFLOPs per model.
+
+    Rows appear in the paper's order (three small models then SSD); the
+    pruned column is measured against the SSD big model.
+    """
+    big = build_model("ssd", num_classes)
+    rows: list[dict[str, float | str]] = []
+    for name in ("small1", "small2", "small3"):
+        spec = build_model(name, num_classes)
+        rows.append(
+            {
+                "model": name,
+                "size_mib": round(spec.size_mib, 2),
+                "pruned_percent": round(spec.pruned_ratio_vs(big), 2),
+                "gflops": round(spec.gflops, 2),
+            }
+        )
+    rows.append(
+        {
+            "model": "ssd",
+            "size_mib": round(big.size_mib, 2),
+            "pruned_percent": 0.0,
+            "gflops": round(big.gflops, 2),
+        }
+    )
+    return rows

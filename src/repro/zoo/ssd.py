@@ -1,0 +1,217 @@
+"""SSD detector assemblies: the big model and the three small models.
+
+An SSD detector is backbone + extra feature layers (the "Neck") + per-map
+detection heads.  The big model is the canonical SSD300-VGG16; the small
+models follow Sec. IV.B's recipe: lightweight base network, *no 38x38
+feature map*, SSD-style extra layers, heads on the remaining five maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detection.anchors import (
+    FeatureMapSpec,
+    num_anchors,
+    ssd300_feature_maps,
+    ssd300_small_feature_maps,
+)
+from repro.errors import ConfigurationError
+from repro.zoo.backbones import (
+    BackboneResult,
+    mobilenet_v1_trunk,
+    mobilenet_v2_trunk,
+    vgg16_ssd_trunk,
+    vgg_lite_trunk,
+)
+from repro.zoo.layers import Tape, TensorShape
+
+__all__ = [
+    "DetectorSpec",
+    "build_ssd300_vgg16",
+    "build_small_model_1",
+    "build_small_model_2",
+    "build_small_model_3",
+]
+
+
+@dataclass(frozen=True)
+class DetectorSpec:
+    """A fully assembled detector architecture with its cost figures."""
+
+    name: str
+    algorithm: str
+    params: int
+    macs: int
+    num_anchors: int
+    feature_maps: tuple[FeatureMapSpec, ...]
+    num_classes: int
+
+    @property
+    def size_mib(self) -> float:
+        """fp32 checkpoint size in MiB (the paper's "model size (MB)")."""
+        return self.params * 4 / 2**20
+
+    @property
+    def flops(self) -> int:
+        """Total FLOPs for one forward pass (2 x MACs)."""
+        return 2 * self.macs
+
+    @property
+    def gflops(self) -> float:
+        """FLOPs in units of 1e9, as Table II reports."""
+        return self.flops / 1e9
+
+    def pruned_ratio_vs(self, big: "DetectorSpec") -> float:
+        """Size reduction relative to ``big`` in percent (Table II "Pruned")."""
+        if big.params <= 0:
+            raise ConfigurationError("reference model has no parameters")
+        return 100.0 * (1.0 - self.params / big.params)
+
+
+def _extra_feature_layers(
+    tape: Tape, *, width_divisor: int = 1, prefix: str = "extra"
+) -> list[TensorShape]:
+    """SSD's eight extra feature layers producing the 10/5/3/1 maps.
+
+    ``width_divisor`` thins the standard 256/512 widths for the small
+    models (the paper leaves these widths unstated; divisor 2 reproduces the
+    Table II budgets).  Returns the shapes of the four tapped maps.
+    """
+    c_mid, c_out = 256 // width_divisor, 512 // width_divisor
+    taps: list[TensorShape] = []
+    tape.conv(f"{prefix}8_1", c_mid, kernel=1)
+    tape.conv(f"{prefix}8_2", c_out, kernel=3, stride=2, padding=1)
+    taps.append(tape.shape)  # 10x10
+    tape.conv(f"{prefix}9_1", c_mid // 2, kernel=1)
+    tape.conv(f"{prefix}9_2", c_out // 2, kernel=3, stride=2, padding=1)
+    taps.append(tape.shape)  # 5x5
+    tape.conv(f"{prefix}10_1", c_mid // 2, kernel=1)
+    tape.conv(f"{prefix}10_2", c_out // 2, kernel=3, stride=1, padding=0)
+    taps.append(tape.shape)  # 3x3
+    tape.conv(f"{prefix}11_1", c_mid // 2, kernel=1)
+    tape.conv(f"{prefix}11_2", c_out // 2, kernel=3, stride=1, padding=0)
+    taps.append(tape.shape)  # 1x1
+    return taps
+
+
+def _attach_heads(
+    tape: Tape,
+    map_shapes: list[TensorShape],
+    maps: tuple[FeatureMapSpec, ...],
+    num_classes: int,
+) -> None:
+    """Per-map localisation (4k) and classification ((C+1)k) 3x3 heads."""
+    if len(map_shapes) != len(maps):
+        raise ConfigurationError(
+            f"{len(map_shapes)} tapped maps for {len(maps)} anchor specs"
+        )
+    for index, (shape, spec) in enumerate(zip(map_shapes, maps)):
+        if shape.height != spec.size:
+            raise ConfigurationError(
+                f"head {index}: tapped map is {shape.height}, anchors expect "
+                f"{spec.size}"
+            )
+        k = spec.boxes_per_location
+        tape.goto(shape)
+        tape.conv(f"head{index}/loc", 4 * k, kernel=3)
+        tape.goto(shape)
+        tape.conv(f"head{index}/cls", (num_classes + 1) * k, kernel=3)
+
+
+def _assemble(
+    name: str,
+    backbone: BackboneResult,
+    base_tap: str,
+    maps: tuple[FeatureMapSpec, ...],
+    num_classes: int,
+    *,
+    extra_width_divisor: int = 1,
+    extra_taps_first: list[TensorShape] | None = None,
+) -> DetectorSpec:
+    """Common SSD assembly: extras after the base tap, heads on every map."""
+    tape = backbone.tape
+    head_maps: list[TensorShape] = list(extra_taps_first or [])
+    head_maps.append(backbone.taps[base_tap])
+    tape.goto(backbone.taps[base_tap])
+    head_maps.extend(_extra_feature_layers(tape, width_divisor=extra_width_divisor))
+    _attach_heads(tape, head_maps, maps, num_classes)
+    return DetectorSpec(
+        name=name,
+        algorithm="ssd",
+        params=tape.total_params,
+        macs=tape.total_macs,
+        num_anchors=num_anchors(maps),
+        feature_maps=maps,
+        num_classes=num_classes,
+    )
+
+
+def build_ssd300_vgg16(num_classes: int = 20) -> DetectorSpec:
+    """The big model: canonical SSD300 with a VGG16 base network.
+
+    Six feature maps (38/19/10/5/3/1), 8 732 default boxes.  With 20 VOC
+    classes this evaluates to ~26.3 M parameters = ~100.3 MiB and ~61
+    GFLOPs — Table II's SSD row.
+    """
+    backbone = vgg16_ssd_trunk()
+    maps = ssd300_feature_maps()
+    return _assemble(
+        "ssd300-vgg16",
+        backbone,
+        base_tap="conv7",
+        maps=maps,
+        num_classes=num_classes,
+        extra_taps_first=[backbone.taps["conv4_3"]],
+    )
+
+
+def build_small_model_1(num_classes: int = 20) -> DetectorSpec:
+    """Small model 1: the paper's hand-designed VGG-Lite SSD (Sec. IV.B).
+
+    VGG-Lite + Conv6&7, no 38x38 map (five maps, 2 956 default boxes — the
+    small model keeps only 34 % of SSD's box budget), thinned extra layers.
+    """
+    backbone = vgg_lite_trunk()
+    return _assemble(
+        "small1-vgg-lite-ssd",
+        backbone,
+        base_tap="conv7",
+        maps=ssd300_small_feature_maps(),
+        num_classes=num_classes,
+        extra_width_divisor=2,
+    )
+
+
+def build_small_model_2(num_classes: int = 20) -> DetectorSpec:
+    """Small model 2: MobileNetV1 base network, same SSD small recipe."""
+    backbone = mobilenet_v1_trunk(width_multiplier=0.75, truncate_at_stride=16)
+    tape = backbone.tape
+    tape.goto(backbone.taps["final"])
+    tape.conv("conv7", 512, kernel=1)
+    backbone.taps["conv7"] = tape.shape
+    return _assemble(
+        "small2-mobilenet-v1-ssd",
+        backbone,
+        base_tap="conv7",
+        maps=ssd300_small_feature_maps(),
+        num_classes=num_classes,
+        extra_width_divisor=2,
+    )
+
+
+def build_small_model_3(num_classes: int = 20) -> DetectorSpec:
+    """Small model 3: MobileNetV2 base network, the lightest configuration."""
+    backbone = mobilenet_v2_trunk(width_multiplier=0.75, truncate_at_stride=16)
+    tape = backbone.tape
+    tape.goto(backbone.taps["final"])
+    tape.conv("conv7", 384, kernel=1)
+    backbone.taps["conv7"] = tape.shape
+    return _assemble(
+        "small3-mobilenet-v2-ssd",
+        backbone,
+        base_tap="conv7",
+        maps=ssd300_small_feature_maps(),
+        num_classes=num_classes,
+        extra_width_divisor=4,
+    )

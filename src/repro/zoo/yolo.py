@@ -1,0 +1,160 @@
+"""YOLOv4 detector assemblies: the second big model and its small companion.
+
+YOLOv4 (Bochkovskiy et al., 2020) is CSPDarknet53 + SPP + PANet neck + three
+anchor-based heads at strides 8/16/32.  The paper's Sec. VI.C small model
+keeps the recipe of Sec. IV.B: MobileNetV1 base network with the large-scale
+(stride-8, 76x76) feature map removed, so it predicts only at strides 16/32.
+"""
+
+from __future__ import annotations
+
+from repro.detection.anchors import FeatureMapSpec, num_anchors, yolo_feature_maps
+from repro.zoo.backbones import cspdarknet53_trunk, mobilenet_v1_trunk
+from repro.zoo.layers import Tape, TensorShape
+from repro.zoo.ssd import DetectorSpec
+
+__all__ = [
+    "yolo_small_feature_maps",
+    "build_yolov4",
+    "build_small_yolo_mobilenet_v1",
+]
+
+#: Anchors per spatial location in every YOLO head.
+_ANCHORS_PER_LOCATION = 3
+
+
+def yolo_small_feature_maps(input_size: int = 608) -> tuple[FeatureMapSpec, ...]:
+    """The small YOLO model's anchor grids: YOLOv4 without the stride-8 map.
+
+    Dropping the 76x76 map removes 17 328 of YOLOv4's 22 743 anchors (76 %),
+    the YOLO analogue of the SSD small model losing its 38x38 default boxes.
+    """
+    return yolo_feature_maps(input_size)[1:]
+
+
+def _conv_block(tape: Tape, name: str, channels: int, *, kernel: int = 1) -> TensorShape:
+    """Conv + BN + activation — YOLOv4's basic unit."""
+    return tape.conv(name, channels, kernel=kernel, bias=False, batch_norm=True)
+
+
+def _five_convs(tape: Tape, prefix: str, narrow: int, wide: int) -> TensorShape:
+    """The neck's standard 1x1/3x3 alternating five-convolution block."""
+    _conv_block(tape, f"{prefix}/c1", narrow)
+    _conv_block(tape, f"{prefix}/c2", wide, kernel=3)
+    _conv_block(tape, f"{prefix}/c3", narrow)
+    _conv_block(tape, f"{prefix}/c4", wide, kernel=3)
+    return _conv_block(tape, f"{prefix}/c5", narrow)
+
+
+def _yolo_head(tape: Tape, name: str, shape: TensorShape, wide: int, num_classes: int) -> None:
+    """Detection head: 3x3 expansion then 1x1 to ``3 * (5 + C)`` channels."""
+    tape.goto(shape)
+    _conv_block(tape, f"{name}/expand", wide, kernel=3)
+    tape.conv(f"{name}/pred", _ANCHORS_PER_LOCATION * (5 + num_classes), kernel=1)
+
+
+def build_yolov4(num_classes: int = 20, input_size: int = 608) -> DetectorSpec:
+    """The second big model: full YOLOv4 at a 608x608 input.
+
+    CSPDarknet53 backbone, SPP on the stride-32 map, PAN top-down then
+    bottom-up fusion, heads at 76/38/19.  Evaluates to ~64 M parameters —
+    the published YOLOv4 weight count.
+    """
+    backbone = cspdarknet53_trunk(input_size)
+    tape = backbone.tape
+    p3_in, p4_in, p5_in = (backbone.taps[f"stage{i}"] for i in (3, 4, 5))
+
+    # SPP block on stage5.
+    tape.goto(p5_in)
+    _conv_block(tape, "spp/pre1", 512)
+    _conv_block(tape, "spp/pre2", 1024, kernel=3)
+    _conv_block(tape, "spp/pre3", 512)
+    spp_shape = tape.shape
+    # Three parallel max-pools (5/9/13) concatenated with the identity.
+    for pool_kernel in (5, 9, 13):
+        tape.goto(spp_shape)
+        tape.max_pool(f"spp/pool{pool_kernel}", kernel=pool_kernel, stride=1,
+                      padding=pool_kernel // 2)
+    tape.goto(TensorShape(512 * 4, spp_shape.height, spp_shape.width))
+    _conv_block(tape, "spp/post1", 512)
+    _conv_block(tape, "spp/post2", 1024, kernel=3)
+    p5 = _conv_block(tape, "spp/post3", 512)
+
+    # Top-down path: P5 -> P4.
+    _conv_block(tape, "pan/p5_to_p4", 256)  # then upsampled (free) to 38x38
+    tape.goto(p4_in)
+    _conv_block(tape, "pan/p4_proj", 256)
+    tape.goto(TensorShape(512, p4_in.height, p4_in.width))
+    p4 = _five_convs(tape, "pan/p4_fuse", 256, 512)
+
+    # Top-down path: P4 -> P3.
+    _conv_block(tape, "pan/p4_to_p3", 128)
+    tape.goto(p3_in)
+    _conv_block(tape, "pan/p3_proj", 128)
+    tape.goto(TensorShape(256, p3_in.height, p3_in.width))
+    p3 = _five_convs(tape, "pan/p3_fuse", 128, 256)
+
+    # Bottom-up path: P3 -> N4 -> N5.
+    _conv_block(tape, "pan/p3_down", 256, kernel=3)
+    tape.goto(TensorShape(512, p4.height, p4.width))
+    n4 = _five_convs(tape, "pan/n4_fuse", 256, 512)
+    tape.goto(n4)
+    _conv_block(tape, "pan/n4_down", 512, kernel=3)
+    tape.goto(TensorShape(1024, p5.height, p5.width))
+    n5 = _five_convs(tape, "pan/n5_fuse", 512, 1024)
+
+    _yolo_head(tape, "head_p3", p3, 256, num_classes)
+    _yolo_head(tape, "head_n4", n4, 512, num_classes)
+    _yolo_head(tape, "head_n5", n5, 1024, num_classes)
+
+    maps = yolo_feature_maps(input_size)
+    return DetectorSpec(
+        name="yolov4-cspdarknet53",
+        algorithm="yolov4",
+        params=tape.total_params,
+        macs=tape.total_macs,
+        num_anchors=num_anchors(maps),
+        feature_maps=maps,
+        num_classes=num_classes,
+    )
+
+
+def build_small_yolo_mobilenet_v1(
+    num_classes: int = 20, input_size: int = 608
+) -> DetectorSpec:
+    """The YOLO small model: MobileNetV1 base, stride-8 map removed.
+
+    MobileNetV1 runs to stride 32; a thin two-level FPN fuses the stride-16
+    and stride-32 maps; heads predict at 38x38 and 19x19 only, keeping 24 %
+    of YOLOv4's anchor budget.
+    """
+    backbone = mobilenet_v1_trunk(
+        input_size, width_multiplier=1.0, truncate_at_stride=None
+    )
+    tape = backbone.tape
+    p5_in = backbone.taps["final"]  # stride 32: 19x19x1024
+
+    # Stride-16 tap: MobileNetV1's block 11 output (512 channels, 38x38).
+    p4_in = TensorShape(512, p5_in.height * 2, p5_in.width * 2)
+
+    tape.goto(p5_in)
+    p5 = _conv_block(tape, "fpn/p5_proj", 256)
+    _conv_block(tape, "fpn/p5_to_p4", 128)
+    tape.goto(p4_in)
+    _conv_block(tape, "fpn/p4_proj", 128)
+    tape.goto(TensorShape(256, p4_in.height, p4_in.width))
+    p4 = _five_convs(tape, "fpn/p4_fuse", 128, 256)
+
+    _yolo_head(tape, "head_p4", p4, 256, num_classes)
+    _yolo_head(tape, "head_p5", p5, 512, num_classes)
+
+    maps = yolo_small_feature_maps(input_size)
+    return DetectorSpec(
+        name="small-yolo-mobilenet-v1",
+        algorithm="yolov4",
+        params=tape.total_params,
+        macs=tape.total_macs,
+        num_anchors=num_anchors(maps),
+        feature_maps=maps,
+        num_classes=num_classes,
+    )

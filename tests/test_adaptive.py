@@ -1,0 +1,107 @@
+"""Tests for budget-constrained fitting and the online budget controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import BudgetController, fit_for_budget
+from repro.core.discriminator import DifficultCaseDiscriminator
+from repro.errors import CalibrationError, ConfigurationError
+
+
+def _synthetic_features(n: int = 2000, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    true_counts = rng.integers(1, 8, size=n)
+    min_areas = rng.uniform(0.0, 0.6, size=n)
+    labels = (true_counts > 3) | (min_areas < 0.2)
+    uncertain = labels | (rng.uniform(size=n) < 0.3)
+    n_predict = np.where(uncertain, np.maximum(true_counts - 1, 0), true_counts)
+    return n_predict, true_counts, min_areas, labels
+
+
+class TestFitForBudget:
+    def test_respects_budget(self):
+        n_predict, counts, areas, labels = _synthetic_features()
+        for budget in (0.2, 0.4, 0.6):
+            fit = fit_for_budget(n_predict, counts, areas, labels, budget)
+            assert fit.expected_upload_ratio <= budget + 1e-9
+
+    def test_recall_monotone_in_budget(self):
+        n_predict, counts, areas, labels = _synthetic_features()
+        recalls = [
+            fit_for_budget(n_predict, counts, areas, labels, budget).recall
+            for budget in (0.15, 0.3, 0.5, 0.7)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(recalls, recalls[1:]))
+
+    def test_generous_budget_reaches_high_recall(self):
+        n_predict, counts, areas, labels = _synthetic_features()
+        fit = fit_for_budget(n_predict, counts, areas, labels, 0.9)
+        assert fit.recall > 0.9
+
+    def test_impossible_budget_raises(self):
+        n_predict, counts, areas, labels = _synthetic_features()
+        # Force the uncertainty gate alone above the budget: every image
+        # uncertain, thresholds cannot go below the most conservative pair.
+        always_uncertain = n_predict * 0
+        with pytest.raises(CalibrationError):
+            fit_for_budget(
+                always_uncertain, counts, areas, labels, 0.001,
+                count_grid=np.array([0]), area_grid=np.array([0.6]),
+            )
+
+    def test_invalid_budget_rejected(self):
+        n_predict, counts, areas, labels = _synthetic_features()
+        with pytest.raises(ConfigurationError):
+            fit_for_budget(n_predict, counts, areas, labels, 0.0)
+
+
+class TestBudgetController:
+    def _controller(self, target=0.3, area=0.3, gain=0.05):
+        discriminator = DifficultCaseDiscriminator(
+            confidence_threshold=0.15, count_threshold=2, area_threshold=area
+        )
+        return BudgetController(discriminator, target, gain=gain)
+
+    def test_tracks_target_on_live_detections(self, small1_voc07, voc_test_small):
+        controller = self._controller(target=0.3)
+        for record in voc_test_small.records:
+            controller.decide(small1_voc07.detect(record))
+        assert controller.realised_ratio == pytest.approx(0.3, abs=0.12)
+
+    def test_threshold_moves_toward_budget(self, small1_voc07, voc_test_small):
+        # Start with an aggressive threshold; a small target must pull the
+        # area threshold down over time.
+        controller = self._controller(target=0.1, area=0.6, gain=0.1)
+        start = controller.discriminator.area_threshold
+        for record in voc_test_small.records:
+            controller.decide(small1_voc07.detect(record))
+        assert controller.discriminator.area_threshold < start
+
+    def test_counts_bookkeeping(self, small1_voc07, voc_test_small):
+        controller = self._controller()
+        for record in voc_test_small.records[:50]:
+            controller.decide(small1_voc07.detect(record))
+        assert controller.decisions == 50
+        assert 0 <= controller.uploads <= 50
+
+    def test_threshold_stays_in_bounds(self, small1_voc07, voc_test_small):
+        controller = BudgetController(
+            DifficultCaseDiscriminator(0.15, 2, 0.5),
+            target_ratio=0.05,
+            gain=0.5,
+            area_bounds=(0.0, 0.6),
+        )
+        for record in voc_test_small.records:
+            controller.decide(small1_voc07.detect(record))
+            assert 0.0 <= controller.discriminator.area_threshold <= 0.6
+
+    def test_invalid_parameters_rejected(self):
+        discriminator = DifficultCaseDiscriminator(0.15, 2, 0.3)
+        with pytest.raises(ConfigurationError):
+            BudgetController(discriminator, target_ratio=0.0)
+        with pytest.raises(ConfigurationError):
+            BudgetController(discriminator, target_ratio=0.5, gain=0.0)
+        with pytest.raises(ConfigurationError):
+            BudgetController(discriminator, 0.5, area_bounds=(0.5, 0.2))

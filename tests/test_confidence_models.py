@@ -1,0 +1,79 @@
+"""Tests for the three confidence-score populations (Fig. 6 structure)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulate.confidence import miss_scores, noise_scores, served_scores
+from repro.simulate.profile import DetectorProfile
+
+
+@pytest.fixture
+def profile():
+    return DetectorProfile(name="conf-test")
+
+
+class TestServedScores:
+    def test_always_in_serving_band(self, profile, rng):
+        scores = served_scores(profile, rng.uniform(0.05, 0.99, 500), rng)
+        assert scores.min() >= 0.5
+        assert scores.max() < 1.0
+
+    def test_easier_objects_score_higher_on_average(self, profile):
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        easy = served_scores(profile, np.full(2000, 0.95), rng_a)
+        hard = served_scores(profile, np.full(2000, 0.2), rng_b)
+        assert easy.mean() > hard.mean() + 0.1
+
+    def test_sharper_profile_concentrates_scores(self):
+        blunt = DetectorProfile(name="blunt", score_sharpness=1.0)
+        sharp = DetectorProfile(name="sharp", score_sharpness=12.0)
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        blunt_scores = served_scores(blunt, np.full(2000, 0.9), rng_a)
+        sharp_scores = served_scores(sharp, np.full(2000, 0.9), rng_b)
+        assert sharp_scores.std() < blunt_scores.std()
+
+    def test_difficulty_clipped_not_crashing(self, profile, rng):
+        scores = served_scores(profile, np.array([0.0, 1.0]), rng)
+        assert scores.shape == (2,)
+
+
+class TestMissScores:
+    def test_within_configured_band(self, profile, rng):
+        scores = miss_scores(profile, 500, rng)
+        assert scores.min() >= profile.miss_score_lo
+        assert scores.max() <= profile.miss_score_hi
+
+    def test_always_below_serving_threshold(self, profile, rng):
+        scores = miss_scores(profile, 500, rng)
+        assert scores.max() < 0.5
+
+    def test_count_zero(self, profile, rng):
+        assert miss_scores(profile, 0, rng).shape == (0,)
+
+
+class TestNoiseScores:
+    def test_bounded(self, profile, rng):
+        scores = noise_scores(profile, 1000, rng)
+        assert scores.min() >= 0.01
+        assert scores.max() <= 0.98
+
+    def test_mostly_near_zero(self, profile, rng):
+        scores = noise_scores(profile, 2000, rng)
+        # With the default exponential scale (0.02 + exp(0.055)) the vast
+        # majority of noise boxes sit far below the serving threshold.
+        assert np.mean(scores < 0.25) > 0.9
+
+    def test_rarely_crosses_serving_threshold(self, profile, rng):
+        scores = noise_scores(profile, 5000, rng)
+        assert np.mean(scores >= 0.5) < 0.01
+
+    def test_band_ordering_matches_fig6(self, profile, rng):
+        """The Fig. 6 structure: noise << miss band << served band."""
+        noise = noise_scores(profile, 2000, rng)
+        miss = miss_scores(profile, 2000, rng)
+        served = served_scores(profile, np.full(2000, 0.8), rng)
+        assert np.median(noise) < np.median(miss) < np.median(served)

@@ -1,0 +1,161 @@
+"""Tests for the three-threshold calibration machinery (Sec. V.D)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import (
+    area_threshold_sweep,
+    count_loss_curve,
+    decide_rule,
+    fit_confidence_threshold,
+    fit_decision_thresholds,
+)
+from repro.detection.types import Detections, GroundTruth
+from repro.errors import CalibrationError
+
+
+def _dets(scores, image_id="img"):
+    scores = np.asarray(scores, dtype=float)
+    n = scores.shape[0]
+    boxes = np.tile([0.1, 0.1, 0.3, 0.3], (n, 1))
+    return Detections(image_id, boxes, scores, np.zeros(n, dtype=np.int64), "t")
+
+
+def _gt(count, image_id="img"):
+    boxes = np.tile([0.1, 0.1, 0.3, 0.3], (count, 1))
+    return GroundTruth(image_id, boxes, np.zeros(count, dtype=np.int64))
+
+
+class TestCountLoss:
+    def test_loss_zero_when_threshold_separates(self):
+        # 2 true objects: scores 0.9, 0.6 plus noise at 0.05.
+        dets = [_dets([0.9, 0.6, 0.05])]
+        gts = [_gt(2)]
+        thresholds, losses = count_loss_curve(dets, gts, grid=np.array([0.1, 0.3]))
+        assert losses.tolist() == [0.0, 0.0]
+        assert thresholds.shape == (2,)
+
+    def test_loss_counts_missing_and_extra(self):
+        dets = [_dets([0.9])]
+        gts = [_gt(3)]
+        _, losses = count_loss_curve(dets, gts, grid=np.array([0.2]))
+        assert losses[0] == 2.0
+
+    def test_fit_picks_minimiser(self):
+        # noise at 0.08, real sub-threshold boxes at 0.3: a threshold between
+        # 0.08 and 0.3 recovers the true count of 3.
+        dets = [_dets([0.9, 0.3, 0.3, 0.08, 0.08])]
+        gts = [_gt(3)]
+        fitted = fit_confidence_threshold(dets, gts)
+        assert 0.08 < fitted <= 0.3
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(CalibrationError):
+            count_loss_curve([_dets([0.9])], [_gt(1)], grid=np.array([]))
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(CalibrationError):
+            count_loss_curve([_dets([0.9])], [])
+
+
+class TestDecideRule:
+    def test_step1_equal_counts_easy(self):
+        verdict = decide_rule(
+            np.array([2]), np.array([2]), np.array([0.01]), 2, 0.31
+        )
+        assert verdict.tolist() == [False]
+
+    def test_step2_too_many_objects_difficult(self):
+        verdict = decide_rule(
+            np.array([1]), np.array([5]), np.array([0.9]), 2, 0.31
+        )
+        assert verdict.tolist() == [True]
+
+    def test_step3_too_small_area_difficult(self):
+        verdict = decide_rule(
+            np.array([1]), np.array([2]), np.array([0.05]), 2, 0.31
+        )
+        assert verdict.tolist() == [True]
+
+    def test_fallthrough_easy(self):
+        verdict = decide_rule(
+            np.array([1]), np.array([2]), np.array([0.6]), 2, 0.31
+        )
+        assert verdict.tolist() == [False]
+
+    def test_vectorised(self):
+        verdicts = decide_rule(
+            np.array([2, 1, 1, 1]),
+            np.array([2, 5, 2, 2]),
+            np.array([0.01, 0.9, 0.05, 0.6]),
+            2,
+            0.31,
+        )
+        assert verdicts.tolist() == [False, True, True, False]
+
+
+class TestFitDecisionThresholds:
+    def test_recovers_planted_thresholds(self):
+        rng = np.random.default_rng(0)
+        n = 2000
+        true_counts = rng.integers(1, 8, size=n)
+        min_areas = rng.uniform(0.0, 0.6, size=n)
+        # Plant: difficult iff count > 3 or area < 0.2.  The small model is
+        # uncertain (serves one fewer box) on every difficult image but also
+        # on 40 % of easy ones, so the count/area thresholds — not the
+        # uncertainty gate alone — must carry the separation.
+        labels = (true_counts > 3) | (min_areas < 0.2)
+        noisy_easy = (~labels) & (rng.uniform(size=n) < 0.4)
+        uncertain = labels | noisy_easy
+        n_predict = np.where(uncertain, np.maximum(true_counts - 1, 0), true_counts)
+        count_thr, area_thr, metrics = fit_decision_thresholds(
+            n_predict, true_counts, min_areas, labels
+        )
+        assert count_thr == 3
+        assert area_thr == pytest.approx(0.2, abs=0.03)
+        assert metrics.accuracy > 0.99
+
+    def test_ties_break_toward_recall(self):
+        # With all images difficult, any thresholds give the same accuracy as
+        # long as they predict difficult; the fit must reach recall 1.
+        n_predict = np.array([0, 0, 0, 0])
+        true_counts = np.array([2, 3, 2, 3])
+        min_areas = np.array([0.05, 0.04, 0.06, 0.03])
+        labels = np.array([True, True, True, True])
+        _, _, metrics = fit_decision_thresholds(
+            n_predict, true_counts, min_areas, labels
+        )
+        assert metrics.recall == 1.0
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_decision_thresholds(
+                np.array([1]), np.array([1]), np.array([0.1]),
+                np.array([True]), count_grid=np.array([]),
+            )
+
+
+class TestAreaSweep:
+    def test_sweep_is_monotone_in_recall(self):
+        rng = np.random.default_rng(1)
+        n = 400
+        true_counts = rng.integers(1, 6, size=n)
+        min_areas = rng.uniform(0.0, 0.6, size=n)
+        labels = (true_counts > 2) | (min_areas < 0.25)
+        n_predict = np.where(labels, np.maximum(true_counts - 1, 0), true_counts)
+        rows = area_threshold_sweep(
+            n_predict, true_counts, min_areas, labels, count_threshold=2
+        )
+        recalls = [row["recall"] for row in rows]
+        # Raising the area threshold can only add positive predictions.
+        assert all(b >= a - 1e-12 for a, b in zip(recalls, recalls[1:]))
+
+    def test_sweep_columns(self):
+        rows = area_threshold_sweep(
+            np.array([1]), np.array([2]), np.array([0.1]), np.array([True]),
+        )
+        assert {"area_threshold", "accuracy", "precision", "recall", "f1"} <= set(
+            rows[0]
+        )

@@ -1,0 +1,147 @@
+"""Failure-injection tests: corrupted caches, adversarial inputs, edge cases.
+
+A production library must degrade gracefully when its environment
+misbehaves; these tests corrupt the detection cache, feed degenerate scenes
+through the pipeline and push the simulator to its parameter extremes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.discriminator import DifficultCaseDiscriminator
+from repro.core.features import extract_features
+from repro.data.datasets import load_dataset
+from repro.detection.types import Detections, GroundTruth
+from repro.experiments import Harness, HarnessConfig
+from repro.metrics.voc_ap import mean_average_precision
+from repro.simulate.detector import SimulatedDetector
+from repro.simulate.profile import DetectorProfile
+
+
+class TestCacheCorruption:
+    def _harness(self, tmp_path):
+        base = HarnessConfig.quick()
+        return Harness(
+            HarnessConfig(
+                seed=base.seed,
+                train_images=base.train_images,
+                test_fraction=0.02,
+                cache_dir=str(tmp_path),
+            )
+        )
+
+    def test_garbage_cache_file_is_recomputed(self, tmp_path):
+        harness = self._harness(tmp_path)
+        original = harness.detections("small1", "voc07", "test")
+        cache_files = list(tmp_path.glob("det-*.npz"))
+        assert cache_files
+        for path in cache_files:
+            path.write_bytes(b"this is not a numpy archive")
+        fresh = Harness(
+            HarnessConfig(
+                seed=harness.config.seed,
+                train_images=harness.config.train_images,
+                test_fraction=0.02,
+                cache_dir=str(tmp_path),
+            )
+        )
+        recomputed = fresh.detections("small1", "voc07", "test")
+        assert len(recomputed) == len(original)
+        for a, b in zip(original, recomputed):
+            np.testing.assert_allclose(a.boxes, b.boxes)
+
+    def test_truncated_cache_file_is_recomputed(self, tmp_path):
+        harness = self._harness(tmp_path)
+        harness.detections("small1", "voc07", "test")
+        for path in tmp_path.glob("det-*.npz"):
+            payload = path.read_bytes()
+            path.write_bytes(payload[: len(payload) // 3])
+        fresh = Harness(
+            HarnessConfig(
+                seed=harness.config.seed,
+                train_images=harness.config.train_images,
+                test_fraction=0.02,
+                cache_dir=str(tmp_path),
+            )
+        )
+        assert fresh.detections("small1", "voc07", "test")
+
+    def test_wrong_size_cache_rejected(self, tmp_path):
+        harness = self._harness(tmp_path)
+        harness.detections("small1", "voc07", "test")
+        # A different test fraction must not reuse the old cache entries.
+        other = Harness(
+            HarnessConfig(
+                seed=harness.config.seed,
+                train_images=harness.config.train_images,
+                test_fraction=0.04,
+                cache_dir=str(tmp_path),
+            )
+        )
+        detections = other.detections("small1", "voc07", "test")
+        assert len(detections) == len(other.dataset("voc07", "test"))
+
+
+class TestDegenerateInputs:
+    def test_map_of_empty_detection_lists(self):
+        truths = [
+            GroundTruth("a", np.array([[0.1, 0.1, 0.4, 0.4]]), np.array([0]))
+        ]
+        value = mean_average_precision([Detections.empty("a")], truths, 1)
+        assert value == 0.0
+
+    def test_discriminator_on_empty_detections(self):
+        discriminator = DifficultCaseDiscriminator(0.15, 2, 0.31)
+        verdict = discriminator.decide(Detections.empty("x"))
+        # No boxes at either threshold: counts agree -> easy.
+        assert verdict is False
+
+    def test_features_with_all_boxes_below_noise_threshold(self):
+        boxes = np.array([[0.1, 0.1, 0.3, 0.3]])
+        dets = Detections("x", boxes, np.array([0.05]), np.array([0]), "t")
+        features = extract_features(dets, noise_threshold=0.2)
+        assert features.n_estimated == 0 and features.min_area_estimated == 1.0
+
+    def test_detector_on_maximally_crowded_scene(self):
+        rng = np.random.default_rng(3)
+        count = 40
+        mins = rng.uniform(0, 0.9, size=(count, 2))
+        boxes = np.concatenate([mins, np.minimum(mins + 0.08, 1.0)], axis=1)
+        truth = GroundTruth("crowded", boxes, np.zeros(count, dtype=np.int64))
+        from repro.data.datasets import ImageRecord
+        from repro.data.degrade import PRISTINE
+
+        record = ImageRecord(truth=truth, degradation=PRISTINE, render_seed=1)
+        detector = SimulatedDetector(
+            DetectorProfile(name="t"), num_classes=20, seed=0
+        )
+        detections = detector.detect(record)
+        assert len(detections) <= count * 2 + 20  # bounded output
+
+    def test_profile_extremes_still_valid_detections(self):
+        dataset = load_dataset("voc07", "test", fraction=0.004)
+        for base_recall in (1e-3, 24.0):
+            detector = SimulatedDetector(
+                DetectorProfile(name=f"x{base_recall}", base_recall=base_recall),
+                num_classes=20,
+                seed=0,
+            )
+            for record in dataset.records:
+                dets = detector.detect(record)
+                if len(dets):
+                    assert dets.scores.min() >= 0.0
+                    assert dets.scores.max() <= 1.0
+                    assert (dets.boxes >= 0.0).all() and (dets.boxes <= 1.0).all()
+
+    def test_discriminator_fit_on_single_image_split(self):
+        dataset = load_dataset("voc07", "train", fraction=1 / 5011)
+        detector = SimulatedDetector(DetectorProfile(name="t"), 20, seed=0)
+        dets = detector.detect_split(dataset)
+        discriminator, report = DifficultCaseDiscriminator.fit(
+            dets, dets, dataset.truths
+        )
+        # Identical small/big output: nothing is difficult.
+        assert report.difficult_fraction == 0.0
+        assert discriminator.count_threshold >= 1

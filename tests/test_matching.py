@@ -1,0 +1,99 @@
+"""Tests for detection-to-ground-truth matching (the VOC protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.matching import match_detections, true_positive_count
+from repro.detection.types import Detections, GroundTruth
+from repro.errors import ConfigurationError
+
+
+def _gt(boxes, labels):
+    return GroundTruth("img", np.asarray(boxes, float), np.asarray(labels))
+
+
+def _dets(boxes, scores, labels):
+    return Detections("img", np.asarray(boxes, float), np.asarray(scores, float),
+                      np.asarray(labels), detector="t")
+
+
+class TestMatchDetections:
+    def test_perfect_match(self):
+        gt = _gt([[0.1, 0.1, 0.4, 0.4]], [3])
+        dets = _dets([[0.1, 0.1, 0.4, 0.4]], [0.9], [3])
+        result = match_detections(dets, gt)
+        assert result.num_tp == 1 and result.num_fp == 0 and result.num_missed == 0
+        assert result.matched_gt.tolist() == [0]
+
+    def test_wrong_class_not_matched(self):
+        gt = _gt([[0.1, 0.1, 0.4, 0.4]], [3])
+        dets = _dets([[0.1, 0.1, 0.4, 0.4]], [0.9], [4])
+        result = match_detections(dets, gt)
+        assert result.num_tp == 0 and result.num_missed == 1
+
+    def test_class_agnostic_mode(self):
+        gt = _gt([[0.1, 0.1, 0.4, 0.4]], [3])
+        dets = _dets([[0.1, 0.1, 0.4, 0.4]], [0.9], [4])
+        result = match_detections(dets, gt, class_aware=False)
+        assert result.num_tp == 1
+
+    def test_each_gt_claimed_once(self):
+        gt = _gt([[0.1, 0.1, 0.4, 0.4]], [0])
+        dets = _dets(
+            [[0.1, 0.1, 0.4, 0.4], [0.12, 0.1, 0.42, 0.4]], [0.9, 0.8], [0, 0]
+        )
+        result = match_detections(dets, gt)
+        assert result.num_tp == 1 and result.num_fp == 1
+
+    def test_higher_score_claims_first(self):
+        gt = _gt([[0.1, 0.1, 0.4, 0.4]], [0])
+        dets = _dets(
+            [[0.1, 0.1, 0.4, 0.4], [0.1, 0.1, 0.4, 0.4]], [0.7, 0.95], [0, 0]
+        )
+        result = match_detections(dets, gt)
+        # Detections sorted by score: the 0.95 one is rank 0 and claims the GT.
+        assert result.is_tp.tolist() == [True, False]
+
+    def test_iou_below_threshold_not_matched(self):
+        gt = _gt([[0.0, 0.0, 0.2, 0.2]], [0])
+        dets = _dets([[0.15, 0.15, 0.35, 0.35]], [0.9], [0])
+        result = match_detections(dets, gt, iou_threshold=0.5)
+        assert result.num_tp == 0
+
+    def test_empty_detections(self):
+        gt = _gt([[0.1, 0.1, 0.4, 0.4]], [0])
+        result = match_detections(Detections.empty("img"), gt)
+        assert result.num_tp == 0 and result.num_missed == 1
+
+    def test_empty_ground_truth(self):
+        dets = _dets([[0.1, 0.1, 0.4, 0.4]], [0.9], [0])
+        gt = _gt(np.zeros((0, 4)), np.zeros(0, dtype=int))
+        result = match_detections(dets, gt)
+        assert result.num_fp == 1 and result.gt_detected.shape == (0,)
+
+    def test_invalid_threshold_rejected(self):
+        gt = _gt([[0.1, 0.1, 0.4, 0.4]], [0])
+        with pytest.raises(ConfigurationError):
+            match_detections(Detections.empty("img"), gt, iou_threshold=0.0)
+
+
+class TestTruePositiveCount:
+    def test_score_threshold_applied(self):
+        gt = _gt([[0.1, 0.1, 0.4, 0.4], [0.6, 0.6, 0.9, 0.9]], [0, 1])
+        dets = _dets(
+            [[0.1, 0.1, 0.4, 0.4], [0.6, 0.6, 0.9, 0.9]], [0.9, 0.4], [0, 1]
+        )
+        # Only the 0.9 box passes the 0.5 serving threshold.
+        assert true_positive_count(dets, gt) == 1
+        assert true_positive_count(dets, gt, score_threshold=0.3) == 2
+
+    def test_counts_bounded_by_gt(self):
+        gt = _gt([[0.1, 0.1, 0.4, 0.4]], [0])
+        dets = _dets(
+            [[0.1, 0.1, 0.4, 0.4], [0.1, 0.1, 0.4, 0.4], [0.1, 0.1, 0.4, 0.4]],
+            [0.9, 0.8, 0.7],
+            [0, 0, 0],
+        )
+        assert true_positive_count(dets, gt) == 1

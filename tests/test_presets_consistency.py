@@ -1,0 +1,105 @@
+"""Consistency tests over the published-operating-point tables in presets.
+
+These guard the reproduction's bookkeeping: every calibration target must
+trace back to a published count, reference tables must cover the same
+(model, setting) pairs, and the derived recall targets must be physically
+meaningful.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import DATASET_SETTINGS
+from repro.simulate.presets import (
+    MAP_REFERENCES,
+    PAPER_COUNTS,
+    PAPER_GT_TOTALS,
+    RECALL_TARGETS,
+    SETTING_OVERRIDES,
+    SHAPE_PRESETS,
+    available_pairs,
+)
+
+
+class TestBookkeeping:
+    def test_every_target_has_a_published_count(self):
+        assert set(RECALL_TARGETS) == set(PAPER_COUNTS)
+
+    def test_every_pair_references_known_setting(self):
+        for _, setting in available_pairs():
+            assert setting in DATASET_SETTINGS
+            assert setting in PAPER_GT_TOTALS
+
+    def test_every_pair_references_known_model(self):
+        for model, _ in available_pairs():
+            assert model in SHAPE_PRESETS
+
+    def test_recall_targets_physical(self):
+        for pair, target in RECALL_TARGETS.items():
+            assert 0.0 < target < 1.0, pair
+
+    def test_map_references_cover_all_pairs(self):
+        assert set(MAP_REFERENCES) == set(RECALL_TARGETS)
+
+    def test_overrides_reference_known_pairs(self):
+        for model, setting in SETTING_OVERRIDES:
+            assert model in SHAPE_PRESETS
+            assert setting in DATASET_SETTINGS
+
+    def test_override_keys_are_profile_fields(self):
+        from dataclasses import fields
+
+        from repro.simulate.profile import DetectorProfile
+
+        valid = {f.name for f in fields(DetectorProfile)}
+        for overrides in SETTING_OVERRIDES.values():
+            assert set(overrides) <= valid
+
+
+class TestOperatingPointSanity:
+    def test_big_models_out_recall_their_small_models(self):
+        pairs = {
+            ("small1", "ssd"), ("small2", "ssd"), ("small3", "ssd"),
+            ("small-yolo", "yolov4"),
+        }
+        for small, big in pairs:
+            for setting in DATASET_SETTINGS:
+                small_key = (small, setting)
+                big_key = (big, setting)
+                if small_key in RECALL_TARGETS and big_key in RECALL_TARGETS:
+                    assert RECALL_TARGETS[big_key] > RECALL_TARGETS[small_key], (
+                        small, big, setting,
+                    )
+
+    def test_big_models_out_map_their_small_models(self):
+        for setting in DATASET_SETTINGS:
+            ssd = MAP_REFERENCES.get(("ssd", setting))
+            for small in ("small1", "small2", "small3"):
+                value = MAP_REFERENCES.get((small, setting))
+                if ssd is not None and value is not None:
+                    assert ssd > value, (small, setting)
+
+    def test_paper_counts_below_gt_totals(self):
+        for (model, setting), count in PAPER_COUNTS.items():
+            assert count < PAPER_GT_TOTALS[setting], (model, setting)
+
+    def test_voc07_test_total_is_devkit_number(self):
+        # 12 032 annotated objects in VOC2007 test — the devkit's number.
+        assert PAPER_GT_TOTALS["voc07"] == 12032
+        assert PAPER_GT_TOTALS["voc07+12"] == 12032
+
+    def test_mobilenet_ordering_encoded(self):
+        # The reconciled assignment: small2 (V1) stronger than small3 (V2)
+        # on every shared setting.
+        for setting in ("voc07", "voc07+12", "voc07++12", "coco18"):
+            assert (
+                MAP_REFERENCES[("small2", setting)]
+                > MAP_REFERENCES[("small3", setting)]
+            )
+
+    @pytest.mark.parametrize("model", sorted(SHAPE_PRESETS))
+    def test_shape_presets_valid(self, model):
+        profile = SHAPE_PRESETS[model]
+        assert profile.name == model
+        assert profile.miss_score_hi < 0.5

@@ -1,0 +1,52 @@
+"""Tests of the package-level public API (what the README shows)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_system(self):
+        system, report = repro.quickstart_system(
+            "voc07", train_images=300
+        )
+        record = repro.load_dataset("voc07", "test", fraction=0.002).records[0]
+        detections, uploaded = system.process_image(record)
+        assert isinstance(uploaded, bool)
+        assert detections.image_id == record.image_id
+        assert 0.0 <= report.difficult_fraction <= 1.0
+
+    def test_quickstart_deterministic(self):
+        system_a, _ = repro.quickstart_system("voc07", train_images=300)
+        system_b, _ = repro.quickstart_system("voc07", train_images=300)
+        assert (
+            system_a.discriminator.confidence_threshold
+            == system_b.discriminator.confidence_threshold
+        )
+        assert system_a.discriminator.area_threshold == pytest.approx(
+            system_b.discriminator.area_threshold
+        )
+
+    def test_subpackages_importable(self):
+        import repro.baselines
+        import repro.core
+        import repro.data
+        import repro.detection
+        import repro.experiments
+        import repro.metrics
+        import repro.runtime
+        import repro.simulate
+        import repro.zoo
+
+        assert repro.core and repro.zoo and repro.data
+        assert repro.detection and repro.metrics and repro.simulate
+        assert repro.runtime and repro.baselines and repro.experiments

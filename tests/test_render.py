@@ -1,0 +1,85 @@
+"""Tests for the image renderer and the Brenner gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import ImageRecord, load_dataset
+from repro.data.degrade import Degradation
+from repro.data.render import brenner_gradient, render_image
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def records():
+    return load_dataset("voc07", "test", fraction=0.004).records
+
+
+class TestRender:
+    def test_shape_and_range(self, records):
+        image = render_image(records[0], size=64)
+        assert image.shape == (64, 64)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_deterministic(self, records):
+        a = render_image(records[0])
+        b = render_image(records[0])
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_images_differ(self, records):
+        a = render_image(records[0], size=64)
+        b = render_image(records[1], size=64)
+        assert not np.allclose(a, b)
+
+    def test_too_small_size_rejected(self, records):
+        with pytest.raises(ConfigurationError):
+            render_image(records[0], size=8)
+
+    def test_blur_darkens_high_frequency(self, records):
+        record = records[0]
+        blurred = ImageRecord(
+            truth=record.truth,
+            degradation=Degradation(quality=0.5, blur_sigma=2.5),
+            render_seed=record.render_seed,
+        )
+        assert brenner_gradient(render_image(blurred)) < brenner_gradient(
+            render_image(record)
+        )
+
+    def test_low_light_reduces_brenner(self, records):
+        record = records[0]
+        dark = ImageRecord(
+            truth=record.truth,
+            degradation=Degradation(quality=0.6, brightness=0.4),
+            render_seed=record.render_seed,
+        )
+        assert brenner_gradient(render_image(dark)) < brenner_gradient(
+            render_image(record)
+        )
+
+
+class TestBrenner:
+    def test_flat_image_scores_zero(self):
+        assert brenner_gradient(np.full((32, 32), 0.5)) == 0.0
+
+    def test_vertical_edges_detected(self):
+        image = np.zeros((32, 32))
+        image[16:, :] = 1.0  # horizontal edge -> gradient along x... rows
+        assert brenner_gradient(image) > 0.0
+
+    def test_known_value(self):
+        # Single step of height 1 at row 10: rows 8 and 9 see |f(x+2)-f(x)|=1.
+        image = np.zeros((16, 4))
+        image[10:, :] = 1.0
+        # scaled to 255: contributions = 2 rows * 4 cols * 255^2
+        assert brenner_gradient(image) == pytest.approx(2 * 4 * 255.0**2)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            brenner_gradient(np.zeros((4, 4, 3)))
+
+    def test_sharper_texture_scores_higher(self, rng):
+        smooth = np.tile(np.linspace(0, 1, 64), (64, 1))
+        noisy = rng.uniform(size=(64, 64))
+        assert brenner_gradient(noisy) > brenner_gradient(smooth)

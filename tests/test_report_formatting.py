@@ -1,0 +1,117 @@
+"""Tests for table/figure formatting and report rendering helpers."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.formatting import (
+    format_figure,
+    format_table,
+    format_table_markdown,
+    sparkline,
+)
+from repro.experiments.report import _figure_markdown
+from repro.experiments.results import FigureResult, TableResult
+
+
+def _table(paper: bool = True) -> TableResult:
+    return TableResult(
+        table_id="XX",
+        title="demo table",
+        columns=("setting", "value"),
+        rows=[
+            {"setting": "a", "value": 1.234},
+            {"setting": "b", "value": float("nan")},
+        ],
+        paper_rows=[{"setting": "a", "value": 1.5}] if paper else None,
+        notes="a note",
+    )
+
+
+def _figure() -> FigureResult:
+    return FigureResult(
+        figure_id="9",
+        title="demo figure",
+        x_label="x",
+        x_values=[0.0, 0.5, 1.0],
+        series={"y": [1.0, 2.0, 3.0]},
+        notes="figure note",
+    )
+
+
+class TestFormatTable:
+    def test_contains_title_and_rows(self):
+        text = format_table(_table())
+        assert "Table XX" in text and "demo table" in text
+        assert "1.23" in text
+
+    def test_nan_rendered_as_dash(self):
+        text = format_table(_table())
+        assert "-" in text.splitlines()[-2]
+
+    def test_note_rendered(self):
+        assert "a note" in format_table(_table())
+
+
+class TestFormatMarkdown:
+    def test_paper_columns_paired(self):
+        markdown = format_table_markdown(_table())
+        assert "value (measured)" in markdown and "value (paper)" in markdown
+        assert "| a | 1.23 | 1.50 |" in markdown
+
+    def test_without_paper_rows(self):
+        markdown = format_table_markdown(_table(paper=False))
+        assert "(paper)" not in markdown
+
+    def test_missing_paper_row_dashes(self):
+        markdown = format_table_markdown(_table())
+        # Row "b" has no paper counterpart.
+        assert any("| b |" in line and "| - |" in line for line in markdown.splitlines())
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line[0] < line[-1]
+
+    def test_flat_series(self):
+        line = sparkline([2.0, 2.0, 2.0])
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestFigureRendering:
+    def test_text_rendering(self):
+        text = format_figure(_figure())
+        assert "Figure 9" in text and "y:" in text
+
+    def test_markdown_rendering(self):
+        markdown = _figure_markdown(_figure())
+        assert "### Figure 9" in markdown
+        assert "| y |" in markdown
+        assert "figure note" in markdown
+
+    def test_fig4_markdown_branch(self):
+        figure = FigureResult(
+            figure_id="4",
+            title="scatter",
+            x_label="area",
+            x_values=[],
+            series={
+                "easy_count": [1.0, 2.0],
+                "easy_min_area": [0.3, 0.4],
+                "difficult_count": [4.0],
+                "difficult_min_area": [0.01],
+            },
+        )
+        markdown = _figure_markdown(figure)
+        assert "difficult" in markdown and "easy" in markdown
+
+    def test_table_result_helpers(self):
+        table = _table()
+        assert table.column("setting") == ["a", "b"]
+        assert table.row_for("setting", "a")["value"] == 1.234
+        assert math.isnan(table.row_for("setting", "b")["value"])

@@ -1,0 +1,178 @@
+"""Tests for the discrete-event loop and the streaming simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.errors import RuntimeModelError
+from repro.runtime import (
+    JETSON_NANO,
+    RTX3060_SERVER,
+    WLAN,
+    Deployment,
+    EventLoop,
+    FifoResource,
+    StreamConfig,
+    StreamSimulator,
+)
+
+
+@pytest.fixture(scope="module")
+def helmet_mini():
+    return load_dataset("helmet", "test", fraction=0.1)
+
+
+@pytest.fixture(scope="module")
+def simulator(helmet_mini):
+    deployment = Deployment(
+        edge=JETSON_NANO, cloud=RTX3060_SERVER, link=WLAN,
+        small_model_flops=5.5e9, big_model_flops=60e9,
+    )
+    return StreamSimulator(deployment, helmet_mini, seed=42)
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired: list[str] = []
+        loop.schedule(2.0, lambda: fired.append("late"))
+        loop.schedule(1.0, lambda: fired.append("early"))
+        loop.run()
+        assert fired == ["early", "late"]
+
+    def test_same_time_fires_in_schedule_order(self):
+        loop = EventLoop()
+        fired: list[int] = []
+        for i in range(5):
+            loop.schedule(1.0, lambda i=i: fired.append(i))
+        loop.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_nested_scheduling(self):
+        loop = EventLoop()
+        fired: list[float] = []
+        loop.schedule(1.0, lambda: loop.schedule(0.5, lambda: fired.append(loop.now)))
+        final = loop.run()
+        assert fired == [1.5] and final == 1.5
+
+    def test_run_until(self):
+        loop = EventLoop()
+        fired: list[int] = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(5.0, lambda: fired.append(5))
+        loop.run(until=2.0)
+        assert fired == [1]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(RuntimeModelError):
+            loop.schedule(-1.0, lambda: None)
+
+
+class TestFifoResource:
+    def test_serialises_jobs(self):
+        loop = EventLoop()
+        resource = FifoResource(loop, "dev")
+        completions: list[float] = []
+        for _ in range(3):
+            resource.acquire(1.0, completions.append)
+        loop.run()
+        assert completions == [1.0, 2.0, 3.0]
+
+    def test_utilization(self):
+        loop = EventLoop()
+        resource = FifoResource(loop, "dev")
+        resource.acquire(2.0, lambda _t: None)
+        elapsed = loop.run()
+        assert resource.utilization(elapsed) == pytest.approx(1.0)
+        assert resource.jobs_served == 1
+
+    def test_queue_depth_tracking(self):
+        loop = EventLoop()
+        resource = FifoResource(loop, "dev")
+        for _ in range(4):
+            resource.acquire(1.0, lambda _t: None)
+        assert resource.max_queue_depth >= 3
+
+    def test_negative_service_rejected(self):
+        loop = EventLoop()
+        resource = FifoResource(loop, "dev")
+        with pytest.raises(RuntimeModelError):
+            resource.acquire(-0.1, lambda _t: None)
+
+
+class TestStreamSimulator:
+    def test_light_load_all_served(self, simulator, helmet_mini):
+        config = StreamConfig(fps=2.0, duration_s=20.0, poisson=False)
+        mask = np.zeros(len(helmet_mini), dtype=bool)
+        report = simulator.run("collaborative", config, mask)
+        assert report.frames_dropped == 0
+        assert report.frames_served == report.frames_offered
+
+    def test_cloud_saturates_before_collaborative(self, simulator, helmet_mini):
+        config = StreamConfig(fps=12.0, duration_s=30.0)
+        mask = np.zeros(len(helmet_mini), dtype=bool)
+        mask[::5] = True
+        cloud = simulator.run("cloud", config)
+        ours = simulator.run("collaborative", config, mask)
+        assert cloud.latency.p50 > ours.latency.p50
+        assert cloud.drop_rate >= ours.drop_rate
+
+    def test_edge_scheme_never_uploads(self, simulator):
+        config = StreamConfig(fps=5.0, duration_s=10.0)
+        report = simulator.run("edge", config)
+        assert report.frames_uploaded == 0 and report.upload_ratio == 0.0
+
+    def test_cloud_scheme_uploads_everything_served(self, simulator):
+        config = StreamConfig(fps=2.0, duration_s=10.0, poisson=False)
+        report = simulator.run("cloud", config)
+        assert report.frames_uploaded == report.frames_offered
+
+    def test_upload_ratio_matches_mask(self, simulator, helmet_mini):
+        config = StreamConfig(fps=2.0, duration_s=30.0, poisson=False)
+        mask = np.zeros(len(helmet_mini), dtype=bool)
+        mask[::4] = True
+        report = simulator.run("collaborative", config, mask)
+        assert report.upload_ratio == pytest.approx(0.25, abs=0.05)
+
+    def test_deterministic(self, simulator, helmet_mini):
+        config = StreamConfig(fps=6.0, duration_s=15.0)
+        mask = np.zeros(len(helmet_mini), dtype=bool)
+        a = simulator.run("cloud", config)
+        b = simulator.run("cloud", config)
+        assert a.latency.total == pytest.approx(b.latency.total)
+
+    def test_unknown_scheme_rejected(self, simulator):
+        with pytest.raises(RuntimeModelError):
+            simulator.run("hybrid", StreamConfig())
+
+    def test_collaborative_without_mask_rejected(self, simulator):
+        with pytest.raises(RuntimeModelError):
+            simulator.run("collaborative", StreamConfig())
+
+    def test_misaligned_mask_rejected(self, simulator):
+        with pytest.raises(RuntimeModelError):
+            simulator.run("collaborative", StreamConfig(), np.zeros(3, dtype=bool))
+
+    def test_compare_runs_all_schemes(self, simulator, helmet_mini):
+        config = StreamConfig(fps=2.0, duration_s=10.0, poisson=False)
+        mask = np.zeros(len(helmet_mini), dtype=bool)
+        reports = simulator.compare(config, mask)
+        assert set(reports) == {"edge", "cloud", "collaborative"}
+
+    def test_empty_dataset_rejected(self, helmet_mini):
+        deployment = Deployment(
+            edge=JETSON_NANO, cloud=RTX3060_SERVER, link=WLAN,
+            small_model_flops=1e9, big_model_flops=1e9,
+        )
+        empty = helmet_mini.subset(0)
+        with pytest.raises(RuntimeModelError):
+            StreamSimulator(deployment, empty)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(RuntimeModelError):
+            StreamConfig(fps=0.0)
+        with pytest.raises(RuntimeModelError):
+            StreamConfig(max_edge_queue=0)

@@ -1,0 +1,78 @@
+"""Tests for the Tape's composite blocks and bookkeeping helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.zoo.layers import Tape, TensorShape
+
+
+class TestComposites:
+    def test_depthwise_separable_structure(self):
+        tape = Tape(TensorShape(32, 16, 16))
+        tape.depthwise_separable("b", 64)
+        names = [stat.name for stat in tape.stats]
+        assert names == ["b/dw", "b/pw"]
+        assert tape.shape.channels == 64
+
+    def test_depthwise_separable_cost(self):
+        tape = Tape(TensorShape(32, 16, 16))
+        tape.depthwise_separable("b", 64)
+        # dw: 9*32 weights + 2*32 BN; pw: 32*64 + 2*64 BN.
+        assert tape.total_params == (9 * 32 + 64) + (32 * 64 + 128)
+
+    def test_inverted_residual_expansion(self):
+        tape = Tape(TensorShape(16, 8, 8))
+        tape.inverted_residual("ir", 24, expansion=6)
+        names = [stat.name for stat in tape.stats]
+        assert names == ["ir/expand", "ir/dw", "ir/project"]
+        # Hidden width is 96.
+        assert tape.stats[0].out_shape.channels == 96
+        assert tape.shape.channels == 24
+
+    def test_inverted_residual_expansion_one_skips_expand(self):
+        tape = Tape(TensorShape(16, 8, 8))
+        tape.inverted_residual("ir", 16, expansion=1)
+        names = [stat.name for stat in tape.stats]
+        assert names == ["ir/dw", "ir/project"]
+
+    def test_inverted_residual_stride(self):
+        tape = Tape(TensorShape(16, 8, 8))
+        tape.inverted_residual("ir", 24, stride=2)
+        assert tape.shape.height == 4
+
+    def test_l2_norm_params(self):
+        tape = Tape(TensorShape(512, 38, 38))
+        tape.l2_norm("norm")
+        assert tape.total_params == 512
+
+
+class TestBookkeeping:
+    def test_goto_branches(self):
+        tape = Tape(TensorShape(8, 16, 16))
+        trunk = tape.conv("trunk", 16)
+        tape.conv("branch_a", 4)
+        tape.goto(trunk)
+        tape.conv("branch_b", 4)
+        # Both branches consumed the trunk's 16 channels.
+        assert tape.stats[1].params == tape.stats[2].params
+
+    def test_merge_combines_tapes(self):
+        a = Tape(TensorShape(3, 8, 8))
+        a.conv("a", 4)
+        b = Tape(TensorShape(3, 8, 8))
+        b.conv("b", 4)
+        total = a.total_params + b.total_params
+        a.merge(b)
+        assert a.total_params == total
+        assert [s.name for s in a.stats] == ["a", "b"]
+
+    def test_degenerate_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TensorShape(0, 8, 8)
+
+    def test_flops_property_on_stats(self):
+        tape = Tape(TensorShape(3, 8, 8))
+        tape.conv("c", 4)
+        assert tape.stats[0].flops == 2 * tape.stats[0].macs
