@@ -2,8 +2,9 @@
 
 Unlike the table/figure benches (one-shot, full-scale), these measure
 steady-state throughput of the kernels every experiment leans on: IoU, NMS,
-per-image detection simulation, per-image discrimination and split-level
-mAP evaluation.
+per-image detection simulation, per-image discrimination, split-level mAP
+evaluation, and the structure-of-arrays batch operations (construction,
+feature extraction, split verdicts) that back them.
 """
 
 from __future__ import annotations
@@ -11,6 +12,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.features import extract_feature_arrays
+from repro.detection.batch import DetectionBatch
 from repro.detection.boxes import iou_matrix
 from repro.detection.nms import nms_indices
 from repro.metrics.voc_ap import mean_average_precision
@@ -54,9 +57,7 @@ def test_micro_discriminator_decide(benchmark, harness):
 
 def test_micro_map_500_images(benchmark, harness):
     dataset = harness.dataset("voc07", "test").subset(500)
-    served = [
-        d.above(0.5) for d in harness.detections("ssd", "voc07", "test")[:500]
-    ]
+    served = harness.detections("ssd", "voc07", "test")[:500].above(0.5)
     value = benchmark.pedantic(
         mean_average_precision,
         args=(served, dataset.truths, dataset.num_classes),
@@ -64,3 +65,24 @@ def test_micro_map_500_images(benchmark, harness):
         iterations=1,
     )
     assert 0.0 < value < 100.0
+
+
+def test_micro_batch_from_list(benchmark, harness):
+    detections = harness.detections("ssd", "voc07", "test")[:500].to_list()
+    batch = benchmark(DetectionBatch.from_list, detections)
+    assert len(batch) == 500
+
+
+def test_micro_features_batched_500_images(benchmark, harness):
+    batch = harness.detections("small1", "voc07", "test")[:500]
+    n_predict, n_estimated, min_area = benchmark(
+        extract_feature_arrays, batch, 0.2
+    )
+    assert n_predict.shape == n_estimated.shape == min_area.shape == (500,)
+
+
+def test_micro_decide_split_batched_500_images(benchmark, harness):
+    discriminator, _ = harness.discriminator("small1", "ssd", "voc07")
+    batch = harness.detections("small1", "voc07", "test")[:500]
+    verdicts = benchmark(discriminator.decide_split, batch)
+    assert verdicts.shape == (500,)

@@ -33,7 +33,7 @@ from repro.core import (
     label_cases,
 )
 from repro.data import Dataset, list_settings, load_dataset
-from repro.detection import Detections, GroundTruth
+from repro.detection import DetectionBatch, Detections, GroundTruth
 from repro.simulate import DetectorProfile, SimulatedDetector, make_detector
 
 __version__ = "1.0.0"
@@ -48,6 +48,7 @@ __all__ = [
     "Dataset",
     "list_settings",
     "load_dataset",
+    "DetectionBatch",
     "Detections",
     "GroundTruth",
     "DetectorProfile",

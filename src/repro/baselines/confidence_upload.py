@@ -13,10 +13,15 @@ import numpy as np
 
 from repro.baselines.policy import UploadPolicy, quota_mask
 from repro.data.datasets import Dataset
+from repro.detection.batch import DetectionBatch
 from repro.detection.types import Detections
 from repro.errors import ConfigurationError
 
-__all__ = ["ConfidenceUploadPolicy", "mean_top1_confidence"]
+__all__ = [
+    "ConfidenceUploadPolicy",
+    "mean_top1_confidence",
+    "mean_top1_confidence_split",
+]
 
 
 def mean_top1_confidence(detections: Detections, num_classes: int) -> float:
@@ -40,6 +45,33 @@ def mean_top1_confidence(detections: Detections, num_classes: int) -> float:
     return sum(tops) / len(tops)
 
 
+def mean_top1_confidence_split(
+    batch: DetectionBatch, num_classes: int
+) -> np.ndarray:
+    """Per-image mean top-1 confidence over a whole split, vectorised.
+
+    Segments are score-descending, so the first occurrence of each
+    ``(image, label)`` pair in the flat arrays carries that class's top-1
+    score; one ``np.unique`` pass finds them all.
+    """
+    if num_classes < 1:
+        raise ConfigurationError("num_classes must be >= 1")
+    num_images = len(batch)
+    # Labels outside the vocabulary contribute nothing, matching the
+    # per-image path's loop over range(num_classes).
+    valid = (batch.labels >= 0) & (batch.labels < num_classes)
+    if batch.num_boxes == 0 or not valid.any():
+        return np.zeros(num_images)
+    images = batch.image_indices()[valid]
+    keys = images * np.int64(num_classes) + batch.labels[valid]
+    unique_keys, first_index = np.unique(keys, return_index=True)
+    tops = batch.scores[valid][first_index]
+    owner = (unique_keys // num_classes).astype(np.int64)
+    sums = np.bincount(owner, weights=tops, minlength=num_images)
+    counts = np.bincount(owner, minlength=num_images)
+    return np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+
+
 @dataclass
 class ConfidenceUploadPolicy(UploadPolicy):
     """Upload the ``ratio`` images with the lowest mean top-1 confidence."""
@@ -51,14 +83,19 @@ class ConfidenceUploadPolicy(UploadPolicy):
             raise ConfigurationError(f"ratio must be in [0, 1], got {self.ratio}")
 
     def select(
-        self, dataset: Dataset, small_detections: list[Detections]
+        self, dataset: Dataset, small_detections: DetectionBatch | list[Detections]
     ) -> np.ndarray:
         self._check_alignment(dataset, small_detections)
-        confidences = np.array(
-            [
-                mean_top1_confidence(dets, dataset.num_classes)
-                for dets in small_detections
-            ]
-        )
+        if isinstance(small_detections, DetectionBatch):
+            confidences = mean_top1_confidence_split(
+                small_detections, dataset.num_classes
+            )
+        else:
+            confidences = np.array(
+                [
+                    mean_top1_confidence(dets, dataset.num_classes)
+                    for dets in small_detections
+                ]
+            )
         # Least confident = highest upload priority.
         return quota_mask(-confidences, self.ratio)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.detection.batch import DetectionBatch
 from repro.detection.types import Detections
 from repro.errors import ConfigurationError
 
@@ -47,26 +48,36 @@ def is_difficult_case(
 
 
 def label_cases(
-    small_detections: list[Detections],
-    big_detections: list[Detections],
+    small_detections: DetectionBatch | list[Detections],
+    big_detections: DetectionBatch | list[Detections],
     *,
     threshold: float = SERVING_THRESHOLD,
     margin: int = 1,
 ) -> np.ndarray:
     """Vectorised difficult-case labels for a whole split.
 
-    Returns a boolean array aligned with the detection lists;
-    ``True`` = difficult.
+    Returns a boolean array aligned with the detection splits;
+    ``True`` = difficult.  Both splits are compared as
+    :class:`DetectionBatch` flat arrays — two threshold-count passes instead
+    of a per-image Python loop.
     """
     if len(small_detections) != len(big_detections):
         raise ConfigurationError(
             f"got {len(small_detections)} small vs {len(big_detections)} big "
             f"detection sets"
         )
-    return np.array(
-        [
-            is_difficult_case(small, big, threshold=threshold, margin=margin)
-            for small, big in zip(small_detections, big_detections)
-        ],
-        dtype=bool,
-    )
+    if margin < 1:
+        raise ConfigurationError("margin must be >= 1")
+    small = DetectionBatch.coerce(small_detections)
+    big = DetectionBatch.coerce(big_detections)
+    if small.image_ids != big.image_ids:
+        mismatch = next(
+            (a, b)
+            for a, b in zip(small.image_ids, big.image_ids)
+            if a != b
+        )
+        raise ConfigurationError(
+            f"detections belong to different images: "
+            f"{mismatch[0]!r} vs {mismatch[1]!r}"
+        )
+    return big.count_above(threshold) - small.count_above(threshold) >= margin

@@ -20,6 +20,7 @@ from repro.core.thresholds import (
     fit_confidence_threshold,
     fit_decision_thresholds,
 )
+from repro.detection.batch import DetectionBatch
 from repro.detection.types import Detections, GroundTruth
 from repro.errors import CalibrationError
 from repro.metrics.classify import BinaryMetrics, binary_metrics
@@ -70,22 +71,26 @@ class DifficultCaseDiscriminator:
         """Classify one image from its small-model detections.
 
         Returns ``True`` when the image is a difficult case (upload it).
+        The three-step rule is applied on scalars directly — single-image
+        serving never allocates per-frame numpy arrays.
         """
         features = extract_features(
             detections,
             self.confidence_threshold,
             serving_threshold=self.serving_threshold,
         )
-        verdict = decide_rule(
-            np.array([features.n_predict]),
-            np.array([features.n_estimated]),
-            np.array([features.min_area_estimated]),
-            self.count_threshold,
-            self.area_threshold,
+        # Scalar transcription of thresholds.decide_rule — keep the two in
+        # lockstep (the equivalence tests assert decide == decide_split).
+        if features.n_predict == features.n_estimated:
+            return False
+        return bool(
+            features.n_estimated > self.count_threshold
+            or features.min_area_estimated < self.area_threshold
         )
-        return bool(verdict[0])
 
-    def decide_split(self, detections: list[Detections]) -> np.ndarray:
+    def decide_split(
+        self, detections: DetectionBatch | list[Detections]
+    ) -> np.ndarray:
         """Vectorised verdicts for a whole split (True = difficult)."""
         n_predict, n_estimated, min_area = extract_feature_arrays(
             detections,
@@ -99,8 +104,8 @@ class DifficultCaseDiscriminator:
 
     def evaluate(
         self,
-        small_detections: list[Detections],
-        big_detections: list[Detections],
+        small_detections: DetectionBatch | list[Detections],
+        big_detections: DetectionBatch | list[Detections],
     ) -> BinaryMetrics:
         """Classification quality against difficult-case labels."""
         labels = label_cases(small_detections, big_detections)
@@ -113,8 +118,8 @@ class DifficultCaseDiscriminator:
     @classmethod
     def fit(
         cls,
-        small_detections: list[Detections],
-        big_detections: list[Detections],
+        small_detections: DetectionBatch | list[Detections],
+        big_detections: DetectionBatch | list[Detections],
         truths: list[GroundTruth],
         *,
         serving_threshold: float = SERVING_THRESHOLD,
@@ -136,15 +141,12 @@ class DifficultCaseDiscriminator:
         if not truths:
             raise CalibrationError("cannot fit a discriminator on an empty split")
 
-        labels = label_cases(
-            small_detections, big_detections, threshold=serving_threshold
-        )
-        confidence_threshold = fit_confidence_threshold(small_detections, truths)
+        small_batch = DetectionBatch.coerce(small_detections)
+        big_batch = DetectionBatch.coerce(big_detections)
+        labels = label_cases(small_batch, big_batch, threshold=serving_threshold)
+        confidence_threshold = fit_confidence_threshold(small_batch, truths)
 
-        n_predict = np.array(
-            [d.count_above(serving_threshold) for d in small_detections],
-            dtype=np.int64,
-        )
+        n_predict = small_batch.count_above(serving_threshold)
         true_counts = np.array([len(t) for t in truths], dtype=np.int64)
         true_min_areas = np.array([t.min_area_ratio for t in truths])
         count_threshold, area_threshold, gt_metrics = fit_decision_thresholds(
@@ -157,7 +159,7 @@ class DifficultCaseDiscriminator:
             area_threshold=area_threshold,
             serving_threshold=serving_threshold,
         )
-        predicted_metrics = discriminator.evaluate(small_detections, big_detections)
+        predicted_metrics = discriminator.evaluate(small_batch, big_batch)
         report = DiscriminatorFitReport(
             fit=ThresholdFit(
                 confidence_threshold=confidence_threshold,

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.cases import SERVING_THRESHOLD
+from repro.detection.batch import DetectionBatch
 from repro.detection.types import Detections
 from repro.errors import ConfigurationError
 
@@ -62,24 +63,26 @@ def extract_features(
 
 
 def extract_feature_arrays(
-    detections: list[Detections],
+    detections: DetectionBatch | list[Detections],
     noise_threshold: float,
     *,
     serving_threshold: float = SERVING_THRESHOLD,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Vectorised features for a split.
 
-    Returns ``(n_predict, n_estimated, min_area_estimated)`` arrays aligned
-    with the input list.
+    Accepts a :class:`DetectionBatch` (the fast path — three array passes
+    over the flat score/box arrays) or a ``list[Detections]``, which is
+    concatenated first.  Returns ``(n_predict, n_estimated,
+    min_area_estimated)`` arrays aligned with the input.
     """
-    features = [
-        extract_features(
-            dets, noise_threshold, serving_threshold=serving_threshold
+    if not 0.0 < noise_threshold <= serving_threshold:
+        raise ConfigurationError(
+            f"noise_threshold must lie in (0, {serving_threshold}], "
+            f"got {noise_threshold}"
         )
-        for dets in detections
-    ]
+    batch = DetectionBatch.coerce(detections)
     return (
-        np.array([f.n_predict for f in features], dtype=np.int64),
-        np.array([f.n_estimated for f in features], dtype=np.int64),
-        np.array([f.min_area_estimated for f in features], dtype=np.float64),
+        batch.count_above(serving_threshold),
+        batch.count_above(noise_threshold),
+        batch.min_area_above(noise_threshold),
     )

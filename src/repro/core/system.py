@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.cases import SERVING_THRESHOLD
 from repro.core.discriminator import DifficultCaseDiscriminator
 from repro.data.datasets import Dataset
+from repro.detection.batch import DetectionBatch
 from repro.detection.types import Detections
 from repro.errors import ConfigurationError
 from repro.metrics.counting import CountSummary, count_summary
@@ -31,12 +32,18 @@ __all__ = ["SystemRun", "SmallBigSystem"]
 
 @dataclass(frozen=True)
 class SystemRun:
-    """Outcome of serving one split through the small-big system."""
+    """Outcome of serving one split through the small-big system.
+
+    ``small_detections``/``big_detections`` may be ``list[Detections]`` or
+    :class:`DetectionBatch`; every metric is computed over batches (coerced
+    once and cached), so the hot serving/evaluation path never loops over
+    per-image containers.
+    """
 
     dataset: Dataset
     uploaded: np.ndarray = field(repr=False)
-    small_detections: list[Detections] = field(repr=False)
-    big_detections: list[Detections] = field(repr=False)
+    small_detections: DetectionBatch | list[Detections] = field(repr=False)
+    big_detections: DetectionBatch | list[Detections] = field(repr=False)
     serving_threshold: float = SERVING_THRESHOLD
 
     def __post_init__(self) -> None:
@@ -48,10 +55,46 @@ class SystemRun:
             == count
         ):
             raise ConfigurationError("system run components are misaligned")
+        object.__setattr__(self, "_batches", {})
+
+    # ------------------------------------------------------------------ #
+    # batch views (coerced lazily, cached per run)
+    # ------------------------------------------------------------------ #
+    def small_batch(self) -> DetectionBatch:
+        """The small model's raw output as a batch."""
+        return self._batch("small", lambda: DetectionBatch.coerce(self.small_detections))
+
+    def big_batch(self) -> DetectionBatch:
+        """The big model's raw output as a batch."""
+        return self._batch("big", lambda: DetectionBatch.coerce(self.big_detections))
+
+    def final_batch(self) -> DetectionBatch:
+        """The served composition: big segments where uploaded, small
+        elsewhere, merged with one vectorised gather."""
+        return self._batch(
+            "final",
+            lambda: DetectionBatch.where(
+                self.uploaded, self.big_batch(), self.small_batch()
+            ),
+        )
+
+    def _batch(self, key: str, build) -> DetectionBatch:
+        cache = self._batches
+        if key not in cache:
+            cache[key] = build()
+        return cache[key]
 
     @property
-    def final_detections(self) -> list[Detections]:
-        """Per-image served output: big where uploaded, small elsewhere."""
+    def final_detections(self) -> DetectionBatch | list[Detections]:
+        """Per-image served output: big where uploaded, small elsewhere.
+
+        Mirrors the input representation: batch inputs yield the merged
+        batch; list inputs yield a list of the *original* per-image objects.
+        """
+        if isinstance(self.small_detections, DetectionBatch) and isinstance(
+            self.big_detections, DetectionBatch
+        ):
+            return self.final_batch()
         return [
             big if sent else small
             for small, big, sent in zip(
@@ -66,40 +109,32 @@ class SystemRun:
             return 0.0
         return float(np.mean(self.uploaded))
 
-    def _served(self, detections: list[Detections]) -> list[Detections]:
-        return [d.above(self.serving_threshold) for d in detections]
+    def _served_map(self, batch: DetectionBatch) -> float:
+        return mean_average_precision(
+            batch.above(self.serving_threshold),
+            self.dataset.truths,
+            self.dataset.num_classes,
+        )
 
     # ------------------------------------------------------------------ #
     # metrics (all measured over served boxes, the paper's protocol)
     # ------------------------------------------------------------------ #
     def end_to_end_map(self) -> float:
         """mAP (percent) of the system's served output."""
-        return mean_average_precision(
-            self._served(self.final_detections),
-            self.dataset.truths,
-            self.dataset.num_classes,
-        )
+        return self._served_map(self.final_batch())
 
     def small_model_map(self) -> float:
         """mAP (percent) of the small model alone on this split."""
-        return mean_average_precision(
-            self._served(self.small_detections),
-            self.dataset.truths,
-            self.dataset.num_classes,
-        )
+        return self._served_map(self.small_batch())
 
     def big_model_map(self) -> float:
         """mAP (percent) of the big model alone on this split."""
-        return mean_average_precision(
-            self._served(self.big_detections),
-            self.dataset.truths,
-            self.dataset.num_classes,
-        )
+        return self._served_map(self.big_batch())
 
     def end_to_end_counts(self) -> CountSummary:
         """Detected-object count of the system's served output."""
         return count_summary(
-            self.final_detections,
+            self.final_batch(),
             self.dataset.truths,
             score_threshold=self.serving_threshold,
         )
@@ -107,7 +142,7 @@ class SystemRun:
     def small_model_counts(self) -> CountSummary:
         """Detected-object count of the small model alone."""
         return count_summary(
-            self.small_detections,
+            self.small_batch(),
             self.dataset.truths,
             score_threshold=self.serving_threshold,
         )
@@ -115,7 +150,7 @@ class SystemRun:
     def big_model_counts(self) -> CountSummary:
         """Detected-object count of the big model alone."""
         return count_summary(
-            self.big_detections,
+            self.big_batch(),
             self.dataset.truths,
             score_threshold=self.serving_threshold,
         )
@@ -144,8 +179,8 @@ class SmallBigSystem:
         self,
         dataset: Dataset,
         *,
-        small_detections: list[Detections] | None = None,
-        big_detections: list[Detections] | None = None,
+        small_detections: DetectionBatch | list[Detections] | None = None,
+        big_detections: DetectionBatch | list[Detections] | None = None,
         uploaded: np.ndarray | None = None,
     ) -> SystemRun:
         """Serve a whole split.

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.detection.batch import DetectionBatch
 from repro.detection.types import Detections, GroundTruth
 from repro.errors import CalibrationError
 from repro.metrics.classify import BinaryMetrics, binary_metrics
@@ -53,11 +54,16 @@ class ThresholdFit:
 
 
 def count_loss_curve(
-    detections: list[Detections],
+    detections: DetectionBatch | list[Detections],
     truths: list[GroundTruth],
     grid: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Eq. 1 loss ``sum_images |N_predict(t) - N_truth|`` over a grid of t."""
+    """Eq. 1 loss ``sum_images |N_predict(t) - N_truth|`` over a grid of t.
+
+    Per-image counts at every grid point come from threshold passes over the
+    batch's flat score array; the losses are integer sums, so the result is
+    independent of accumulation order.
+    """
     if len(detections) != len(truths):
         raise CalibrationError(
             f"got {len(detections)} detection sets for {len(truths)} truths"
@@ -65,18 +71,19 @@ def count_loss_curve(
     thresholds = _CONFIDENCE_GRID if grid is None else np.asarray(grid, dtype=np.float64)
     if thresholds.size == 0:
         raise CalibrationError("empty confidence-threshold grid")
+    batch = DetectionBatch.coerce(detections)
+    n_truth = np.fromiter(
+        (len(truth) for truth in truths), dtype=np.int64, count=len(truths)
+    )
     losses = np.zeros(thresholds.size)
-    for dets, truth in zip(detections, truths):
-        scores = dets.scores
-        n_truth = len(truth)
-        # counts of boxes >= t for every grid point at once
-        counts = (scores[None, :] >= thresholds[:, None]).sum(axis=1)
-        losses += np.abs(counts - n_truth)
+    for index, threshold in enumerate(thresholds):
+        counts = batch.count_above(float(threshold))
+        losses[index] = np.abs(counts - n_truth).sum()
     return thresholds, losses
 
 
 def fit_confidence_threshold(
-    detections: list[Detections],
+    detections: DetectionBatch | list[Detections],
     truths: list[GroundTruth],
     grid: np.ndarray | None = None,
 ) -> float:
@@ -98,6 +105,9 @@ def decide_rule(
     2. else ``n_estimated > count_threshold`` -> difficult (too many objects);
     3. else ``min_area < area_threshold``     -> difficult (too small);
        otherwise easy.
+
+    ``DifficultCaseDiscriminator.decide`` carries a scalar transcription of
+    this rule for single-image serving — change both together.
     """
     n_predict = np.asarray(n_predict)
     n_estimated = np.asarray(n_estimated)

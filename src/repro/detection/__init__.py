@@ -9,6 +9,7 @@ from repro.detection.anchors import (
     ssd300_small_feature_maps,
     yolo_feature_maps,
 )
+from repro.detection.batch import DetectionBatch
 from repro.detection.boxes import (
     as_boxes,
     box_area,
@@ -23,7 +24,12 @@ from repro.detection.boxes import (
     validate_boxes,
     xyxy_to_cxcywh,
 )
-from repro.detection.matching import MatchResult, match_detections, true_positive_count
+from repro.detection.matching import (
+    MatchResult,
+    greedy_match_arrays,
+    match_detections,
+    true_positive_count,
+)
 from repro.detection.nms import class_aware_nms, filter_by_score, nms_indices
 from repro.detection.types import Detections, GroundTruth
 
@@ -47,7 +53,9 @@ __all__ = [
     "scale_boxes",
     "validate_boxes",
     "xyxy_to_cxcywh",
+    "DetectionBatch",
     "MatchResult",
+    "greedy_match_arrays",
     "match_detections",
     "true_positive_count",
     "class_aware_nms",

@@ -1,0 +1,393 @@
+"""Structure-of-arrays batch of per-image detections.
+
+:class:`DetectionBatch` holds one detector's output over a whole split as
+four flat arrays — concatenated ``boxes``/``scores``/``labels`` plus an
+``offsets`` array delimiting each image's segment — exactly the layout the
+experiment harness serialises to disk.  Split-level operations (threshold
+counting, serving filters, per-image minima) run as single vectorised passes
+over the flat arrays instead of a Python loop over ``list[Detections]``,
+while :meth:`view` exposes any image as a zero-copy :class:`Detections`.
+
+Invariants mirror :class:`Detections`: boxes are validated ``(N, 4)`` xyxy,
+scores lie in ``[0, 1]`` and every per-image segment is sorted by descending
+score.  Construction validates all of them with array passes, so views can
+bypass the per-image ``Detections`` constructor entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.boxes import box_area, validate_boxes
+from repro.detection.types import Detections
+from repro.errors import GeometryError
+
+__all__ = ["DetectionBatch"]
+
+
+def _segment_view(batch: "DetectionBatch", index: int) -> Detections:
+    """Zero-copy :class:`Detections` over one segment (invariants hold by
+    construction, so ``__post_init__`` validation/sorting is skipped)."""
+    lo = int(batch.offsets[index])
+    hi = int(batch.offsets[index + 1])
+    view = object.__new__(Detections)
+    object.__setattr__(view, "image_id", batch.image_ids[index])
+    object.__setattr__(view, "boxes", batch.boxes[lo:hi])
+    object.__setattr__(view, "scores", batch.scores[lo:hi])
+    object.__setattr__(view, "labels", batch.labels[lo:hi])
+    object.__setattr__(view, "detector", batch.detector)
+    object.__setattr__(view, "extras", {})
+    return view
+
+
+def _gather_segments(
+    values: np.ndarray, starts: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``values[starts[i] : starts[i] + counts[i]]`` segments."""
+    total = int(counts.sum())
+    if total == 0:
+        return values[:0]
+    bases = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    indices = np.repeat(starts - bases, counts) + np.arange(total)
+    return values[indices]
+
+
+@dataclass(frozen=True)
+class DetectionBatch:
+    """One detector's output over a whole split, stored structure-of-arrays.
+
+    Attributes
+    ----------
+    image_ids:
+        Per-image identifiers, aligned with the segments.
+    boxes / scores / labels:
+        Flat concatenation of every image's detections (score-descending
+        within each segment).
+    offsets:
+        ``(num_images + 1,)`` segment boundaries: image ``i`` owns rows
+        ``offsets[i]:offsets[i + 1]``.
+    detector:
+        Name of the producing detector (``"mixed"`` after a merge).
+    """
+
+    image_ids: tuple[str, ...]
+    boxes: np.ndarray
+    scores: np.ndarray
+    labels: np.ndarray
+    offsets: np.ndarray
+    detector: str = "unknown"
+
+    def __post_init__(self) -> None:
+        boxes = validate_boxes(self.boxes)
+        total = boxes.shape[0]
+        scores = np.asarray(self.scores, dtype=np.float64).reshape(-1)
+        if scores.shape[0] != total:
+            raise GeometryError(
+                f"DetectionBatch: got {scores.shape[0]} scores for {total} boxes"
+            )
+        if total and (not np.isfinite(scores).all()):
+            raise GeometryError("DetectionBatch: scores contain non-finite values")
+        if total and ((scores < 0.0).any() or (scores > 1.0).any()):
+            raise GeometryError("DetectionBatch: scores must lie in [0, 1]")
+        labels = np.asarray(self.labels, dtype=np.int64).reshape(-1)
+        if labels.shape[0] != total:
+            raise GeometryError(
+                f"DetectionBatch: got {labels.shape[0]} labels for {total} boxes"
+            )
+        offsets = np.asarray(self.offsets, dtype=np.int64).reshape(-1)
+        if offsets.size == 0 or offsets[0] != 0 or offsets[-1] != total:
+            raise GeometryError("DetectionBatch: offsets must run from 0 to len(boxes)")
+        if (np.diff(offsets) < 0).any():
+            raise GeometryError("DetectionBatch: offsets must be non-decreasing")
+        image_ids = tuple(self.image_ids)
+        if len(image_ids) != offsets.size - 1:
+            raise GeometryError(
+                f"DetectionBatch: got {len(image_ids)} image ids for "
+                f"{offsets.size - 1} segments"
+            )
+        if total > 1:
+            starts = np.zeros(total, dtype=bool)
+            interior = offsets[1:-1]
+            starts[interior[interior < total]] = True
+            if not np.all((scores[1:] <= scores[:-1]) | starts[1:]):
+                raise GeometryError(
+                    "DetectionBatch: segments must be sorted by descending score"
+                )
+        object.__setattr__(self, "image_ids", image_ids)
+        object.__setattr__(self, "boxes", boxes)
+        object.__setattr__(self, "scores", scores)
+        object.__setattr__(self, "labels", labels)
+        object.__setattr__(self, "offsets", offsets)
+
+    # ------------------------------------------------------------------ #
+    # construction / conversion
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _trusted(
+        cls,
+        image_ids: tuple[str, ...],
+        boxes: np.ndarray,
+        scores: np.ndarray,
+        labels: np.ndarray,
+        offsets: np.ndarray,
+        detector: str,
+    ) -> "DetectionBatch":
+        """Build without re-running ``__post_init__`` validation.
+
+        Only for arrays derived from an already-validated batch (filtering,
+        slicing, gathering preserve every invariant); external data must go
+        through the public constructor.
+        """
+        batch = object.__new__(cls)
+        object.__setattr__(batch, "image_ids", image_ids)
+        object.__setattr__(batch, "boxes", boxes)
+        object.__setattr__(batch, "scores", scores)
+        object.__setattr__(batch, "labels", labels)
+        object.__setattr__(batch, "offsets", offsets)
+        object.__setattr__(batch, "detector", detector)
+        return batch
+
+    @classmethod
+    def from_list(
+        cls, detections: list[Detections], *, detector: str | None = None
+    ) -> "DetectionBatch":
+        """Concatenate per-image :class:`Detections` into one batch."""
+        items = list(detections)
+        if detector is None:
+            names = {d.detector for d in items}
+            detector = names.pop() if len(names) == 1 else "mixed"
+        counts = np.fromiter(
+            (len(d) for d in items), dtype=np.int64, count=len(items)
+        )
+        offsets = np.zeros(len(items) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        if items and offsets[-1]:
+            boxes = np.concatenate([d.boxes for d in items], axis=0)
+            scores = np.concatenate([d.scores for d in items])
+            labels = np.concatenate([d.labels for d in items])
+        else:
+            boxes = np.zeros((0, 4))
+            scores = np.zeros(0)
+            labels = np.zeros(0, dtype=np.int64)
+        return cls(
+            image_ids=tuple(d.image_id for d in items),
+            boxes=boxes,
+            scores=scores,
+            labels=labels,
+            offsets=offsets,
+            detector=detector,
+        )
+
+    @classmethod
+    def coerce(
+        cls, detections: "DetectionBatch | list[Detections]"
+    ) -> "DetectionBatch":
+        """Pass a batch through unchanged; concatenate a list."""
+        if isinstance(detections, cls):
+            return detections
+        return cls.from_list(detections)
+
+    def to_list(self) -> list[Detections]:
+        """Per-image zero-copy views, in split order."""
+        return [_segment_view(self, index) for index in range(len(self))]
+
+    # ------------------------------------------------------------------ #
+    # sequence protocol (drop-in for list[Detections] consumers)
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.image_ids)
+
+    def __iter__(self):
+        for index in range(len(self)):
+            yield _segment_view(self, index)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            if step != 1:
+                raise GeometryError("DetectionBatch slicing requires step 1")
+            lo = int(self.offsets[start]) if start < stop else 0
+            hi = int(self.offsets[stop]) if start < stop else 0
+            offsets = (
+                self.offsets[start : stop + 1] - self.offsets[start]
+                if start < stop
+                else np.zeros(1, dtype=np.int64)
+            )
+            return DetectionBatch._trusted(
+                self.image_ids[start:stop],
+                self.boxes[lo:hi],
+                self.scores[lo:hi],
+                self.labels[lo:hi],
+                offsets,
+                self.detector,
+            )
+        index = int(index)
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(f"image index {index} out of range")
+        return _segment_view(self, index)
+
+    def view(self, index: int) -> Detections:
+        """Zero-copy :class:`Detections` of one image."""
+        return self[index]
+
+    # ------------------------------------------------------------------ #
+    # vectorised split-level ops
+    # ------------------------------------------------------------------ #
+    @property
+    def num_boxes(self) -> int:
+        """Total detections across the split."""
+        return int(self.boxes.shape[0])
+
+    def counts(self) -> np.ndarray:
+        """Per-image detection counts, shape ``(num_images,)``."""
+        return np.diff(self.offsets)
+
+    def image_indices(self) -> np.ndarray:
+        """For every flat row, the index of the image that owns it."""
+        return np.repeat(np.arange(len(self), dtype=np.int64), self.counts())
+
+    def count_above(self, threshold: float) -> np.ndarray:
+        """Per-image number of boxes scoring ``>= threshold``."""
+        passing = np.concatenate(
+            [[0], np.cumsum(self.scores >= threshold, dtype=np.int64)]
+        )
+        return passing[self.offsets[1:]] - passing[self.offsets[:-1]]
+
+    def min_area_above(self, threshold: float) -> np.ndarray:
+        """Per-image smallest area ratio among boxes scoring ``>= threshold``.
+
+        1.0 for images where no box passes, consistent with
+        :meth:`Detections.min_area_above`.
+        """
+        out = np.full(len(self), 1.0)
+        if self.num_boxes == 0:
+            return out
+        areas = np.where(self.scores >= threshold, box_area(self.boxes), np.inf)
+        nonempty = self.offsets[:-1] < self.offsets[1:]
+        starts = self.offsets[:-1][nonempty]
+        if starts.size:
+            # Empty segments contribute no elements, so each reduceat span
+            # (start to next start, or to the end) is exactly one segment.
+            mins = np.minimum.reduceat(areas, starts)
+            out[nonempty] = np.where(np.isinf(mins), 1.0, mins)
+        return out
+
+    def top_scores(self) -> np.ndarray:
+        """Per-image highest score (0.0 for empty images)."""
+        out = np.zeros(len(self))
+        nonempty = self.offsets[:-1] < self.offsets[1:]
+        out[nonempty] = self.scores[self.offsets[:-1][nonempty]]
+        return out
+
+    def above(self, threshold: float) -> "DetectionBatch":
+        """Batch restricted to boxes scoring ``>= threshold`` (the serving
+        filter), preserving per-segment score order."""
+        keep = self.scores >= threshold
+        counts = self.count_above(threshold)
+        offsets = np.zeros(len(self) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return DetectionBatch._trusted(
+            self.image_ids,
+            self.boxes[keep],
+            self.scores[keep],
+            self.labels[keep],
+            offsets,
+            self.detector,
+        )
+
+    def select(self, indices: np.ndarray) -> "DetectionBatch":
+        """Batch over a subset/reordering of images."""
+        indices = np.asarray(indices)
+        if indices.dtype == bool:
+            indices = np.flatnonzero(indices)
+        indices = indices.astype(np.int64, copy=False)
+        counts = self.counts()[indices]
+        offsets = np.zeros(indices.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        starts = self.offsets[:-1][indices]
+        return DetectionBatch._trusted(
+            tuple(self.image_ids[int(i)] for i in indices),
+            _gather_segments(self.boxes, starts, counts),
+            _gather_segments(self.scores, starts, counts),
+            _gather_segments(self.labels, starts, counts),
+            offsets,
+            self.detector,
+        )
+
+    @classmethod
+    def where(
+        cls,
+        mask: np.ndarray,
+        if_true: "DetectionBatch",
+        if_false: "DetectionBatch",
+    ) -> "DetectionBatch":
+        """Per-image merge: ``if_true``'s segment where ``mask``, else
+        ``if_false``'s (the served-output composition of the system)."""
+        mask = np.asarray(mask, dtype=bool).reshape(-1)
+        if not (mask.shape[0] == len(if_true) == len(if_false)):
+            raise GeometryError("DetectionBatch.where: misaligned inputs")
+        if if_true.image_ids != if_false.image_ids:
+            raise GeometryError(
+                "DetectionBatch.where: batches cover different images"
+            )
+        true_counts = if_true.counts()
+        false_counts = if_false.counts()
+        counts = np.where(mask, true_counts, false_counts)
+        offsets = np.zeros(mask.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        starts = np.where(
+            mask, if_true.offsets[:-1], if_false.offsets[:-1] + if_true.num_boxes
+        )
+        pooled_boxes = np.concatenate([if_true.boxes, if_false.boxes], axis=0)
+        pooled_scores = np.concatenate([if_true.scores, if_false.scores])
+        pooled_labels = np.concatenate([if_true.labels, if_false.labels])
+        detector = (
+            if_true.detector
+            if if_true.detector == if_false.detector
+            else "mixed"
+        )
+        return cls._trusted(
+            if_true.image_ids,
+            _gather_segments(pooled_boxes, starts, counts),
+            _gather_segments(pooled_scores, starts, counts),
+            _gather_segments(pooled_labels, starts, counts),
+            offsets,
+            detector,
+        )
+
+    # ------------------------------------------------------------------ #
+    # persistence (the harness's on-disk cache layout)
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> None:
+        """Serialise the four flat arrays as a compressed ``.npz``."""
+        np.savez_compressed(
+            path,
+            offsets=self.offsets,
+            boxes=self.boxes,
+            scores=self.scores,
+            labels=self.labels,
+        )
+
+    @classmethod
+    def load(
+        cls, path, image_ids: tuple[str, ...], *, detector: str = "unknown"
+    ) -> "DetectionBatch":
+        """Rebuild a batch from :meth:`save` output.
+
+        ``image_ids`` supply the segment identities (the cache stores only
+        numerics).  Raises on malformed payloads; callers treat that as a
+        cache miss.
+        """
+        payload = np.load(path)
+        return cls(
+            image_ids=tuple(image_ids),
+            boxes=payload["boxes"],
+            scores=payload["scores"],
+            labels=payload["labels"],
+            offsets=payload["offsets"],
+            detector=detector,
+        )

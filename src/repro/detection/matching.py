@@ -17,7 +17,12 @@ from repro.detection.boxes import iou_matrix
 from repro.detection.types import Detections, GroundTruth
 from repro.errors import ConfigurationError
 
-__all__ = ["MatchResult", "match_detections", "true_positive_count"]
+__all__ = [
+    "MatchResult",
+    "greedy_match_arrays",
+    "match_detections",
+    "true_positive_count",
+]
 
 
 @dataclass(frozen=True)
@@ -55,6 +60,50 @@ class MatchResult:
         return int(np.count_nonzero(~self.gt_detected))
 
 
+def greedy_match_arrays(
+    det_boxes: np.ndarray,
+    det_labels: np.ndarray,
+    gt_boxes: np.ndarray,
+    gt_labels: np.ndarray,
+    *,
+    iou_threshold: float = 0.5,
+    class_aware: bool = True,
+) -> MatchResult:
+    """Array-level greedy VOC matching (no container construction).
+
+    ``det_boxes``/``det_labels`` must already be in score-descending order —
+    the invariant both :class:`Detections` and
+    :class:`~repro.detection.batch.DetectionBatch` segments maintain.
+    """
+    if not 0.0 < iou_threshold <= 1.0:
+        raise ConfigurationError(
+            f"iou_threshold must be in (0, 1], got {iou_threshold}"
+        )
+    num_det = int(det_boxes.shape[0])
+    num_gt = int(gt_boxes.shape[0])
+    is_tp = np.zeros(num_det, dtype=bool)
+    matched_gt = np.full(num_det, -1, dtype=np.int64)
+    gt_detected = np.zeros(num_gt, dtype=bool)
+    if num_det == 0 or num_gt == 0:
+        return MatchResult(is_tp=is_tp, matched_gt=matched_gt, gt_detected=gt_detected)
+
+    iou = iou_matrix(det_boxes, gt_boxes)
+    if class_aware:
+        same_class = det_labels[:, None] == gt_labels[None, :]
+        iou = np.where(same_class, iou, 0.0)
+
+    claimed = np.zeros(num_gt, dtype=bool)
+    for det_idx in range(num_det):
+        candidates = iou[det_idx].copy()
+        candidates[claimed] = 0.0
+        best_gt = int(np.argmax(candidates))
+        if candidates[best_gt] >= iou_threshold:
+            claimed[best_gt] = True
+            is_tp[det_idx] = True
+            matched_gt[det_idx] = best_gt
+    return MatchResult(is_tp=is_tp, matched_gt=matched_gt, gt_detected=claimed)
+
+
 def match_detections(
     detections: Detections,
     truth: GroundTruth,
@@ -72,35 +121,15 @@ def match_detections(
         When true (the VOC protocol), a detection may only claim a
         ground-truth box of its own class.
     """
-    if not 0.0 < iou_threshold <= 1.0:
-        raise ConfigurationError(
-            f"iou_threshold must be in (0, 1], got {iou_threshold}"
-        )
-    num_det = len(detections)
-    num_gt = len(truth)
-    is_tp = np.zeros(num_det, dtype=bool)
-    matched_gt = np.full(num_det, -1, dtype=np.int64)
-    gt_detected = np.zeros(num_gt, dtype=bool)
-    if num_det == 0 or num_gt == 0:
-        return MatchResult(is_tp=is_tp, matched_gt=matched_gt, gt_detected=gt_detected)
-
-    iou = iou_matrix(detections.boxes, truth.boxes)
-    if class_aware:
-        same_class = detections.labels[:, None] == truth.labels[None, :]
-        iou = np.where(same_class, iou, 0.0)
-
-    claimed = np.zeros(num_gt, dtype=bool)
     # Detections are already score-descending (Detections sorts on init).
-    for det_idx in range(num_det):
-        candidates = iou[det_idx].copy()
-        candidates[claimed] = 0.0
-        best_gt = int(np.argmax(candidates))
-        if candidates[best_gt] >= iou_threshold:
-            claimed[best_gt] = True
-            is_tp[det_idx] = True
-            matched_gt[det_idx] = best_gt
-    gt_detected = claimed
-    return MatchResult(is_tp=is_tp, matched_gt=matched_gt, gt_detected=gt_detected)
+    return greedy_match_arrays(
+        detections.boxes,
+        detections.labels,
+        truth.boxes,
+        truth.labels,
+        iou_threshold=iou_threshold,
+        class_aware=class_aware,
+    )
 
 
 def true_positive_count(

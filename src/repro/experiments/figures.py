@@ -92,7 +92,7 @@ def figure_07_threshold_sweep(harness: Harness) -> FigureResult:
     train = harness.dataset(setting, "train")
     small_train = harness.detections("small1", setting, "train")
     labels = label_cases(small_train, harness.detections("ssd", setting, "train"))
-    n_predict = np.array([d.count_above(0.5) for d in small_train])
+    n_predict = small_train.count_above(0.5)
     true_counts = np.array([len(t) for t in train.truths])
     true_min_areas = np.array([t.min_area_ratio for t in train.truths])
     rows = area_threshold_sweep(

@@ -21,7 +21,8 @@ from repro._rng import DEFAULT_SEED
 from repro.core.discriminator import DifficultCaseDiscriminator, DiscriminatorFitReport
 from repro.core.system import SmallBigSystem, SystemRun
 from repro.data.datasets import DATASET_SETTINGS, Dataset, load_dataset
-from repro.detection.types import Detections
+from repro.detection.batch import DetectionBatch
+from repro.errors import GeometryError
 from repro.metrics.counting import CountSummary, count_summary
 from repro.metrics.voc_ap import mean_average_precision
 from repro.simulate.detector import SimulatedDetector
@@ -90,8 +91,13 @@ class Harness:
         """Calibrated detector (preset-cached)."""
         return make_detector(model, setting, seed=self.config.seed)
 
-    def detections(self, model: str, setting: str, split: str) -> list[Detections]:
-        """Raw detections of a model over a split, memory- and disk-cached."""
+    def detections(self, model: str, setting: str, split: str) -> DetectionBatch:
+        """Raw detections of a model over a split, memory- and disk-cached.
+
+        Returned as a :class:`DetectionBatch` — the on-disk layout loads
+        straight into the batch's flat arrays, and per-image views are
+        available through the batch's sequence protocol.
+        """
         key = (model, setting, split)
         if key in self._detections:
             return self._detections[key]
@@ -99,7 +105,9 @@ class Harness:
         detector = self.detector(model, setting)
         cached = self._load_disk(detector, dataset)
         if cached is None:
-            cached = detector.detect_split(dataset)
+            cached = DetectionBatch.from_list(
+                detector.detect_split(dataset), detector=detector.name
+            )
             self._store_disk(detector, dataset, cached)
         self._detections[key] = cached
         return cached
@@ -152,7 +160,7 @@ class Harness:
         key = (model, setting)
         if key not in self._maps:
             dataset = self.dataset(setting, "test")
-            served = [d.above(0.5) for d in self.detections(model, setting, "test")]
+            served = self.detections(model, setting, "test").above(0.5)
             self._maps[key] = mean_average_precision(
                 served, dataset.truths, dataset.num_classes
             )
@@ -198,63 +206,38 @@ class Harness:
 
     def _load_disk(
         self, detector: SimulatedDetector, dataset: Dataset
-    ) -> list[Detections] | None:
+    ) -> DetectionBatch | None:
         path = self._cache_path(detector, dataset)
         if path is None or not path.exists():
             return None
         try:
-            payload = np.load(path)
-            offsets = payload["offsets"]
-            boxes, scores, labels = payload["boxes"], payload["scores"], payload["labels"]
-        except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile):
-            return None  # corrupt/stale cache entries are recomputed
-        if offsets.shape[0] != len(dataset) + 1:
-            return None
-        out: list[Detections] = []
-        for index, record in enumerate(dataset.records):
-            lo, hi = int(offsets[index]), int(offsets[index + 1])
-            out.append(
-                Detections(
-                    image_id=record.image_id,
-                    boxes=boxes[lo:hi],
-                    scores=scores[lo:hi],
-                    labels=labels[lo:hi],
-                    detector=detector.name,
-                )
+            batch = DetectionBatch.load(
+                path,
+                tuple(record.image_id for record in dataset.records),
+                detector=detector.name,
             )
-        return out
+        except (
+            OSError,
+            KeyError,
+            ValueError,
+            EOFError,
+            zipfile.BadZipFile,
+            GeometryError,
+        ):
+            return None  # corrupt/stale cache entries are recomputed
+        return batch
 
     def _store_disk(
         self,
         detector: SimulatedDetector,
         dataset: Dataset,
-        detections: list[Detections],
+        detections: DetectionBatch,
     ) -> None:
         path = self._cache_path(detector, dataset)
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
-        offsets = np.zeros(len(detections) + 1, dtype=np.int64)
-        for index, dets in enumerate(detections):
-            offsets[index + 1] = offsets[index] + len(dets)
-        boxes = (
-            np.concatenate([d.boxes for d in detections], axis=0)
-            if detections
-            else np.zeros((0, 4))
-        )
-        scores = (
-            np.concatenate([d.scores for d in detections])
-            if detections
-            else np.zeros(0)
-        )
-        labels = (
-            np.concatenate([d.labels for d in detections])
-            if detections
-            else np.zeros(0, dtype=np.int64)
-        )
         try:
-            np.savez_compressed(
-                path, offsets=offsets, boxes=boxes, scores=scores, labels=labels
-            )
+            detections.save(path)
         except OSError:
             pass  # cache is best effort

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.detection.matching import true_positive_count
+from repro.detection.batch import DetectionBatch
+from repro.detection.matching import greedy_match_arrays, true_positive_count
 from repro.detection.types import Detections, GroundTruth
 from repro.errors import ConfigurationError
 
@@ -43,17 +44,38 @@ class CountSummary:
 
 
 def count_detected_objects(
-    detections: list[Detections],
+    detections: DetectionBatch | list[Detections],
     truths: list[GroundTruth],
     *,
     score_threshold: float = 0.5,
     iou_threshold: float = 0.5,
 ) -> int:
-    """Total true-positive count over a split."""
+    """Total true-positive count over a split.
+
+    With a :class:`DetectionBatch`, the serving filter runs once over the
+    flat arrays and the per-image greedy matching works on array slices —
+    no per-image container construction.
+    """
     if len(detections) != len(truths):
         raise ConfigurationError(
             f"got {len(detections)} detection sets for {len(truths)} images"
         )
+    if isinstance(detections, DetectionBatch):
+        served = detections.above(score_threshold)
+        offsets = served.offsets
+        total = 0
+        for index, truth in enumerate(truths):
+            lo, hi = int(offsets[index]), int(offsets[index + 1])
+            if lo == hi or len(truth) == 0:
+                continue
+            total += greedy_match_arrays(
+                served.boxes[lo:hi],
+                served.labels[lo:hi],
+                truth.boxes,
+                truth.labels,
+                iou_threshold=iou_threshold,
+            ).num_tp
+        return total
     return sum(
         true_positive_count(
             dets, truth, score_threshold=score_threshold, iou_threshold=iou_threshold
@@ -63,7 +85,7 @@ def count_detected_objects(
 
 
 def count_summary(
-    detections: list[Detections],
+    detections: DetectionBatch | list[Detections],
     truths: list[GroundTruth],
     *,
     score_threshold: float = 0.5,

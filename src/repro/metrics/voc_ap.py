@@ -11,7 +11,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.detection.boxes import iou_matrix
+from repro.detection.batch import DetectionBatch
+from repro.detection.boxes import pairwise_iou
 from repro.detection.types import Detections, GroundTruth
 from repro.errors import ConfigurationError
 
@@ -78,11 +79,28 @@ def voc_ap_from_pr(
     if recall.size == 0:
         return 0.0
     if use_07_metric:
+        points = np.linspace(0.0, 1.0, 11)
+        if np.all(recall[1:] >= recall[:-1]):
+            # Sorted recall (every PR curve): the interpolated precision at
+            # each point is a suffix maximum, found by one reversed running
+            # max plus a searchsorted — no per-point boolean scans.
+            suffix_max = np.maximum.accumulate(precision[::-1])[::-1]
+            first = np.searchsorted(recall, points, side="left")
+            interpolated = np.where(
+                first < recall.size,
+                suffix_max[np.minimum(first, recall.size - 1)],
+                0.0,
+            )
+        else:
+            interpolated = np.array(
+                [
+                    precision[recall >= point].max() if (recall >= point).any() else 0.0
+                    for point in points
+                ]
+            )
         ap = 0.0
-        for point in np.linspace(0.0, 1.0, 11):
-            mask = recall >= point
-            p = float(precision[mask].max()) if mask.any() else 0.0
-            ap += p / 11.0
+        for p in interpolated:
+            ap += float(p) / 11.0
         return ap
     # All-point metric: monotonise precision from the right, then integrate.
     mrec = np.concatenate([[0.0], recall, [1.0]])
@@ -93,8 +111,95 @@ def voc_ap_from_pr(
     return float(np.sum((mrec[changes] - mrec[changes - 1]) * mpre[changes]))
 
 
+def _pooled_pr_curve(
+    det_scores: np.ndarray,
+    det_boxes: np.ndarray,
+    det_images: np.ndarray,
+    gt_boxes: np.ndarray,
+    gt_images: np.ndarray,
+    num_images: int,
+    iou_threshold: float,
+) -> PRCurve:
+    """PR curve from one class's pooled detection and ground-truth arrays.
+
+    Both pools are grouped by image index in split order (detections
+    score-descending within each group).  Every detection/ground-truth IoU of
+    the split is computed in a single flat block-diagonal pass —
+    :func:`pairwise_iou` over gathered pair indices — so the sequential
+    greedy loop only slices precomputed rows.
+    """
+    num_gt = int(gt_boxes.shape[0])
+    num_det = int(det_scores.shape[0])
+    if num_det == 0:
+        return PRCurve(
+            recall=np.zeros(0), precision=np.zeros(0), scores=np.zeros(0), num_gt=num_gt
+        )
+
+    gt_counts = np.bincount(gt_images, minlength=num_images)
+    gt_starts = np.zeros(num_images, dtype=np.int64)
+    np.cumsum(gt_counts[:-1], out=gt_starts[1:])
+    pair_counts = gt_counts[det_images]
+    row_starts = np.zeros(num_det, dtype=np.int64)
+    np.cumsum(pair_counts[:-1], out=row_starts[1:])
+    total_pairs = int(row_starts[-1] + pair_counts[-1])
+
+    if total_pairs:
+        det_idx = np.repeat(np.arange(num_det), pair_counts)
+        gt_idx = (
+            np.repeat(gt_starts[det_images] - row_starts, pair_counts)
+            + np.arange(total_pairs)
+        )
+        iou_flat = pairwise_iou(det_boxes[det_idx], gt_boxes[gt_idx])
+    else:
+        iou_flat = np.zeros(0)
+
+    order = np.argsort(-det_scores, kind="stable")
+    scores = det_scores[order]
+
+    claimed = np.zeros(num_gt, dtype=bool)
+    tp_flags = np.zeros(num_det, dtype=bool)
+    pair_count_list = pair_counts.tolist()
+    row_start_list = row_starts.tolist()
+    gt_start_list = gt_starts[det_images].tolist()
+    for rank, det in enumerate(order.tolist()):
+        count = pair_count_list[det]
+        if count == 0:
+            continue
+        start = row_start_list[det]
+        ious = iou_flat[start : start + count].copy()
+        gt_lo = gt_start_list[det]
+        ious[claimed[gt_lo : gt_lo + count]] = 0.0
+        best = int(np.argmax(ious))
+        if ious[best] >= iou_threshold:
+            claimed[gt_lo + best] = True
+            tp_flags[rank] = True
+
+    tp_cum = np.cumsum(tp_flags)
+    fp_cum = np.cumsum(~tp_flags)
+    recall = tp_cum / num_gt if num_gt > 0 else np.zeros(num_det)
+    precision = tp_cum / np.maximum(tp_cum + fp_cum, 1)
+    return PRCurve(recall=recall, precision=precision, scores=scores, num_gt=num_gt)
+
+
+def _pooled_ground_truth(
+    truths: list[GroundTruth],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten a split's annotations to ``(boxes, labels, image indices)``."""
+    counts = np.fromiter(
+        (len(truth) for truth in truths), dtype=np.int64, count=len(truths)
+    )
+    if counts.sum():
+        boxes = np.concatenate([truth.boxes for truth in truths], axis=0)
+        labels = np.concatenate([truth.labels for truth in truths])
+    else:
+        boxes = np.zeros((0, 4))
+        labels = np.zeros(0, dtype=np.int64)
+    images = np.repeat(np.arange(len(truths), dtype=np.int64), counts)
+    return boxes, labels, images
+
+
 def precision_recall_curve(
-    detections: list[Detections],
+    detections: DetectionBatch | list[Detections],
     truths: list[GroundTruth],
     label: int,
     *,
@@ -109,53 +214,23 @@ def precision_recall_curve(
         raise ConfigurationError(
             f"got {len(detections)} detection sets for {len(truths)} images"
         )
-    num_gt = 0
-    gt_boxes_per_image: list[np.ndarray] = []
-    pooled_scores: list[np.ndarray] = []
-    pooled_images: list[np.ndarray] = []
-    pooled_boxes: list[np.ndarray] = []
-    for img_idx, (dets, truth) in enumerate(zip(detections, truths)):
-        gt_boxes = truth.boxes[truth.labels == label]
-        gt_boxes_per_image.append(gt_boxes)
-        num_gt += int(gt_boxes.shape[0])
-        mask = dets.labels == label
-        if mask.any():
-            pooled_scores.append(dets.scores[mask])
-            pooled_boxes.append(dets.boxes[mask])
-            pooled_images.append(np.full(int(mask.sum()), img_idx, dtype=np.int64))
-    if not pooled_scores:
-        return PRCurve(
-            recall=np.zeros(0), precision=np.zeros(0), scores=np.zeros(0), num_gt=num_gt
-        )
-    scores = np.concatenate(pooled_scores)
-    boxes = np.concatenate(pooled_boxes, axis=0)
-    images = np.concatenate(pooled_images)
-    order = np.argsort(-scores, kind="stable")
-    scores, boxes, images = scores[order], boxes[order], images[order]
-
-    claimed = [np.zeros(g.shape[0], dtype=bool) for g in gt_boxes_per_image]
-    tp_flags = np.zeros(scores.shape[0], dtype=bool)
-    for rank in range(scores.shape[0]):
-        img_idx = int(images[rank])
-        gt_boxes = gt_boxes_per_image[img_idx]
-        if gt_boxes.shape[0] == 0:
-            continue
-        ious = iou_matrix(boxes[rank : rank + 1], gt_boxes)[0]
-        ious[claimed[img_idx]] = 0.0
-        best = int(np.argmax(ious))
-        if ious[best] >= iou_threshold:
-            claimed[img_idx][best] = True
-            tp_flags[rank] = True
-
-    tp_cum = np.cumsum(tp_flags)
-    fp_cum = np.cumsum(~tp_flags)
-    recall = tp_cum / num_gt if num_gt > 0 else np.zeros(scores.shape[0])
-    precision = tp_cum / np.maximum(tp_cum + fp_cum, 1)
-    return PRCurve(recall=recall, precision=precision, scores=scores, num_gt=num_gt)
+    batch = DetectionBatch.coerce(detections)
+    gt_boxes, gt_labels, gt_images = _pooled_ground_truth(truths)
+    gt_mask = gt_labels == label
+    det_mask = batch.labels == label
+    return _pooled_pr_curve(
+        batch.scores[det_mask],
+        batch.boxes[det_mask],
+        batch.image_indices()[det_mask],
+        gt_boxes[gt_mask],
+        gt_images[gt_mask],
+        len(truths),
+        iou_threshold,
+    )
 
 
 def evaluate_detections(
-    detections: list[Detections],
+    detections: DetectionBatch | list[Detections],
     truths: list[GroundTruth],
     num_classes: int,
     *,
@@ -165,16 +240,33 @@ def evaluate_detections(
     """Evaluate a detector over a split: per-class AP and mAP.
 
     Classes with no ground-truth instances in the split are skipped, matching
-    the VOC devkit behaviour.
+    the VOC devkit behaviour.  Detections and annotations are pooled into
+    flat arrays once; each class then evaluates with pure mask selections
+    over them.
     """
+    if len(detections) != len(truths):
+        raise ConfigurationError(
+            f"got {len(detections)} detection sets for {len(truths)} images"
+        )
+    batch = DetectionBatch.coerce(detections)
+    det_images = batch.image_indices()
+    gt_boxes, gt_labels, gt_images = _pooled_ground_truth(truths)
     per_class_ap: dict[int, float] = {}
     per_class_curves: dict[int, PRCurve] = {}
     for label in range(num_classes):
-        curve = precision_recall_curve(
-            detections, truths, label, iou_threshold=iou_threshold
-        )
-        if curve.num_gt == 0:
+        gt_mask = gt_labels == label
+        if not gt_mask.any():
             continue
+        det_mask = batch.labels == label
+        curve = _pooled_pr_curve(
+            batch.scores[det_mask],
+            batch.boxes[det_mask],
+            det_images[det_mask],
+            gt_boxes[gt_mask],
+            gt_images[gt_mask],
+            len(truths),
+            iou_threshold,
+        )
         per_class_curves[label] = curve
         per_class_ap[label] = curve.ap(use_07_metric=use_07_metric)
     return EvalResult(
@@ -185,7 +277,7 @@ def evaluate_detections(
 
 
 def mean_average_precision(
-    detections: list[Detections],
+    detections: DetectionBatch | list[Detections],
     truths: list[GroundTruth],
     num_classes: int,
     *,

@@ -180,11 +180,18 @@ class StreamSimulator:
         served = dropped = uploads = 0
         arrivals = self._arrivals(config)
         records = self.dataset.records
+        num_records = len(records)
+        # Per-frame constants: only the uplink serialisation time depends on
+        # the frame, so everything else is computed once per run instead of
+        # inside the event callbacks.
+        edge_service = self._edge_service()
+        cloud_service = self._cloud_service()
+        downlink_latency = self._downlink_latency()
 
         def finish(start: float) -> None:
             nonlocal served
             served += 1
-            latencies.append(loop.now - start + self._downlink_latency())
+            latencies.append(loop.now - start + downlink_latency)
 
         def finish_local(start: float) -> None:
             nonlocal served
@@ -196,23 +203,23 @@ class StreamSimulator:
             uploads += 1
             uplink.acquire(
                 self._uplink_service(record),
-                lambda _t: cloud.acquire(self._cloud_service(), lambda _t2: finish(start)),
+                lambda _t: cloud.acquire(cloud_service, lambda _t2: finish(start)),
             )
 
         def on_frame(index: int, arrival: float) -> None:
             nonlocal dropped
-            record = records[index % len(records)]
+            record = records[index % num_records]
             entry_queue = edge if scheme != "cloud" else uplink
             if entry_queue.queue_depth >= config.max_edge_queue:
                 dropped += 1
                 return
             start = arrival
             if scheme == "edge":
-                edge.acquire(self._edge_service(), lambda _t: finish_local(start))
+                edge.acquire(edge_service, lambda _t: finish_local(start))
             elif scheme == "cloud":
                 cloud_path(record, start)
             else:
-                send = bool(uploaded[index % len(records)])
+                send = bool(uploaded[index % num_records])
 
                 def after_edge(_t: float, record=record, send=send) -> None:
                     if send:
@@ -220,7 +227,7 @@ class StreamSimulator:
                     else:
                         finish_local(start)
 
-                edge.acquire(self._edge_service(), after_edge)
+                edge.acquire(edge_service, after_edge)
 
         for index, arrival in enumerate(arrivals):
             loop.schedule(arrival, lambda i=index, a=arrival: on_frame(i, a))

@@ -62,6 +62,12 @@ class TestSystemProperties:
     @settings(max_examples=15, deadline=None)
     @given(seed=st.integers(0, 10_000))
     def test_e2e_counts_bounded_by_models(self, context, seed):
+        # The end-to-end count is a per-image mixture of the two models'
+        # true-positive counts, so the tight (and correct) bounds are the
+        # sums of the per-image minima and maxima — the split-level totals
+        # do NOT bound it (a mask can pick the worse model on every image).
+        from repro.detection.matching import true_positive_count
+
         system, dataset, small_dets, big_dets = context
         rng = np.random.default_rng(seed)
         mask = rng.uniform(size=len(dataset)) < rng.uniform(0.0, 1.0)
@@ -70,9 +76,14 @@ class TestSystemProperties:
             uploaded=mask,
         )
         e2e = run.end_to_end_counts().detected
-        lo = min(run.small_model_counts().detected, run.big_model_counts().detected)
-        hi = max(run.small_model_counts().detected, run.big_model_counts().detected)
-        assert lo <= e2e <= hi
+        small_tp = np.array(
+            [true_positive_count(d, t) for d, t in zip(small_dets, dataset.truths)]
+        )
+        big_tp = np.array(
+            [true_positive_count(d, t) for d, t in zip(big_dets, dataset.truths)]
+        )
+        assert np.minimum(small_tp, big_tp).sum() <= e2e
+        assert e2e <= np.maximum(small_tp, big_tp).sum()
 
     def test_informed_mask_beats_random_mask(self, context):
         """Uploading the images where the big model actually finds more
