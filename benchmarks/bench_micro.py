@@ -13,9 +13,10 @@ import numpy as np
 import pytest
 
 from repro.core.features import extract_feature_arrays
-from repro.detection.batch import DetectionBatch
+from repro.detection.batch import DetectionBatch, DetectionBatchBuilder
 from repro.detection.boxes import iou_matrix
 from repro.detection.nms import nms_indices
+from repro.experiments import Harness, HarnessConfig
 from repro.metrics.voc_ap import mean_average_precision
 
 
@@ -71,6 +72,53 @@ def test_micro_batch_from_list(benchmark, harness):
     detections = harness.detections("ssd", "voc07", "test")[:500].to_list()
     batch = benchmark(DetectionBatch.from_list, detections)
     assert len(batch) == 500
+
+
+def test_micro_builder_append_500_images(benchmark, harness):
+    """Streaming accumulation throughput: per-image raw-array appends into
+    the amortised-growth builder (the shard-worker / stream-collector path)."""
+    batch = harness.detections("ssd", "voc07", "test")[:500]
+    segments = [(d.image_id, d.boxes, d.scores, d.labels) for d in batch]
+
+    def accumulate():
+        builder = DetectionBatchBuilder(detector=batch.detector)
+        for image_id, boxes, scores, labels in segments:
+            builder.append(image_id, boxes, scores, labels)
+        return builder.build()
+
+    result = benchmark(accumulate)
+    assert len(result) == 500
+    assert result.num_boxes == batch.num_boxes
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_micro_detections_cold_cache(benchmark, workers, tmp_path_factory):
+    """End-to-end `Harness.detections` wall time on a cold disk cache at
+    1/2/4 workers (quick-config split sizes; dataset pre-materialised so the
+    timing isolates detection production + cache persistence)."""
+    base = HarnessConfig.quick()
+
+    def setup():
+        cache = tmp_path_factory.mktemp(f"cold-cache-{workers}")
+        config = HarnessConfig(
+            seed=base.seed,
+            train_images=base.train_images,
+            test_fraction=base.test_fraction,
+            cache_dir=str(cache),
+            workers=workers,
+        )
+        cold = Harness(config)
+        cold.dataset("voc07", "test")
+        cold.detector("small1", "voc07")
+        return (cold,), {}
+
+    batch = benchmark.pedantic(
+        lambda cold: cold.detections("small1", "voc07", "test"),
+        setup=setup,
+        rounds=3,
+        iterations=1,
+    )
+    assert len(batch) == 397  # quick-config voc07 test split
 
 
 def test_micro_features_batched_500_images(benchmark, harness):

@@ -33,7 +33,14 @@ from repro.core import (
     label_cases,
 )
 from repro.data import Dataset, list_settings, load_dataset
-from repro.detection import DetectionBatch, Detections, GroundTruth
+from repro.detection import (
+    DetectionBatch,
+    DetectionBatchBuilder,
+    Detections,
+    GroundTruth,
+    GroundTruthBatch,
+)
+from repro.runtime.parallel import run_split
 from repro.simulate import DetectorProfile, SimulatedDetector, make_detector
 
 __version__ = "1.0.0"
@@ -49,8 +56,11 @@ __all__ = [
     "list_settings",
     "load_dataset",
     "DetectionBatch",
+    "DetectionBatchBuilder",
     "Detections",
     "GroundTruth",
+    "GroundTruthBatch",
+    "run_split",
     "DetectorProfile",
     "SimulatedDetector",
     "make_detector",

@@ -20,7 +20,7 @@ from repro.core.thresholds import (
     fit_confidence_threshold,
     fit_decision_thresholds,
 )
-from repro.detection.batch import DetectionBatch
+from repro.detection.batch import DetectionBatch, GroundTruthBatch
 from repro.detection.types import Detections, GroundTruth
 from repro.errors import CalibrationError
 from repro.metrics.classify import BinaryMetrics, binary_metrics
@@ -120,7 +120,7 @@ class DifficultCaseDiscriminator:
         cls,
         small_detections: DetectionBatch | list[Detections],
         big_detections: DetectionBatch | list[Detections],
-        truths: list[GroundTruth],
+        truths: GroundTruthBatch | list[GroundTruth],
         *,
         serving_threshold: float = SERVING_THRESHOLD,
     ) -> tuple["DifficultCaseDiscriminator", DiscriminatorFitReport]:
@@ -132,23 +132,25 @@ class DifficultCaseDiscriminator:
             Both models' raw outputs on the *training* split.
         truths:
             The training annotations (ground truths for Eq. 1 and for the
-            true-feature grid search).
+            true-feature grid search) — a :class:`GroundTruthBatch` (or a
+            ``Dataset``, via its cached batch) or a plain list.
         """
-        if not (len(small_detections) == len(big_detections) == len(truths)):
+        gt = GroundTruthBatch.coerce(truths)
+        if not (len(small_detections) == len(big_detections) == len(gt)):
             raise CalibrationError(
                 "small detections, big detections and truths must align"
             )
-        if not truths:
+        if len(gt) == 0:
             raise CalibrationError("cannot fit a discriminator on an empty split")
 
         small_batch = DetectionBatch.coerce(small_detections)
         big_batch = DetectionBatch.coerce(big_detections)
         labels = label_cases(small_batch, big_batch, threshold=serving_threshold)
-        confidence_threshold = fit_confidence_threshold(small_batch, truths)
+        confidence_threshold = fit_confidence_threshold(small_batch, gt)
 
         n_predict = small_batch.count_above(serving_threshold)
-        true_counts = np.array([len(t) for t in truths], dtype=np.int64)
-        true_min_areas = np.array([t.min_area_ratio for t in truths])
+        true_counts = gt.counts()
+        true_min_areas = gt.min_area_ratios()
         count_threshold, area_threshold, gt_metrics = fit_decision_thresholds(
             n_predict, true_counts, true_min_areas, labels
         )
@@ -169,7 +171,7 @@ class DifficultCaseDiscriminator:
             ),
             ground_truth_metrics=gt_metrics,
             predicted_metrics=predicted_metrics,
-            num_train_images=len(truths),
+            num_train_images=len(gt),
             difficult_fraction=float(np.mean(labels)),
         )
         return discriminator, report

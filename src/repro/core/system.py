@@ -112,7 +112,7 @@ class SystemRun:
     def _served_map(self, batch: DetectionBatch) -> float:
         return mean_average_precision(
             batch.above(self.serving_threshold),
-            self.dataset.truths,
+            self.dataset.truth_batch,
             self.dataset.num_classes,
         )
 
@@ -135,7 +135,7 @@ class SystemRun:
         """Detected-object count of the system's served output."""
         return count_summary(
             self.final_batch(),
-            self.dataset.truths,
+            self.dataset.truth_batch,
             score_threshold=self.serving_threshold,
         )
 
@@ -143,7 +143,7 @@ class SystemRun:
         """Detected-object count of the small model alone."""
         return count_summary(
             self.small_batch(),
-            self.dataset.truths,
+            self.dataset.truth_batch,
             score_threshold=self.serving_threshold,
         )
 
@@ -151,7 +151,7 @@ class SystemRun:
         """Detected-object count of the big model alone."""
         return count_summary(
             self.big_batch(),
-            self.dataset.truths,
+            self.dataset.truth_batch,
             score_threshold=self.serving_threshold,
         )
 

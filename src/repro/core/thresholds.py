@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.detection.batch import DetectionBatch
+from repro.detection.batch import DetectionBatch, GroundTruthBatch
 from repro.detection.types import Detections, GroundTruth
 from repro.errors import CalibrationError
 from repro.metrics.classify import BinaryMetrics, binary_metrics
@@ -55,26 +55,26 @@ class ThresholdFit:
 
 def count_loss_curve(
     detections: DetectionBatch | list[Detections],
-    truths: list[GroundTruth],
+    truths: GroundTruthBatch | list[GroundTruth],
     grid: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Eq. 1 loss ``sum_images |N_predict(t) - N_truth|`` over a grid of t.
 
     Per-image counts at every grid point come from threshold passes over the
-    batch's flat score array; the losses are integer sums, so the result is
+    batch's flat score array (true counts straight off the ground-truth
+    batch's offsets); the losses are integer sums, so the result is
     independent of accumulation order.
     """
-    if len(detections) != len(truths):
+    gt = GroundTruthBatch.coerce(truths)
+    if len(detections) != len(gt):
         raise CalibrationError(
-            f"got {len(detections)} detection sets for {len(truths)} truths"
+            f"got {len(detections)} detection sets for {len(gt)} truths"
         )
     thresholds = _CONFIDENCE_GRID if grid is None else np.asarray(grid, dtype=np.float64)
     if thresholds.size == 0:
         raise CalibrationError("empty confidence-threshold grid")
     batch = DetectionBatch.coerce(detections)
-    n_truth = np.fromiter(
-        (len(truth) for truth in truths), dtype=np.int64, count=len(truths)
-    )
+    n_truth = gt.counts()
     losses = np.zeros(thresholds.size)
     for index, threshold in enumerate(thresholds):
         counts = batch.count_above(float(threshold))
@@ -84,7 +84,7 @@ def count_loss_curve(
 
 def fit_confidence_threshold(
     detections: DetectionBatch | list[Detections],
-    truths: list[GroundTruth],
+    truths: GroundTruthBatch | list[GroundTruth],
     grid: np.ndarray | None = None,
 ) -> float:
     """The noise-filter threshold minimising the Eq. 1 count loss."""

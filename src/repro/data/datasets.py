@@ -22,6 +22,7 @@ capability (models trained on more data — handled by the simulator presets).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
@@ -29,6 +30,7 @@ from repro._rng import DEFAULT_SEED, generator_for
 from repro.data.classes import COCO18_CLASSES, HELMET_CLASSES, VOC_CLASSES
 from repro.data.degrade import Degradation, DegradationModel
 from repro.data.scene import SceneProfile, sample_scene
+from repro.detection.batch import GroundTruthBatch
 from repro.detection.types import GroundTruth
 from repro.errors import DatasetError
 
@@ -82,6 +84,20 @@ class Dataset:
     def truths(self) -> list[GroundTruth]:
         """Ground-truth annotations in record order."""
         return [record.truth for record in self.records]
+
+    @cached_property
+    def image_ids(self) -> tuple[str, ...]:
+        """Image identifiers in record order (computed once per split)."""
+        return tuple(record.image_id for record in self.records)
+
+    @cached_property
+    def truth_batch(self) -> GroundTruthBatch:
+        """The split's annotations as a cached structure-of-arrays batch.
+
+        Evaluation code (VOC AP pooling, counting, threshold fits) consumes
+        this directly, so a split's ground truth is flattened exactly once.
+        """
+        return GroundTruthBatch.from_truths(self.truths)
 
     @property
     def total_objects(self) -> int:

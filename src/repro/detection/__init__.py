@@ -9,7 +9,11 @@ from repro.detection.anchors import (
     ssd300_small_feature_maps,
     yolo_feature_maps,
 )
-from repro.detection.batch import DetectionBatch
+from repro.detection.batch import (
+    DetectionBatch,
+    DetectionBatchBuilder,
+    GroundTruthBatch,
+)
 from repro.detection.boxes import (
     as_boxes,
     box_area,
@@ -54,6 +58,8 @@ __all__ = [
     "validate_boxes",
     "xyxy_to_cxcywh",
     "DetectionBatch",
+    "DetectionBatchBuilder",
+    "GroundTruthBatch",
     "MatchResult",
     "greedy_match_arrays",
     "match_detections",

@@ -1,4 +1,4 @@
-"""Structure-of-arrays batch of per-image detections.
+"""Structure-of-arrays batches of per-image detections and annotations.
 
 :class:`DetectionBatch` holds one detector's output over a whole split as
 four flat arrays — concatenated ``boxes``/``scores``/``labels`` plus an
@@ -12,19 +12,27 @@ Invariants mirror :class:`Detections`: boxes are validated ``(N, 4)`` xyxy,
 scores lie in ``[0, 1]`` and every per-image segment is sorted by descending
 score.  Construction validates all of them with array passes, so views can
 bypass the per-image ``Detections`` constructor entirely.
+
+:class:`DetectionBatchBuilder` is the streaming producer of the same layout:
+an appendable accumulator with amortised (doubling) growth, so shard workers
+and per-frame simulators fill flat arrays directly instead of staging a
+``list[Detections]``.  :class:`GroundTruthBatch` is the annotation-side
+mirror (flat ``boxes``/``labels`` + ``offsets``), cached on ``Dataset`` so
+evaluation never re-flattens a split's ground truth.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.detection.boxes import box_area, validate_boxes
-from repro.detection.types import Detections
+from repro.detection.types import Detections, GroundTruth
 from repro.errors import GeometryError
 
-__all__ = ["DetectionBatch"]
+__all__ = ["DetectionBatch", "DetectionBatchBuilder", "GroundTruthBatch"]
 
 
 def _segment_view(batch: "DetectionBatch", index: int) -> Detections:
@@ -151,33 +159,69 @@ class DetectionBatch:
 
     @classmethod
     def from_list(
-        cls, detections: list[Detections], *, detector: str | None = None
+        cls, detections: Iterable[Detections], *, detector: str | None = None
     ) -> "DetectionBatch":
-        """Concatenate per-image :class:`Detections` into one batch."""
-        items = list(detections)
+        """Concatenate per-image :class:`Detections` into one batch.
+
+        A thin wrapper over :class:`DetectionBatchBuilder` — appends every
+        image's arrays into one amortised-growth buffer and validates once.
+        """
+        builder = DetectionBatchBuilder(detector=detector)
+        for item in detections:
+            builder.append_detections(item)
+        return builder.build()
+
+    @classmethod
+    def concat(
+        cls,
+        parts: Sequence["DetectionBatch"],
+        *,
+        detector: str | None = None,
+    ) -> "DetectionBatch":
+        """Concatenate batches over disjoint image ranges, in order.
+
+        The inverse of slicing: ``concat([b[:k], b[k:]])`` reproduces ``b``
+        exactly.  Inputs are already-validated batches, so the result skips
+        re-validation.
+        """
+        parts = [part for part in parts]
         if detector is None:
-            names = {d.detector for d in items}
+            names = {part.detector for part in parts}
             detector = names.pop() if len(names) == 1 else "mixed"
-        counts = np.fromiter(
-            (len(d) for d in items), dtype=np.int64, count=len(items)
+        if not parts:
+            return cls._trusted(
+                (),
+                np.zeros((0, 4)),
+                np.zeros(0),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(1, dtype=np.int64),
+                detector,
+            )
+        if len(parts) == 1:
+            only = parts[0]
+            return cls._trusted(
+                only.image_ids,
+                only.boxes,
+                only.scores,
+                only.labels,
+                only.offsets,
+                detector,
+            )
+        sizes = np.fromiter(
+            (part.num_boxes for part in parts), dtype=np.int64, count=len(parts)
         )
-        offsets = np.zeros(len(items) + 1, dtype=np.int64)
-        np.cumsum(counts, out=offsets[1:])
-        if items and offsets[-1]:
-            boxes = np.concatenate([d.boxes for d in items], axis=0)
-            scores = np.concatenate([d.scores for d in items])
-            labels = np.concatenate([d.labels for d in items])
-        else:
-            boxes = np.zeros((0, 4))
-            scores = np.zeros(0)
-            labels = np.zeros(0, dtype=np.int64)
-        return cls(
-            image_ids=tuple(d.image_id for d in items),
-            boxes=boxes,
-            scores=scores,
-            labels=labels,
-            offsets=offsets,
-            detector=detector,
+        bases = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64)]
+            + [part.offsets[1:] + base for part, base in zip(parts, bases)]
+        )
+        return cls._trusted(
+            tuple(image_id for part in parts for image_id in part.image_ids),
+            np.concatenate([part.boxes for part in parts], axis=0),
+            np.concatenate([part.scores for part in parts]),
+            np.concatenate([part.labels for part in parts]),
+            offsets,
+            detector,
         )
 
     @classmethod
@@ -391,3 +435,223 @@ class DetectionBatch:
             offsets=payload["offsets"],
             detector=detector,
         )
+
+
+class DetectionBatchBuilder:
+    """Appendable accumulator producing :class:`DetectionBatch` layouts.
+
+    Per-image results are copied straight into flat buffers that grow by
+    doubling, so appending a whole split is amortised O(total boxes) with no
+    ``list[Detections]`` staging hop.  Producers: shard workers of the
+    parallel split runner, the stream simulator's served-frame collector,
+    and :meth:`DetectionBatch.from_list`.
+
+    ``build()`` snapshots the current contents (validated through the public
+    :class:`DetectionBatch` constructor); the builder stays appendable
+    afterwards — earlier snapshots are never mutated because growth
+    reallocates and appends only touch rows past the snapshot.
+    """
+
+    def __init__(self, *, detector: str | None = None) -> None:
+        self._detector = detector
+        self._names: set[str] = set()
+        self._image_ids: list[str] = []
+        self._offsets: list[int] = [0]
+        self._boxes = np.empty((0, 4), dtype=np.float64)
+        self._scores = np.empty(0, dtype=np.float64)
+        self._labels = np.empty(0, dtype=np.int64)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return len(self._image_ids)
+
+    @property
+    def num_boxes(self) -> int:
+        """Total boxes appended so far."""
+        return self._count
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._count + extra
+        capacity = int(self._scores.shape[0])
+        if needed <= capacity:
+            return
+        capacity = max(needed, capacity * 2, 16)
+        boxes = np.empty((capacity, 4), dtype=np.float64)
+        boxes[: self._count] = self._boxes[: self._count]
+        scores = np.empty(capacity, dtype=np.float64)
+        scores[: self._count] = self._scores[: self._count]
+        labels = np.empty(capacity, dtype=np.int64)
+        labels[: self._count] = self._labels[: self._count]
+        self._boxes, self._scores, self._labels = boxes, scores, labels
+
+    def append(
+        self,
+        image_id: str,
+        boxes: np.ndarray,
+        scores: np.ndarray,
+        labels: np.ndarray,
+    ) -> None:
+        """Append one image's detections (arrays already score-descending)."""
+        boxes = np.asarray(boxes, dtype=np.float64)
+        if boxes.ndim != 2 or boxes.shape[1] != 4:
+            raise GeometryError(
+                f"DetectionBatchBuilder: boxes must be (N, 4), got {boxes.shape}"
+            )
+        count = boxes.shape[0]
+        scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        if scores.shape[0] != count or labels.shape[0] != count:
+            raise GeometryError(
+                f"DetectionBatchBuilder: got {scores.shape[0]} scores / "
+                f"{labels.shape[0]} labels for {count} boxes"
+            )
+        self._reserve(count)
+        lo, hi = self._count, self._count + count
+        self._boxes[lo:hi] = boxes
+        self._scores[lo:hi] = scores
+        self._labels[lo:hi] = labels
+        self._count = hi
+        self._image_ids.append(image_id)
+        self._offsets.append(hi)
+
+    def append_detections(self, detections: Detections) -> None:
+        """Append one validated :class:`Detections` object."""
+        if self._detector is None:
+            self._names.add(detections.detector)
+        self.append(
+            detections.image_id,
+            detections.boxes,
+            detections.scores,
+            detections.labels,
+        )
+
+    def build(self) -> "DetectionBatch":
+        """Snapshot the appended images as a validated batch."""
+        detector = self._detector
+        if detector is None:
+            detector = (
+                next(iter(self._names)) if len(self._names) == 1 else "mixed"
+            )
+        return DetectionBatch(
+            image_ids=tuple(self._image_ids),
+            boxes=self._boxes[: self._count],
+            scores=self._scores[: self._count],
+            labels=self._labels[: self._count],
+            offsets=np.asarray(self._offsets, dtype=np.int64),
+            detector=detector,
+        )
+
+
+@dataclass(frozen=True)
+class GroundTruthBatch:
+    """A split's annotations, stored structure-of-arrays.
+
+    The annotation-side mirror of :class:`DetectionBatch`: flat concatenated
+    ``boxes``/``labels`` plus an ``offsets`` array delimiting each image's
+    segment.  ``Dataset.truth_batch`` caches one per split, so evaluation
+    (VOC AP pooling, counting, threshold fits) reads the flat arrays
+    directly instead of re-flattening ``list[GroundTruth]`` per call.
+    """
+
+    image_ids: tuple[str, ...]
+    boxes: np.ndarray
+    labels: np.ndarray
+    offsets: np.ndarray
+
+    def __post_init__(self) -> None:
+        boxes = validate_boxes(self.boxes)
+        total = boxes.shape[0]
+        labels = np.asarray(self.labels, dtype=np.int64).reshape(-1)
+        if labels.shape[0] != total:
+            raise GeometryError(
+                f"GroundTruthBatch: got {labels.shape[0]} labels for {total} boxes"
+            )
+        offsets = np.asarray(self.offsets, dtype=np.int64).reshape(-1)
+        if offsets.size == 0 or offsets[0] != 0 or offsets[-1] != total:
+            raise GeometryError(
+                "GroundTruthBatch: offsets must run from 0 to len(boxes)"
+            )
+        if (np.diff(offsets) < 0).any():
+            raise GeometryError("GroundTruthBatch: offsets must be non-decreasing")
+        image_ids = tuple(self.image_ids)
+        if len(image_ids) != offsets.size - 1:
+            raise GeometryError(
+                f"GroundTruthBatch: got {len(image_ids)} image ids for "
+                f"{offsets.size - 1} segments"
+            )
+        object.__setattr__(self, "image_ids", image_ids)
+        object.__setattr__(self, "boxes", boxes)
+        object.__setattr__(self, "labels", labels)
+        object.__setattr__(self, "offsets", offsets)
+
+    # ------------------------------------------------------------------ #
+    # construction / conversion
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_truths(cls, truths: Sequence[GroundTruth]) -> "GroundTruthBatch":
+        """Flatten per-image :class:`GroundTruth` into one batch."""
+        items = list(truths)
+        counts = np.fromiter(
+            (len(truth) for truth in items), dtype=np.int64, count=len(items)
+        )
+        offsets = np.zeros(len(items) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        if items and offsets[-1]:
+            boxes = np.concatenate([truth.boxes for truth in items], axis=0)
+            labels = np.concatenate([truth.labels for truth in items])
+        else:
+            boxes = np.zeros((0, 4))
+            labels = np.zeros(0, dtype=np.int64)
+        return cls(
+            image_ids=tuple(truth.image_id for truth in items),
+            boxes=boxes,
+            labels=labels,
+            offsets=offsets,
+        )
+
+    @classmethod
+    def coerce(
+        cls, truths: "GroundTruthBatch | Sequence[GroundTruth]"
+    ) -> "GroundTruthBatch":
+        """Pass a batch through unchanged; use a ``Dataset``'s cached batch
+        when one is offered; flatten a plain annotation list."""
+        if isinstance(truths, cls):
+            return truths
+        cached = getattr(truths, "truth_batch", None)
+        if isinstance(cached, cls):
+            return cached
+        return cls.from_truths(truths)
+
+    # ------------------------------------------------------------------ #
+    # vectorised split-level ops
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.image_ids)
+
+    @property
+    def total_objects(self) -> int:
+        """Total annotated objects across the split."""
+        return int(self.offsets[-1])
+
+    def counts(self) -> np.ndarray:
+        """Per-image object counts, shape ``(num_images,)``."""
+        return np.diff(self.offsets)
+
+    def image_indices(self) -> np.ndarray:
+        """For every flat row, the index of the image that owns it."""
+        return np.repeat(np.arange(len(self), dtype=np.int64), self.counts())
+
+    def min_area_ratios(self) -> np.ndarray:
+        """Per-image smallest object area ratio (1.0 for empty images),
+        consistent with :attr:`GroundTruth.min_area_ratio`."""
+        out = np.full(len(self), 1.0)
+        if self.boxes.shape[0] == 0:
+            return out
+        areas = box_area(self.boxes)
+        nonempty = self.offsets[:-1] < self.offsets[1:]
+        starts = self.offsets[:-1][nonempty]
+        if starts.size:
+            # Empty segments contribute no rows, so each reduceat span is
+            # exactly one segment (same argument as min_area_above).
+            out[nonempty] = np.minimum.reduceat(areas, starts)
+        return out

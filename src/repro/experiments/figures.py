@@ -93,8 +93,8 @@ def figure_07_threshold_sweep(harness: Harness) -> FigureResult:
     small_train = harness.detections("small1", setting, "train")
     labels = label_cases(small_train, harness.detections("ssd", setting, "train"))
     n_predict = small_train.count_above(0.5)
-    true_counts = np.array([len(t) for t in train.truths])
-    true_min_areas = np.array([t.min_area_ratio for t in train.truths])
+    true_counts = train.truth_batch.counts()
+    true_min_areas = train.truth_batch.min_area_ratios()
     rows = area_threshold_sweep(
         n_predict, true_counts, true_min_areas, labels, count_threshold=2
     )

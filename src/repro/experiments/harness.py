@@ -5,6 +5,20 @@ materialised splits, calibrated detectors, per-split detections and fitted
 discriminators.  The harness memoises all of them (detections additionally
 on disk), so the full benchmark suite runs each model/setting combination
 exactly once regardless of how many tables consume it.
+
+Detection production is sharded two ways:
+
+* **Disk cache shards** — the on-disk cache stores one ``.npz`` per
+  contiguous image range of ``cache_shard_size`` images (fingerprinted over
+  the shard's own records), so a partially warm cache recomputes only the
+  missing ranges and differently-sized subset runs share their common
+  full shards.
+* **Worker processes** — missing shards are detected on a process pool via
+  :mod:`repro.runtime.parallel`.  The worker count comes from
+  ``HarnessConfig.workers`` when set, else the ``REPRO_WORKERS``
+  environment variable, else 1 (serial).  Detections are a pure function of
+  ``(seed, profile, image id)``, so the parallel output is bit-for-bit
+  identical to the serial loop.
 """
 
 from __future__ import annotations
@@ -14,17 +28,24 @@ import os
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
 from repro._rng import DEFAULT_SEED
 from repro.core.discriminator import DifficultCaseDiscriminator, DiscriminatorFitReport
 from repro.core.system import SmallBigSystem, SystemRun
-from repro.data.datasets import DATASET_SETTINGS, Dataset, load_dataset
+from repro.data.datasets import DATASET_SETTINGS, Dataset, ImageRecord, load_dataset
 from repro.detection.batch import DetectionBatch
 from repro.errors import GeometryError
 from repro.metrics.counting import CountSummary, count_summary
 from repro.metrics.voc_ap import mean_average_precision
+from repro.runtime.parallel import (
+    DEFAULT_MIN_SHARD_IMAGES,
+    resolve_workers,
+    run_shards,
+    run_split,
+)
 from repro.simulate.detector import SimulatedDetector
 from repro.simulate.presets import make_detector
 
@@ -33,16 +54,28 @@ __all__ = ["HarnessConfig", "Harness"]
 
 @dataclass(frozen=True)
 class HarnessConfig:
-    """Sizing and caching knobs for an experiment run.
+    """Sizing, caching and parallelism knobs for an experiment run.
 
     ``quick()`` returns a configuration small enough for unit tests (a few
     hundred images per split) while exercising every code path.
+
+    Attributes
+    ----------
+    workers:
+        Process count for detection production.  ``None`` defers to the
+        ``REPRO_WORKERS`` environment variable (unset/empty means 1, i.e.
+        serial).  Any value yields identical detections — parallelism only
+        changes wall time.
+    cache_shard_size:
+        Image-range width of one on-disk cache shard.
     """
 
     seed: int = DEFAULT_SEED
     train_images: int = 5000
     test_fraction: float = 1.0
     cache_dir: str | None = None
+    workers: int | None = None
+    cache_shard_size: int = 1024
 
     @classmethod
     def quick(cls) -> "HarnessConfig":
@@ -57,6 +90,10 @@ class HarnessConfig:
         if env:
             return Path(env)
         return Path(__file__).resolve().parents[3] / ".repro_cache"
+
+    def resolve_workers(self) -> int:
+        """Effective worker count (explicit > ``REPRO_WORKERS`` > 1)."""
+        return resolve_workers(self.workers)
 
 
 @dataclass
@@ -96,21 +133,18 @@ class Harness:
 
         Returned as a :class:`DetectionBatch` — the on-disk layout loads
         straight into the batch's flat arrays, and per-image views are
-        available through the batch's sequence protocol.
+        available through the batch's sequence protocol.  The disk cache is
+        sharded by image range: only shards missing (or corrupt) on disk are
+        recomputed, in parallel when the harness is configured with more
+        than one worker.
         """
         key = (model, setting, split)
         if key in self._detections:
             return self._detections[key]
         dataset = self.dataset(setting, split)
         detector = self.detector(model, setting)
-        cached = self._load_disk(detector, dataset)
-        if cached is None:
-            cached = DetectionBatch.from_list(
-                detector.detect_split(dataset), detector=detector.name
-            )
-            self._store_disk(detector, dataset, cached)
-        self._detections[key] = cached
-        return cached
+        self._detections[key] = self._produce(detector, dataset)
+        return self._detections[key]
 
     def discriminator(
         self, small: str, big: str, setting: str
@@ -122,7 +156,7 @@ class Harness:
             self._discriminators[key] = DifficultCaseDiscriminator.fit(
                 self.detections(small, setting, "train"),
                 self.detections(big, setting, "train"),
-                train.truths,
+                train.truth_batch,
             )
         return self._discriminators[key]
 
@@ -162,7 +196,7 @@ class Harness:
             dataset = self.dataset(setting, "test")
             served = self.detections(model, setting, "test").above(0.5)
             self._maps[key] = mean_average_precision(
-                served, dataset.truths, dataset.num_classes
+                served, dataset.truth_batch, dataset.num_classes
             )
         return self._maps[key]
 
@@ -172,23 +206,116 @@ class Harness:
         if key not in self._counts:
             dataset = self.dataset(setting, "test")
             self._counts[key] = count_summary(
-                self.detections(model, setting, "test"), dataset.truths
+                self.detections(model, setting, "test"), dataset.truth_batch
             )
         return self._counts[key]
 
     # ------------------------------------------------------------------ #
+    # detection production (sharded disk cache + parallel runner)
+    # ------------------------------------------------------------------ #
+    def _produce(
+        self, detector: SimulatedDetector, dataset: Dataset
+    ) -> DetectionBatch:
+        """Assemble a split's detections from cache shards, computing (and
+        persisting) only the missing image ranges."""
+        spans = self._cache_spans(len(dataset))
+        if not spans:
+            return DetectionBatch.from_list([], detector=detector.name)
+        shards: list[DetectionBatch | None] = [
+            self._load_shard(detector, dataset, span) for span in spans
+        ]
+        missing = [index for index, shard in enumerate(shards) if shard is None]
+        if missing:
+            missing_spans = [spans[index] for index in missing]
+
+            def store(position: int, batch: DetectionBatch) -> None:
+                # Runs as each shard completes, so an interrupted cold run
+                # keeps every shard already finished.
+                self._store_shard(detector, dataset, missing_spans[position], batch)
+
+            computed = self._detect_spans(detector, dataset, missing_spans, store)
+            for index, batch in zip(missing, computed):
+                shards[index] = batch
+        if len(shards) == 1:
+            return shards[0]
+        return DetectionBatch.concat(shards, detector=detector.name)
+
+    def _cache_spans(self, count: int) -> list[tuple[int, int]]:
+        """Contiguous image ranges backing one cache shard each."""
+        size = max(1, self.config.cache_shard_size)
+        return [(lo, min(lo + size, count)) for lo in range(0, count, size)]
+
+    def _detect_spans(
+        self,
+        detector: SimulatedDetector,
+        dataset: Dataset,
+        spans: list[tuple[int, int]],
+        on_result,
+    ) -> list[DetectionBatch]:
+        """Detect the given image ranges, one batch per range.
+
+        A single missing range parallelises internally (sub-sharded across
+        workers); several missing ranges parallelise at range granularity,
+        and ``on_result(position, batch)`` fires as each range completes so
+        it is persisted as its cache shard right away.
+        """
+        workers = self.config.resolve_workers()
+        records = dataset.records
+        if len(spans) == 1:
+            lo, hi = spans[0]
+            batch = run_split(detector, records[lo:hi], workers=workers)
+            on_result(0, batch)
+            return [batch]
+        # Same tiny-split fallback as run_split: don't pay pool startup when
+        # the total missing work is under one pool-worthy shard per worker.
+        total = sum(hi - lo for lo, hi in spans)
+        workers = min(workers, max(1, total // DEFAULT_MIN_SHARD_IMAGES))
+        return run_shards(
+            detector,
+            [records[lo:hi] for lo, hi in spans],
+            workers=workers,
+            on_result=on_result,
+        )
+
+    # ------------------------------------------------------------------ #
     # disk cache
     # ------------------------------------------------------------------ #
-    def _cache_path(self, detector: SimulatedDetector, dataset: Dataset) -> Path | None:
+    @staticmethod
+    def _records_digest(records: Sequence[ImageRecord]) -> bytes:
+        """Cheap content digest of an image range.
+
+        Hashes every record's object *count* plus the full annotation of a
+        strided sample (~8 records per shard, endpoints included).  Any edit
+        that changes a per-image count invalidates the shard wherever it
+        lands; pure coordinate/label jitter is only caught on the sampled
+        records — hashing every box would cost as much as recomputing small
+        shards, and the experiment generators key every scene off the seed
+        that is already part of the fingerprint."""
+        counts = np.fromiter(
+            (len(record.truth) for record in records),
+            dtype=np.int64,
+            count=len(records),
+        )
+        hasher = hashlib.sha256(counts.tobytes())
+        if records:
+            stride = max(1, len(records) // 8)
+            for index in list(range(0, len(records), stride)) + [len(records) - 1]:
+                record = records[index]
+                hasher.update(record.image_id.encode())
+                hasher.update(record.truth.boxes.tobytes())
+                hasher.update(record.truth.labels.tobytes())
+        return hasher.digest()
+
+    def _shard_path(
+        self,
+        detector: SimulatedDetector,
+        dataset: Dataset,
+        span: tuple[int, int],
+    ) -> Path | None:
         root = self.config.resolve_cache_dir()
         if root is None:
             return None
-        content_probe = b""
-        if dataset.records:
-            content_probe = (
-                dataset.records[0].truth.boxes.tobytes()
-                + dataset.records[-1].truth.boxes.tobytes()
-            )
+        lo, hi = span
         fingerprint = hashlib.sha256(
             repr(
                 (
@@ -196,25 +323,27 @@ class Harness:
                     detector.profile,
                     dataset.name,
                     dataset.split,
-                    len(dataset),
-                    dataset.total_objects,
+                    lo,
+                    hi,
                 )
             ).encode()
-            + content_probe
+            + self._records_digest(dataset.records[lo:hi])
         ).hexdigest()[:20]
-        return root / f"det-{fingerprint}.npz"
+        return root / f"det-{fingerprint}-{lo:06d}-{hi:06d}.npz"
 
-    def _load_disk(
-        self, detector: SimulatedDetector, dataset: Dataset
+    def _load_shard(
+        self,
+        detector: SimulatedDetector,
+        dataset: Dataset,
+        span: tuple[int, int],
     ) -> DetectionBatch | None:
-        path = self._cache_path(detector, dataset)
+        path = self._shard_path(detector, dataset, span)
         if path is None or not path.exists():
             return None
+        lo, hi = span
         try:
             batch = DetectionBatch.load(
-                path,
-                tuple(record.image_id for record in dataset.records),
-                detector=detector.name,
+                path, dataset.image_ids[lo:hi], detector=detector.name
             )
         except (
             OSError,
@@ -227,13 +356,14 @@ class Harness:
             return None  # corrupt/stale cache entries are recomputed
         return batch
 
-    def _store_disk(
+    def _store_shard(
         self,
         detector: SimulatedDetector,
         dataset: Dataset,
+        span: tuple[int, int],
         detections: DetectionBatch,
     ) -> None:
-        path = self._cache_path(detector, dataset)
+        path = self._shard_path(detector, dataset, span)
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)

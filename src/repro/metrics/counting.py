@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.detection.batch import DetectionBatch
-from repro.detection.matching import greedy_match_arrays, true_positive_count
+from repro.detection.batch import DetectionBatch, GroundTruthBatch
+from repro.detection.matching import greedy_match_arrays
 from repro.detection.types import Detections, GroundTruth
 from repro.errors import ConfigurationError
 
@@ -45,58 +45,55 @@ class CountSummary:
 
 def count_detected_objects(
     detections: DetectionBatch | list[Detections],
-    truths: list[GroundTruth],
+    truths: GroundTruthBatch | list[GroundTruth],
     *,
     score_threshold: float = 0.5,
     iou_threshold: float = 0.5,
 ) -> int:
     """Total true-positive count over a split.
 
-    With a :class:`DetectionBatch`, the serving filter runs once over the
-    flat arrays and the per-image greedy matching works on array slices —
-    no per-image container construction.
+    Both sides are consumed as flat batches (coerced once for list inputs):
+    the serving filter runs in one pass over the detection arrays and the
+    per-image greedy matching works on offset slices of both pools — no
+    per-image container construction or annotation re-flattening.
     """
-    if len(detections) != len(truths):
+    gt = GroundTruthBatch.coerce(truths)
+    if len(detections) != len(gt):
         raise ConfigurationError(
-            f"got {len(detections)} detection sets for {len(truths)} images"
+            f"got {len(detections)} detection sets for {len(gt)} images"
         )
-    if isinstance(detections, DetectionBatch):
-        served = detections.above(score_threshold)
-        offsets = served.offsets
-        total = 0
-        for index, truth in enumerate(truths):
-            lo, hi = int(offsets[index]), int(offsets[index + 1])
-            if lo == hi or len(truth) == 0:
-                continue
-            total += greedy_match_arrays(
-                served.boxes[lo:hi],
-                served.labels[lo:hi],
-                truth.boxes,
-                truth.labels,
-                iou_threshold=iou_threshold,
-            ).num_tp
-        return total
-    return sum(
-        true_positive_count(
-            dets, truth, score_threshold=score_threshold, iou_threshold=iou_threshold
-        )
-        for dets, truth in zip(detections, truths)
-    )
+    served = DetectionBatch.coerce(detections).above(score_threshold)
+    offsets = served.offsets
+    gt_offsets = gt.offsets
+    total = 0
+    for index in range(len(gt)):
+        lo, hi = int(offsets[index]), int(offsets[index + 1])
+        gt_lo, gt_hi = int(gt_offsets[index]), int(gt_offsets[index + 1])
+        if lo == hi or gt_lo == gt_hi:
+            continue
+        total += greedy_match_arrays(
+            served.boxes[lo:hi],
+            served.labels[lo:hi],
+            gt.boxes[gt_lo:gt_hi],
+            gt.labels[gt_lo:gt_hi],
+            iou_threshold=iou_threshold,
+        ).num_tp
+    return total
 
 
 def count_summary(
     detections: DetectionBatch | list[Detections],
-    truths: list[GroundTruth],
+    truths: GroundTruthBatch | list[GroundTruth],
     *,
     score_threshold: float = 0.5,
     iou_threshold: float = 0.5,
 ) -> CountSummary:
     """Detected-object count plus the split's ground-truth total."""
+    gt = GroundTruthBatch.coerce(truths)
     detected = count_detected_objects(
         detections,
-        truths,
+        gt,
         score_threshold=score_threshold,
         iou_threshold=iou_threshold,
     )
-    total = sum(len(truth) for truth in truths)
-    return CountSummary(detected=detected, total_ground_truth=total)
+    return CountSummary(detected=detected, total_ground_truth=gt.total_objects)

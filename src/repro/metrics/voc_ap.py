@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.detection.batch import DetectionBatch
+from repro.detection.batch import DetectionBatch, GroundTruthBatch
 from repro.detection.boxes import pairwise_iou
 from repro.detection.types import Detections, GroundTruth
 from repro.errors import ConfigurationError
@@ -181,26 +181,9 @@ def _pooled_pr_curve(
     return PRCurve(recall=recall, precision=precision, scores=scores, num_gt=num_gt)
 
 
-def _pooled_ground_truth(
-    truths: list[GroundTruth],
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Flatten a split's annotations to ``(boxes, labels, image indices)``."""
-    counts = np.fromiter(
-        (len(truth) for truth in truths), dtype=np.int64, count=len(truths)
-    )
-    if counts.sum():
-        boxes = np.concatenate([truth.boxes for truth in truths], axis=0)
-        labels = np.concatenate([truth.labels for truth in truths])
-    else:
-        boxes = np.zeros((0, 4))
-        labels = np.zeros(0, dtype=np.int64)
-    images = np.repeat(np.arange(len(truths), dtype=np.int64), counts)
-    return boxes, labels, images
-
-
 def precision_recall_curve(
     detections: DetectionBatch | list[Detections],
-    truths: list[GroundTruth],
+    truths: GroundTruthBatch | list[GroundTruth],
     label: int,
     *,
     iou_threshold: float = 0.5,
@@ -209,29 +192,31 @@ def precision_recall_curve(
 
     Pools every detection of class ``label`` across images, sorts by score,
     and greedily matches against unclaimed ground truth per the VOC protocol.
+    Annotations arrive pre-flattened when a :class:`GroundTruthBatch` (or a
+    ``Dataset`` with its cached batch) is passed.
     """
-    if len(detections) != len(truths):
+    gt = GroundTruthBatch.coerce(truths)
+    if len(detections) != len(gt):
         raise ConfigurationError(
-            f"got {len(detections)} detection sets for {len(truths)} images"
+            f"got {len(detections)} detection sets for {len(gt)} images"
         )
     batch = DetectionBatch.coerce(detections)
-    gt_boxes, gt_labels, gt_images = _pooled_ground_truth(truths)
-    gt_mask = gt_labels == label
+    gt_mask = gt.labels == label
     det_mask = batch.labels == label
     return _pooled_pr_curve(
         batch.scores[det_mask],
         batch.boxes[det_mask],
         batch.image_indices()[det_mask],
-        gt_boxes[gt_mask],
-        gt_images[gt_mask],
-        len(truths),
+        gt.boxes[gt_mask],
+        gt.image_indices()[gt_mask],
+        len(gt),
         iou_threshold,
     )
 
 
 def evaluate_detections(
     detections: DetectionBatch | list[Detections],
-    truths: list[GroundTruth],
+    truths: GroundTruthBatch | list[GroundTruth],
     num_classes: int,
     *,
     iou_threshold: float = 0.5,
@@ -240,17 +225,19 @@ def evaluate_detections(
     """Evaluate a detector over a split: per-class AP and mAP.
 
     Classes with no ground-truth instances in the split are skipped, matching
-    the VOC devkit behaviour.  Detections and annotations are pooled into
-    flat arrays once; each class then evaluates with pure mask selections
+    the VOC devkit behaviour.  Detections are pooled into flat arrays once,
+    annotations come pre-pooled from the :class:`GroundTruthBatch` (lists are
+    flattened on entry); each class then evaluates with pure mask selections
     over them.
     """
-    if len(detections) != len(truths):
+    gt = GroundTruthBatch.coerce(truths)
+    if len(detections) != len(gt):
         raise ConfigurationError(
-            f"got {len(detections)} detection sets for {len(truths)} images"
+            f"got {len(detections)} detection sets for {len(gt)} images"
         )
     batch = DetectionBatch.coerce(detections)
     det_images = batch.image_indices()
-    gt_boxes, gt_labels, gt_images = _pooled_ground_truth(truths)
+    gt_labels, gt_images = gt.labels, gt.image_indices()
     per_class_ap: dict[int, float] = {}
     per_class_curves: dict[int, PRCurve] = {}
     for label in range(num_classes):
@@ -262,9 +249,9 @@ def evaluate_detections(
             batch.scores[det_mask],
             batch.boxes[det_mask],
             det_images[det_mask],
-            gt_boxes[gt_mask],
+            gt.boxes[gt_mask],
             gt_images[gt_mask],
-            len(truths),
+            len(gt),
             iou_threshold,
         )
         per_class_curves[label] = curve
@@ -278,7 +265,7 @@ def evaluate_detections(
 
 def mean_average_precision(
     detections: DetectionBatch | list[Detections],
-    truths: list[GroundTruth],
+    truths: GroundTruthBatch | list[GroundTruth],
     num_classes: int,
     *,
     iou_threshold: float = 0.5,

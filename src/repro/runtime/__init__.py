@@ -10,11 +10,23 @@ from repro.runtime.executor import (
 )
 from repro.runtime.events import EventLoop, FifoResource
 from repro.runtime.network import ETHERNET_1G, LTE, WLAN, NetworkLink
+from repro.runtime.parallel import (
+    detect_records,
+    resolve_workers,
+    run_shards,
+    run_split,
+    shard_spans,
+)
 from repro.runtime.stream import StreamConfig, StreamReport, StreamSimulator
 
 __all__ = [
     "EventLoop",
     "FifoResource",
+    "detect_records",
+    "resolve_workers",
+    "run_shards",
+    "run_split",
+    "shard_spans",
     "StreamConfig",
     "StreamReport",
     "StreamSimulator",

@@ -24,12 +24,13 @@ when a scheme saturates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro._rng import DEFAULT_SEED, generator_for
 from repro.data.datasets import Dataset
+from repro.detection.batch import DetectionBatch, DetectionBatchBuilder
 from repro.errors import RuntimeModelError
 from repro.metrics.latency import LatencySummary, summarize_latencies
 from repro.runtime.codec import detections_payload_bytes
@@ -70,7 +71,13 @@ class StreamConfig:
 
 @dataclass(frozen=True)
 class StreamReport:
-    """Outcome of one streaming run."""
+    """Outcome of one streaming run.
+
+    ``served`` (present when the run was given per-record detections) is the
+    stream's served output in completion order, accumulated frame by frame
+    through a :class:`DetectionBatchBuilder` — no per-frame container
+    staging.
+    """
 
     scheme: str
     latency: LatencySummary
@@ -81,6 +88,7 @@ class StreamReport:
     edge_utilization: float
     uplink_utilization: float
     cloud_utilization: float
+    served: DetectionBatch | None = field(default=None, repr=False)
 
     @property
     def drop_rate(self) -> float:
@@ -152,6 +160,8 @@ class StreamSimulator:
         scheme: str,
         config: StreamConfig,
         uploaded: np.ndarray | None = None,
+        *,
+        detections: DetectionBatch | None = None,
     ) -> StreamReport:
         """Simulate one scheme over the configured stream.
 
@@ -161,6 +171,12 @@ class StreamSimulator:
             ``"edge"``, ``"cloud"`` or ``"collaborative"``.
         uploaded:
             Per-record upload mask, required for ``"collaborative"``.
+        detections:
+            Optional per-record served outputs aligned with the dataset
+            (e.g. a :class:`SystemRun`'s final batch).  When given, every
+            served frame's segment is appended to a streaming
+            :class:`DetectionBatchBuilder` and the report carries the
+            resulting batch as ``served``.
         """
         if scheme not in ("edge", "cloud", "collaborative"):
             raise RuntimeModelError(f"unknown scheme {scheme!r}")
@@ -170,6 +186,11 @@ class StreamSimulator:
             uploaded = np.asarray(uploaded, dtype=bool).reshape(-1)
             if uploaded.shape[0] != len(self.dataset):
                 raise RuntimeModelError("upload mask misaligned with dataset")
+        builder: DetectionBatchBuilder | None = None
+        if detections is not None:
+            if len(detections) != len(self.dataset):
+                raise RuntimeModelError("detections misaligned with dataset")
+            builder = DetectionBatchBuilder(detector=detections.detector)
 
         loop = EventLoop()
         edge = FifoResource(loop, "edge")
@@ -188,44 +209,65 @@ class StreamSimulator:
         cloud_service = self._cloud_service()
         downlink_latency = self._downlink_latency()
 
-        def finish(start: float) -> None:
+        def collect(record_index: int) -> None:
+            if builder is None:
+                return
+            lo = int(detections.offsets[record_index])
+            hi = int(detections.offsets[record_index + 1])
+            builder.append(
+                detections.image_ids[record_index],
+                detections.boxes[lo:hi],
+                detections.scores[lo:hi],
+                detections.labels[lo:hi],
+            )
+
+        def finish(start: float, record_index: int) -> None:
             nonlocal served
             served += 1
             latencies.append(loop.now - start + downlink_latency)
+            collect(record_index)
 
-        def finish_local(start: float) -> None:
+        def finish_local(start: float, record_index: int) -> None:
             nonlocal served
             served += 1
             latencies.append(loop.now - start)
+            collect(record_index)
 
-        def cloud_path(record, start: float) -> None:
+        def cloud_path(record, start: float, record_index: int) -> None:
             nonlocal uploads
             uploads += 1
             uplink.acquire(
                 self._uplink_service(record),
-                lambda _t: cloud.acquire(cloud_service, lambda _t2: finish(start)),
+                lambda _t: cloud.acquire(
+                    cloud_service, lambda _t2: finish(start, record_index)
+                ),
             )
 
         def on_frame(index: int, arrival: float) -> None:
             nonlocal dropped
-            record = records[index % num_records]
+            record_index = index % num_records
+            record = records[record_index]
             entry_queue = edge if scheme != "cloud" else uplink
             if entry_queue.queue_depth >= config.max_edge_queue:
                 dropped += 1
                 return
             start = arrival
             if scheme == "edge":
-                edge.acquire(edge_service, lambda _t: finish_local(start))
+                edge.acquire(
+                    edge_service, lambda _t: finish_local(start, record_index)
+                )
             elif scheme == "cloud":
-                cloud_path(record, start)
+                cloud_path(record, start, record_index)
             else:
-                send = bool(uploaded[index % num_records])
+                send = bool(uploaded[record_index])
 
-                def after_edge(_t: float, record=record, send=send) -> None:
+                def after_edge(
+                    _t: float, record=record, send=send, record_index=record_index
+                ) -> None:
                     if send:
-                        cloud_path(record, start)
+                        cloud_path(record, start, record_index)
                     else:
-                        finish_local(start)
+                        finish_local(start, record_index)
 
                 edge.acquire(edge_service, after_edge)
 
@@ -243,6 +285,7 @@ class StreamSimulator:
             edge_utilization=edge.utilization(elapsed),
             uplink_utilization=uplink.utilization(elapsed),
             cloud_utilization=cloud.utilization(elapsed),
+            served=builder.build() if builder is not None else None,
         )
 
     def compare(

@@ -125,7 +125,7 @@ def calibrate_profile(
             profile=calibrated, num_classes=num_classes, seed=seed
         )
         detections = detector.detect_split(sample)
-        measured = count_detected_objects(detections, sample.truths) / max(
+        measured = count_detected_objects(detections, sample.truth_batch) / max(
             sample.total_objects, 1
         )
         if measured <= 0.0:
