@@ -7,8 +7,6 @@ the noise-filtered estimate.  Removing it turns the rule into a plain
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.cases import label_cases
 from repro.core.features import extract_feature_arrays
 from repro.metrics.classify import binary_metrics

@@ -112,12 +112,13 @@ def test_micro_detections_cold_cache(benchmark, workers, tmp_path_factory):
         cold.detector("small1", "voc07")
         return (cold,), {}
 
-    batch = benchmark.pedantic(
-        lambda cold: cold.detections("small1", "voc07", "test"),
-        setup=setup,
-        rounds=3,
-        iterations=1,
-    )
+    def produce(cold):
+        # Context-managed so each round's worker pool is reaped, not leaked
+        # into the rest of the benchmark session.
+        with cold:
+            return cold.detections("small1", "voc07", "test")
+
+    batch = benchmark.pedantic(produce, setup=setup, rounds=3, iterations=1)
     assert len(batch) == 397  # quick-config voc07 test split
 
 

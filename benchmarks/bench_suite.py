@@ -1,0 +1,60 @@
+"""Suite-level fan-out benchmarks.
+
+Measures the scheduler that overlaps whole ``(model, setting, split)``
+detection artifacts on the harness's persistent worker pool — the
+cross-artifact counterpart of the within-split sharding measured in
+``bench_micro``.  Worker count comes from ``REPRO_WORKERS``; on the 1-core
+dev container the parallel numbers are an overhead bound, so quote speedups
+from multi-core hardware (the ``suite-parallel`` CI job proves exactness
+there, and this bench measures the wall time).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import Harness, HarnessConfig
+from repro.experiments.suite import prefetch_detections, suite_artifacts
+
+
+def test_suite_prefetch_quick_cold(benchmark, tmp_path_factory):
+    """Cold-cache prefetch of a cross-model artifact mix at quick scale."""
+    base = HarnessConfig.quick()
+    artifacts = (
+        ("small1", "voc07", "test"),
+        ("ssd", "voc07", "test"),
+        ("small1", "voc07", "train"),
+        ("ssd", "voc07", "train"),
+    )
+
+    def setup():
+        cache = tmp_path_factory.mktemp("suite-cold")
+        config = HarnessConfig(
+            seed=base.seed,
+            train_images=base.train_images,
+            test_fraction=base.test_fraction,
+            cache_dir=str(cache),
+            cache_shard_size=256,
+        )
+        cold = Harness(config)
+        for model, setting, split in artifacts:
+            cold.dataset(setting, split)
+            cold.detector(model, setting)
+        return (cold,), {}
+
+    def prefetch(cold):
+        with cold:
+            return prefetch_detections(cold, artifacts)
+
+    produced = benchmark.pedantic(prefetch, setup=setup, rounds=3, iterations=1)
+    assert tuple(produced) == artifacts
+
+
+def test_suite_prefetch_full_scale(benchmark, harness):
+    """Prefetch every table/figure artifact on the shared full-scale harness.
+
+    Cold on a fresh checkout (this is the headline suite fan-out number),
+    warm when ``.repro_cache`` already holds the shards — both are useful:
+    cold measures production overlap, warm measures plan-and-load overhead.
+    """
+    keys = suite_artifacts()
+    produced = benchmark.pedantic(prefetch_detections, args=(harness, keys), rounds=1, iterations=1)
+    assert tuple(produced) == keys

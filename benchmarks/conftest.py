@@ -20,8 +20,14 @@ OUTPUT_DIR = Path(__file__).parent / "_output"
 
 @pytest.fixture(scope="session")
 def harness() -> Harness:
-    """Full-scale experiment harness shared by every benchmark."""
-    return Harness(HarnessConfig())
+    """Full-scale experiment harness shared by every benchmark.
+
+    Worker count comes from ``REPRO_WORKERS`` (serial when unset); the
+    harness-lifetime pool — shared by every ``detections()`` call and the
+    suite scheduler — is shut down when the benchmark session ends.
+    """
+    with Harness(HarnessConfig()) as shared:
+        yield shared
 
 
 @pytest.fixture(scope="session")

@@ -20,7 +20,7 @@ def main() -> None:
     system, report = quickstart_system("voc07", train_images=1500)
 
     disc = system.discriminator
-    print(f"fitted thresholds:")
+    print("fitted thresholds:")
     print(f"  noise-filter confidence : {disc.confidence_threshold:.2f}  (paper: 0.15-0.35)")
     print(f"  object count            : {disc.count_threshold}     (paper: 2)")
     print(f"  minimum area ratio      : {disc.area_threshold:.2f}  (paper: 0.31)")

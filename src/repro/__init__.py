@@ -41,6 +41,7 @@ from repro.detection import (
     GroundTruthBatch,
 )
 from repro.runtime.parallel import run_split
+from repro.runtime.pool import WorkerPool
 from repro.simulate import DetectorProfile, SimulatedDetector, make_detector
 
 __version__ = "1.0.0"
@@ -61,6 +62,7 @@ __all__ = [
     "GroundTruth",
     "GroundTruthBatch",
     "run_split",
+    "WorkerPool",
     "DetectorProfile",
     "SimulatedDetector",
     "make_detector",

@@ -12,6 +12,7 @@ from repro.experiments.harness import Harness
 from repro.experiments.results import FigureResult
 
 __all__ = [
+    "detection_artifacts",
     "difficulty_priority",
     "figure_04_case_scatter",
     "figure_07_threshold_sweep",
@@ -22,6 +23,22 @@ __all__ = [
 
 #: Upload-ratio grid of Figures 8 and 9.
 UPLOAD_GRID: tuple[float, ...] = tuple(np.round(np.arange(0.0, 1.01, 0.1), 1))
+
+
+def detection_artifacts() -> tuple[tuple[str, str, str], ...]:
+    """Distinct ``(model, setting, split)`` detection artifacts of the figures.
+
+    Figures 4 and 7 read the small1/SSD train-split detections on VOC07+12;
+    Figures 8-9 additionally sweep the test split through the same pair.
+    (All four are a subset of the table suite's artifacts; the suite
+    scheduler deduplicates across both lists.)
+    """
+    return (
+        ("small1", "voc07+12", "train"),
+        ("ssd", "voc07+12", "train"),
+        ("small1", "voc07+12", "test"),
+        ("ssd", "voc07+12", "test"),
+    )
 
 
 def difficulty_priority(

@@ -13,12 +13,18 @@ Detection production is sharded two ways:
   the shard's own records), so a partially warm cache recomputes only the
   missing ranges and differently-sized subset runs share their common
   full shards.
-* **Worker processes** — missing shards are detected on a process pool via
-  :mod:`repro.runtime.parallel`.  The worker count comes from
-  ``HarnessConfig.workers`` when set, else the ``REPRO_WORKERS``
-  environment variable, else 1 (serial).  Detections are a pure function of
-  ``(seed, profile, image id)``, so the parallel output is bit-for-bit
-  identical to the serial loop.
+* **Worker processes** — missing shards are detected on a harness-lifetime
+  :class:`~repro.runtime.pool.WorkerPool` via :mod:`repro.runtime.parallel`.
+  The worker count comes from ``HarnessConfig.workers`` when set, else the
+  ``REPRO_WORKERS`` environment variable, else 1 (serial).  Detections are a
+  pure function of ``(seed, profile, image id)``, so the parallel output is
+  bit-for-bit identical to the serial loop.
+
+The pool starts lazily on the first parallel production and is reused by
+every later ``detections()`` call (and by the suite scheduler in
+:mod:`repro.experiments.suite`, which fans whole artifacts out across it).
+Use the harness as a context manager — or call :meth:`Harness.close` — to
+shut the workers down deterministically; a serial harness never starts any.
 """
 
 from __future__ import annotations
@@ -42,10 +48,10 @@ from repro.metrics.counting import CountSummary, count_summary
 from repro.metrics.voc_ap import mean_average_precision
 from repro.runtime.parallel import (
     DEFAULT_MIN_SHARD_IMAGES,
-    resolve_workers,
     run_shards,
     run_split,
 )
+from repro.runtime.pool import WorkerPool, resolve_workers
 from repro.simulate.detector import SimulatedDetector
 from repro.simulate.presets import make_detector
 
@@ -98,7 +104,15 @@ class HarnessConfig:
 
 @dataclass
 class Harness:
-    """Memoising façade over the whole pipeline."""
+    """Memoising façade over the whole pipeline.
+
+    Also owns the (single) process pool used for parallel detection
+    production: :meth:`pool` creates it lazily on first use and every
+    ``detections()`` call — and the suite scheduler — submits to the same
+    one, so process startup is paid at most once per harness lifetime.  Use
+    the harness as a context manager (or call :meth:`close`) to shut the
+    workers down.
+    """
 
     config: HarnessConfig = field(default_factory=HarnessConfig)
     _datasets: dict = field(default_factory=dict, repr=False)
@@ -106,6 +120,37 @@ class Harness:
     _discriminators: dict = field(default_factory=dict, repr=False)
     _maps: dict = field(default_factory=dict, repr=False)
     _counts: dict = field(default_factory=dict, repr=False)
+    _pool: WorkerPool | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # pool lifecycle
+    # ------------------------------------------------------------------ #
+    def pool(self) -> WorkerPool:
+        """The shared worker pool (created lazily, at most one per lifetime).
+
+        The pool itself starts its executor only on the first parallel
+        submission, so asking for it is free; a serial configuration
+        (``workers`` resolving to 1) yields a pool that runs everything
+        inline and never forks.  After :meth:`close` the same (closed) pool
+        is returned: parallel production then raises
+        :class:`~repro.errors.ConfigurationError` rather than silently
+        forking a second executor the context manager would never reap.
+        """
+        if self._pool is None:
+            self._pool = WorkerPool(self.config.resolve_workers())
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; a no-op when serial)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+
+    def __enter__(self) -> "Harness":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------ #
     # artifacts
@@ -218,13 +263,7 @@ class Harness:
     ) -> DetectionBatch:
         """Assemble a split's detections from cache shards, computing (and
         persisting) only the missing image ranges."""
-        spans = self._cache_spans(len(dataset))
-        if not spans:
-            return DetectionBatch.from_list([], detector=detector.name)
-        shards: list[DetectionBatch | None] = [
-            self._load_shard(detector, dataset, span) for span in spans
-        ]
-        missing = [index for index, shard in enumerate(shards) if shard is None]
+        spans, shards, missing = self._production_state(detector, dataset)
         if missing:
             missing_spans = [spans[index] for index in missing]
 
@@ -236,6 +275,30 @@ class Harness:
             computed = self._detect_spans(detector, dataset, missing_spans, store)
             for index, batch in zip(missing, computed):
                 shards[index] = batch
+        return self._assemble(detector, shards)
+
+    def _production_state(
+        self, detector: SimulatedDetector, dataset: Dataset
+    ) -> tuple[list[tuple[int, int]], list[DetectionBatch | None], list[int]]:
+        """Cache spans, warm shard loads, and the indices still missing.
+
+        Shared by :meth:`_produce` (one artifact at a time) and the suite
+        scheduler in :mod:`repro.experiments.suite` (which fans the missing
+        spans of *many* artifacts out across the shared pool at once).
+        """
+        spans = self._cache_spans(len(dataset))
+        shards: list[DetectionBatch | None] = [
+            self._load_shard(detector, dataset, span) for span in spans
+        ]
+        missing = [index for index, shard in enumerate(shards) if shard is None]
+        return spans, shards, missing
+
+    def _assemble(
+        self, detector: SimulatedDetector, shards: Sequence[DetectionBatch]
+    ) -> DetectionBatch:
+        """Concatenate completed cache shards into one split batch."""
+        if not shards:
+            return DetectionBatch.from_list([], detector=detector.name)
         if len(shards) == 1:
             return shards[0]
         return DetectionBatch.concat(shards, detector=detector.name)
@@ -255,25 +318,26 @@ class Harness:
         """Detect the given image ranges, one batch per range.
 
         A single missing range parallelises internally (sub-sharded across
-        workers); several missing ranges parallelise at range granularity,
-        and ``on_result(position, batch)`` fires as each range completes so
-        it is persisted as its cache shard right away.
+        the shared pool's workers); several missing ranges parallelise at
+        range granularity, and ``on_result(position, batch)`` fires as each
+        range completes so it is persisted as its cache shard right away.
         """
-        workers = self.config.resolve_workers()
         records = dataset.records
         if len(spans) == 1:
             lo, hi = spans[0]
-            batch = run_split(detector, records[lo:hi], workers=workers)
+            batch = run_split(detector, records[lo:hi], pool=self.pool())
             on_result(0, batch)
             return [batch]
-        # Same tiny-split fallback as run_split: don't pay pool startup when
-        # the total missing work is under one pool-worthy shard per worker.
+        # Same tiny-split fallback as run_split: don't fork workers when the
+        # total missing work is under one pool-worthy shard per worker.
         total = sum(hi - lo for lo, hi in spans)
-        workers = min(workers, max(1, total // DEFAULT_MIN_SHARD_IMAGES))
+        workers = min(
+            self.config.resolve_workers(), max(1, total // DEFAULT_MIN_SHARD_IMAGES)
+        )
         return run_shards(
             detector,
             [records[lo:hi] for lo, hi in spans],
-            workers=workers,
+            pool=self.pool() if workers > 1 else None,
             on_result=on_result,
         )
 

@@ -94,7 +94,16 @@ def _figure_markdown(figure: FigureResult) -> str:
 
 
 def render_report(harness: Harness) -> str:
-    """Render the full EXPERIMENTS.md content."""
+    """Render the full EXPERIMENTS.md content.
+
+    Detection production for all tables and figures is fanned out across
+    the harness's worker pool first (a no-op when serial), so the
+    table/figure builders below hit the memo cache for every expensive
+    artifact.
+    """
+    from repro.experiments.suite import prefetch_detections
+
+    prefetch_detections(harness)
     parts = [_PREAMBLE]
     config = harness.config
     parts.append(
@@ -111,10 +120,16 @@ def render_report(harness: Harness) -> str:
 
 
 def write_report(path: str | Path, harness: Harness | None = None) -> Path:
-    """Generate EXPERIMENTS.md at ``path`` and return the path."""
-    if harness is None:
-        harness = Harness(HarnessConfig())
+    """Generate EXPERIMENTS.md at ``path`` and return the path.
+
+    A caller-supplied harness is left running (its pool lifecycle belongs to
+    the caller); an internally created one is closed before returning.
+    """
     path = Path(path)
+    if harness is None:
+        with Harness(HarnessConfig()) as owned:
+            path.write_text(render_report(owned))
+        return path
     path.write_text(render_report(harness))
     return path
 

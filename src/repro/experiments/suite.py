@@ -1,0 +1,195 @@
+"""Suite-level fan-out: overlap whole detection artifacts on the shared pool.
+
+:mod:`repro.runtime.parallel` parallelises *within* one split (contiguous
+image-range shards of a single ``detections()`` call).  The table/figure
+suite, however, consumes dozens of distinct ``(model, setting, split)``
+artifacts — and until this module they were produced strictly one after
+another, leaving the pool idle between artifacts.  The scheduler here lifts
+the fan-out one level: it plans every artifact's cache shards up front,
+submits *all* missing shards of *all* artifacts to the harness's single
+persistent :class:`~repro.runtime.pool.WorkerPool`, and overlaps models and
+settings rather than only image ranges.
+
+Guarantees (enforced bit-for-bit by ``tests/test_suite_scheduler.py`` and
+the ``suite-parallel`` CI job):
+
+* **Exactness** — every shard is the same pure function of
+  ``(seed, profile, image id)`` the serial path computes, and shards are
+  assembled in the same range order, so the artifacts are byte-identical to
+  ``Harness.detections`` run serially.
+* **Cache reuse** — warm disk shards are loaded in the parent and never
+  resubmitted; cold shards are persisted as they complete, so an
+  interrupted run keeps every finished shard.
+* **Deterministic ordering** — results are returned keyed in first-request
+  order regardless of worker completion order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import as_completed
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.detection.batch import DetectionBatch
+from repro.experiments import figures as _figures
+from repro.experiments import tables as _tables
+from repro.experiments.figures import all_figures
+from repro.experiments.harness import Harness
+from repro.experiments.results import FigureResult, TableResult
+from repro.experiments.tables import all_tables
+from repro.runtime.parallel import (
+    DEFAULT_MIN_SHARD_IMAGES,
+    _detect_shard_task,
+    shard_spans,
+)
+
+__all__ = [
+    "Artifact",
+    "SuiteResult",
+    "suite_artifacts",
+    "prefetch_detections",
+    "run_suite",
+]
+
+#: A detection artifact key: ``(model, setting, split)``.
+Artifact = tuple[str, str, str]
+
+
+@dataclass
+class SuiteResult:
+    """Everything the experiment suite produced, in paper order."""
+
+    tables: list[TableResult] = field(default_factory=list)
+    figures: list[FigureResult] = field(default_factory=list)
+
+
+def suite_artifacts(*, tables: bool = True, figures: bool = True) -> tuple[Artifact, ...]:
+    """The distinct detection artifacts of the requested suite parts.
+
+    Concatenates the declarative listings of
+    :func:`repro.experiments.tables.detection_artifacts` and
+    :func:`repro.experiments.figures.detection_artifacts`, deduplicated in
+    first-use order (the figure artifacts are a subset of the table ones, so
+    the full suite is exactly the table listing).
+    """
+    keys: list[Artifact] = []
+    if tables:
+        keys.extend(_tables.detection_artifacts())
+    if figures:
+        keys.extend(_figures.detection_artifacts())
+    return _unique(keys)
+
+
+def _unique(artifacts: Iterable[Artifact]) -> tuple[Artifact, ...]:
+    ordered: list[Artifact] = []
+    seen: set[Artifact] = set()
+    for key in artifacts:
+        model, setting, split = key
+        key = (model, setting, split)
+        if key not in seen:
+            seen.add(key)
+            ordered.append(key)
+    return tuple(ordered)
+
+
+@dataclass
+class _ArtifactPlan:
+    """One artifact's production state while its shards are in flight."""
+
+    key: Artifact
+    detector: object
+    dataset: object
+    spans: list[tuple[int, int]]
+    shards: list[DetectionBatch | None]
+
+
+def prefetch_detections(
+    harness: Harness,
+    artifacts: Sequence[Artifact] | None = None,
+) -> dict[Artifact, DetectionBatch]:
+    """Produce many detection artifacts at once on the shared worker pool.
+
+    Plans every requested artifact (memoised ones are returned as-is, warm
+    disk-cache shards are loaded in the parent), submits the union of all
+    missing cache shards to ``harness.pool()``, persists each shard the
+    moment it completes, and assembles the artifacts in deterministic
+    first-request order.  Afterwards ``harness.detections(...)`` hits the
+    memo cache for every prefetched key.
+
+    With a serial pool (``workers`` resolving to 1) the submissions run
+    inline in submission order — the result is identical either way, only
+    wall time changes.
+    """
+    keys = _unique(artifacts if artifacts is not None else suite_artifacts())
+    pool = harness.pool()
+    plans: dict[Artifact, _ArtifactPlan] = {}
+    work = []
+    for key in keys:
+        if key in harness._detections:
+            continue
+        model, setting, split = key
+        dataset = harness.dataset(setting, split)
+        detector = harness.detector(model, setting)
+        spans, shards, missing = harness._production_state(detector, dataset)
+        plan = _ArtifactPlan(key, detector, dataset, spans, shards)
+        plans[key] = plan
+        for index in missing:
+            work.append((plan, index))
+    # When there are fewer missing cache spans than workers (few artifacts,
+    # or a split that fits in one shard), sub-shard each span so the pool
+    # still fills — the cross-artifact analogue of run_split's within-split
+    # sharding.  Sub-batches are concatenated in range order, so the stored
+    # shard stays bit-for-bit identical either way.
+    per_span = 1
+    if pool.parallel and work:
+        per_span = -(-pool.workers // len(work))  # ceil
+    pending = {}
+    for plan, index in work:
+        lo, hi = plan.spans[index]
+        pieces = min(per_span, max(1, (hi - lo) // DEFAULT_MIN_SHARD_IMAGES))
+        records = plan.dataset.records
+        subs = shard_spans(hi - lo, pieces)
+        parts: list[DetectionBatch | None] = [None] * len(subs)
+        for position, (sub_lo, sub_hi) in enumerate(subs):
+            shard_records = records[lo + sub_lo : lo + sub_hi]
+            future = pool.submit(_detect_shard_task, (plan.detector, shard_records))
+            pending[future] = (plan, index, position, parts)
+    # Drain in completion order, persisting each cache shard the moment its
+    # last sub-batch lands so an interrupted run keeps every finished shard.
+    for future in as_completed(pending):
+        plan, index, position, parts = pending[future]
+        parts[position] = future.result()
+        if all(part is not None for part in parts):
+            if len(parts) == 1:
+                batch = parts[0]
+            else:
+                batch = DetectionBatch.concat(parts, detector=plan.detector.name)
+            plan.shards[index] = batch
+            harness._store_shard(plan.detector, plan.dataset, plan.spans[index], batch)
+    results: dict[Artifact, DetectionBatch] = {}
+    for key in keys:
+        plan = plans.get(key)
+        if plan is not None:
+            harness._detections[key] = harness._assemble(plan.detector, plan.shards)
+        results[key] = harness.detections(*key)
+    return results
+
+
+def run_suite(
+    harness: Harness,
+    *,
+    tables: bool = True,
+    figures: bool = True,
+) -> SuiteResult:
+    """Run the table/figure suite with detection production fanned out.
+
+    Prefetches every detection artifact the requested suite parts consume
+    (overlapping models, settings and splits on the harness pool), then runs
+    the table and figure builders — which now hit the memo cache for all
+    expensive artifacts — in paper order.
+    """
+    prefetch_detections(harness, suite_artifacts(tables=tables, figures=figures))
+    return SuiteResult(
+        tables=all_tables(harness) if tables else [],
+        figures=all_figures(harness) if figures else [],
+    )

@@ -24,6 +24,8 @@ from repro.zoo.registry import build_model, model_zoo_table
 __all__ = [
     "SSD_SETTINGS",
     "YOLO_SETTINGS",
+    "MODEL_PAIRS",
+    "detection_artifacts",
     "table_01_discriminator",
     "table_02_model_zoo",
     "table_03_map_small1",
@@ -49,6 +51,39 @@ SSD_SETTINGS: tuple[str, ...] = ("voc07", "voc07+12", "voc07++12", "coco18")
 
 #: The two settings of the YOLOv4 experiment (Tables IX-X).
 YOLO_SETTINGS: tuple[str, ...] = ("voc07", "voc07+12")
+
+#: Every (small model, big model, setting) combination the 17 tables serve.
+#: Tables I and III-VIII plus the XII-XVII baselines all ride on the SSD
+#: pairs; IX-X on the YOLO pair; XI on the helmet deployment.
+MODEL_PAIRS: tuple[tuple[str, str, str], ...] = tuple(
+    [("small1", "ssd", setting) for setting in SSD_SETTINGS]
+    + [("small2", "ssd", setting) for setting in SSD_SETTINGS]
+    + [("small3", "ssd", setting) for setting in SSD_SETTINGS]
+    + [("small-yolo", "yolov4", setting) for setting in YOLO_SETTINGS]
+    + [("small1", "ssd", "helmet")]
+)
+
+
+def detection_artifacts() -> tuple[tuple[str, str, str], ...]:
+    """Distinct ``(model, setting, split)`` detection artifacts of the tables.
+
+    Every expensive ``Harness.detections`` call the 17-table suite makes,
+    deduplicated in first-use order: each model pair needs both models'
+    train-split detections (discriminator fit) and test-split detections
+    (system run and per-model metrics).  The suite scheduler fans exactly
+    these artifacts out across the harness's worker pool.
+    """
+    artifacts: list[tuple[str, str, str]] = []
+    seen: set[tuple[str, str, str]] = set()
+    for small, big, setting in MODEL_PAIRS:
+        for split in ("train", "test"):
+            for model in (small, big):
+                key = (model, setting, split)
+                if key not in seen:
+                    seen.add(key)
+                    artifacts.append(key)
+    return tuple(artifacts)
+
 
 #: Paper values reused across tables (same test set labels as the tables).
 _PAPER_E2E_MAP_SMALL1 = {"voc07": 62.68, "voc07+12": 71.61, "voc07++12": 66.42, "coco18": 38.76}

@@ -12,16 +12,17 @@ from repro.runtime.events import EventLoop, FifoResource
 from repro.runtime.network import ETHERNET_1G, LTE, WLAN, NetworkLink
 from repro.runtime.parallel import (
     detect_records,
-    resolve_workers,
     run_shards,
     run_split,
     shard_spans,
 )
+from repro.runtime.pool import WorkerPool, resolve_workers
 from repro.runtime.stream import StreamConfig, StreamReport, StreamSimulator
 
 __all__ = [
     "EventLoop",
     "FifoResource",
+    "WorkerPool",
     "detect_records",
     "resolve_workers",
     "run_shards",

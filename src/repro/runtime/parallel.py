@@ -9,23 +9,24 @@ bit-for-bit identity to the serial loop.  Each worker fills a
 :class:`~repro.detection.batch.DetectionBatch` back; the parent concatenates
 the shards in range order.
 
-Worker count resolution (shared with the experiment harness): an explicit
-``workers`` argument wins, otherwise the ``REPRO_WORKERS`` environment
-variable, otherwise 1.  Tiny splits (fewer than ``min_shard_images`` per
-would-be worker) fall back to the serial path — process startup would cost
-more than it saves.
+Pooling is external: callers pass a :class:`~repro.runtime.pool.WorkerPool`
+(typically the harness-lifetime pool owned by
+:class:`~repro.experiments.harness.Harness`) and this module only submits to
+it — no executor is ever constructed per call, so process startup is paid at
+most once per pool lifetime no matter how many splits run.  Without a pool
+(or with a serial pool) everything runs in-process.  Tiny splits (fewer than
+``min_shard_images`` per would-be worker) also fall back to the serial path —
+shipping the work to processes would cost more than it saves.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-import sys
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import as_completed
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.detection.batch import DetectionBatch, DetectionBatchBuilder
 from repro.errors import ConfigurationError
+from repro.runtime.pool import WorkerPool, resolve_workers
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids layering cycles
     from repro.data.datasets import Dataset, ImageRecord
@@ -40,26 +41,8 @@ __all__ = [
     "run_split",
 ]
 
-#: Below this many images per worker the pool is not worth spinning up.
+#: Below this many images per worker the pool is not worth engaging.
 DEFAULT_MIN_SHARD_IMAGES = 32
-
-
-def resolve_workers(workers: int | None = None) -> int:
-    """Resolve a worker count: explicit value > ``REPRO_WORKERS`` env > 1."""
-    if workers is None:
-        env = os.environ.get("REPRO_WORKERS", "").strip()
-        if not env:
-            return 1
-        try:
-            workers = int(env)
-        except ValueError:
-            raise ConfigurationError(
-                f"REPRO_WORKERS must be an integer, got {env!r}"
-            ) from None
-    workers = int(workers)
-    if workers < 1:
-        raise ConfigurationError(f"worker count must be >= 1, got {workers}")
-    return workers
 
 
 def shard_spans(count: int, shards: int) -> list[tuple[int, int]]:
@@ -107,23 +90,23 @@ def run_shards(
     detector: "SimulatedDetector",
     shards: Sequence[Sequence["ImageRecord"]],
     *,
-    workers: int | None = None,
+    pool: WorkerPool | None = None,
     on_result: Callable[[int, DetectionBatch], None] | None = None,
 ) -> list[DetectionBatch]:
     """Detect each record shard, one batch per shard, preserving order.
 
-    With ``workers > 1`` and more than one shard the shards run on a process
-    pool; otherwise serially in-process.  Either way the returned batches
-    are bit-for-bit what :func:`detect_records` produces per shard.
+    With a parallel ``pool`` and more than one shard the shards run on the
+    pool's worker processes; otherwise serially in-process.  Either way the
+    returned batches are bit-for-bit what :func:`detect_records` produces per
+    shard.
 
     ``on_result(shard_index, batch)`` is invoked as each shard *completes*
     (completion order under the pool, not shard order) — the harness uses
     it to persist finished cache shards immediately, so an interrupted run
     loses at most the shards still in flight.
     """
-    workers = resolve_workers(workers)
     shards = [list(shard) for shard in shards]
-    if workers == 1 or len(shards) <= 1:
+    if pool is None or not pool.parallel or len(shards) <= 1:
         results = []
         for index, shard in enumerate(shards):
             batch = detect_records(detector, shard)
@@ -131,28 +114,17 @@ def run_shards(
                 on_result(index, batch)
             results.append(batch)
         return results
-    # Workers are pure compute over pickled inputs: fork is the cheapest
-    # start method where it is reliable (Linux), and pinning it keeps
-    # behaviour stable across Python versions that change the default.
-    context = (
-        multiprocessing.get_context("fork")
-        if sys.platform.startswith("linux")
-        else None
-    )
     results: list[DetectionBatch | None] = [None] * len(shards)
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(shards)), mp_context=context
-    ) as pool:
-        futures = {
-            pool.submit(_detect_shard_task, (detector, shard)): index
-            for index, shard in enumerate(shards)
-        }
-        for future in as_completed(futures):
-            index = futures[future]
-            batch = future.result()
-            results[index] = batch
-            if on_result is not None:
-                on_result(index, batch)
+    futures = {
+        pool.submit(_detect_shard_task, (detector, shard)): index
+        for index, shard in enumerate(shards)
+    }
+    for future in as_completed(futures):
+        index = futures[future]
+        batch = future.result()
+        results[index] = batch
+        if on_result is not None:
+            on_result(index, batch)
     return results
 
 
@@ -160,19 +132,18 @@ def run_split(
     detector: "SimulatedDetector",
     dataset: "Dataset | Sequence[ImageRecord]",
     *,
-    workers: int | None = None,
+    pool: WorkerPool | None = None,
     min_shard_images: int = DEFAULT_MIN_SHARD_IMAGES,
 ) -> DetectionBatch:
-    """Run a detector over a whole split, sharded across processes.
+    """Run a detector over a whole split, sharded across the pool's workers.
 
     Drop-in replacement for
     ``DetectionBatch.from_list(detector.detect_split(dataset))`` with
     identical output: contiguous image-range shards are detected in
-    parallel (see module docstring for worker resolution) and concatenated
-    in order.
+    parallel on ``pool`` and concatenated in order.
     """
     records = list(getattr(dataset, "records", dataset))
-    workers = resolve_workers(workers)
+    workers = pool.workers if pool is not None else 1
     effective = min(workers, max(1, len(records) // max(1, min_shard_images)))
     if effective <= 1:
         return detect_records(detector, records)
@@ -180,6 +151,6 @@ def run_split(
     parts = run_shards(
         detector,
         [records[lo:hi] for lo, hi in spans],
-        workers=effective,
+        pool=pool,
     )
     return DetectionBatch.concat(parts, detector=detector.name)

@@ -30,8 +30,9 @@ def quick_config(tmp_path_factory) -> HarnessConfig:
 
 @pytest.fixture(scope="session")
 def harness(quick_config) -> Harness:
-    """Session-wide quick harness."""
-    return Harness(quick_config)
+    """Session-wide quick harness (worker pool shut down at session end)."""
+    with Harness(quick_config) as shared:
+        yield shared
 
 
 @pytest.fixture(scope="session")

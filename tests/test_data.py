@@ -7,7 +7,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro._rng import generator_for
 from repro.data.classes import COCO18_CLASSES, HELMET_CLASSES, VOC_CLASSES
 from repro.data.datasets import DATASET_SETTINGS, list_settings, load_dataset
 from repro.data.degrade import Degradation, DegradationModel, PRISTINE

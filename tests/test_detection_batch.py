@@ -23,7 +23,7 @@ from repro.detection.batch import DetectionBatch
 from repro.detection.types import Detections
 from repro.errors import GeometryError
 from repro.metrics.counting import count_summary
-from repro.metrics.voc_ap import evaluate_detections, mean_average_precision
+from repro.metrics.voc_ap import evaluate_detections
 
 
 @pytest.fixture(scope="module")

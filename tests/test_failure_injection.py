@@ -8,7 +8,6 @@ through the pipeline and push the simulator to its parameter extremes.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.discriminator import DifficultCaseDiscriminator
 from repro.core.features import extract_features

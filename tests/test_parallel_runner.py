@@ -26,6 +26,7 @@ from repro.runtime.parallel import (
     run_split,
     shard_spans,
 )
+from repro.runtime.pool import WorkerPool
 
 
 def assert_batches_identical(left: DetectionBatch, right: DetectionBatch) -> None:
@@ -94,32 +95,37 @@ def test_shard_spans_cover_exactly(count, shards):
 # parallel runner ≡ serial detect_split
 # --------------------------------------------------------------------- #
 def test_run_split_parallel_matches_serial(split_small, small1_voc07, serial_batch):
-    parallel = run_split(
-        small1_voc07, split_small, workers=2, min_shard_images=8
-    )
+    with WorkerPool(2) as pool:
+        parallel = run_split(
+            small1_voc07, split_small, pool=pool, min_shard_images=8
+        )
     assert_batches_identical(serial_batch, parallel)
 
 
 def test_run_split_three_workers_matches_serial(
     split_small, small1_voc07, serial_batch
 ):
-    parallel = run_split(
-        small1_voc07, split_small, workers=3, min_shard_images=8
-    )
+    with WorkerPool(3) as pool:
+        parallel = run_split(
+            small1_voc07, split_small, pool=pool, min_shard_images=8
+        )
     assert_batches_identical(serial_batch, parallel)
 
 
 def test_run_split_tiny_split_serial_fallback(split_small, small1_voc07):
     records = split_small.records[:10]
     # 10 images with the default 32-image minimum shard: stays in-process.
-    batch = run_split(small1_voc07, records, workers=8)
+    with WorkerPool(8) as pool:
+        batch = run_split(small1_voc07, records, pool=pool)
+        assert not pool.started  # the fallback never engaged the workers
     assert_batches_identical(batch, detect_records(small1_voc07, records))
 
 
 def test_run_shards_order_preserved(split_small, small1_voc07, serial_batch):
     records = split_small.records
     shards = [records[0:40], records[40:80], records[80:120]]
-    parts = run_shards(small1_voc07, shards, workers=2)
+    with WorkerPool(2) as pool:
+        parts = run_shards(small1_voc07, shards, pool=pool)
     assert [len(part) for part in parts] == [40, 40, 40]
     assert_batches_identical(DetectionBatch.concat(parts), serial_batch)
 
@@ -131,12 +137,13 @@ def test_run_shards_on_result_fires_per_completed_shard(
     records = split_small.records
     shards = [records[0:40], records[40:80], records[80:120]]
     seen: dict[int, int] = {}
-    parts = run_shards(
-        small1_voc07,
-        shards,
-        workers=workers,
-        on_result=lambda index, batch: seen.__setitem__(index, len(batch)),
-    )
+    with WorkerPool(workers) as pool:
+        parts = run_shards(
+            small1_voc07,
+            shards,
+            pool=pool,
+            on_result=lambda index, batch: seen.__setitem__(index, len(batch)),
+        )
     # Every shard reported exactly once, with the batch later returned at
     # that index (completion order may differ; indices must not).
     assert seen == {0: 40, 1: 40, 2: 40}
@@ -347,9 +354,10 @@ def test_harness_parallel_matches_serial(tmp_path):
     serial = Harness(
         _tiny_config(tmp_path / "serial", workers=1)
     ).detections("small1", "voc07", "test")
-    parallel = Harness(
+    with Harness(
         _tiny_config(tmp_path / "parallel", workers=2, cache_shard_size=16)
-    ).detections("small1", "voc07", "test")
+    ) as harness:
+        parallel = harness.detections("small1", "voc07", "test")
     assert_batches_identical(serial, parallel)
 
 
@@ -373,7 +381,8 @@ def test_harness_workers_from_env(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_WORKERS", "2")
     config = _tiny_config(tmp_path)
     assert config.resolve_workers() == 2
-    env_parallel = Harness(config).detections("small1", "voc07", "test")
+    with Harness(config) as env_harness:
+        env_parallel = env_harness.detections("small1", "voc07", "test")
     monkeypatch.delenv("REPRO_WORKERS")
     serial = Harness(
         _tiny_config(tmp_path / "serial-check")

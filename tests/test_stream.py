@@ -139,7 +139,6 @@ class TestStreamSimulator:
 
     def test_deterministic(self, simulator, helmet_mini):
         config = StreamConfig(fps=6.0, duration_s=15.0)
-        mask = np.zeros(len(helmet_mini), dtype=bool)
         a = simulator.run("cloud", config)
         b = simulator.run("cloud", config)
         assert a.latency.total == pytest.approx(b.latency.total)
