@@ -25,17 +25,16 @@ def _evaluate(harness):
 
     fitted = discriminator.confidence_threshold
     candidates = [fitted, 0.25, 0.45]
-    grid, losses = count_loss_curve(
-        small_train, train.truths, grid=np.asarray(candidates)
-    )
+    grid, losses = count_loss_curve(small_train, train.truths, grid=np.asarray(candidates))
     rows = []
     for threshold, loss in zip(grid, losses):
-        n_predict, n_estimated, min_area = extract_feature_arrays(
-            small_test, float(threshold)
-        )
+        n_predict, n_estimated, min_area = extract_feature_arrays(small_test, float(threshold))
         verdicts = decide_rule(
-            n_predict, n_estimated, min_area,
-            discriminator.count_threshold, discriminator.area_threshold,
+            n_predict,
+            n_estimated,
+            min_area,
+            discriminator.count_threshold,
+            discriminator.area_threshold,
         )
         metrics = binary_metrics(verdicts, labels)
         rows.append(

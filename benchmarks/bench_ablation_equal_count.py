@@ -17,16 +17,12 @@ def _compare(harness):
     discriminator, _ = harness.discriminator("small1", "ssd", setting)
     small_test = harness.detections("small1", setting, "test")
     labels = label_cases(small_test, harness.detections("ssd", setting, "test"))
-    n_predict, n_estimated, min_area = extract_feature_arrays(
-        small_test, discriminator.confidence_threshold
-    )
+    n_predict, n_estimated, min_area = extract_feature_arrays(small_test, discriminator.confidence_threshold)
     with_step1 = (n_predict != n_estimated) & (
         (n_estimated > discriminator.count_threshold)
         | (min_area < discriminator.area_threshold)
     )
-    without_step1 = (n_estimated > discriminator.count_threshold) | (
-        min_area < discriminator.area_threshold
-    )
+    without_step1 = (n_estimated > discriminator.count_threshold) | (min_area < discriminator.area_threshold)
     return (
         binary_metrics(with_step1, labels),
         binary_metrics(without_step1, labels),

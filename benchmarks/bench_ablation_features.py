@@ -24,9 +24,7 @@ def _fit_variants(harness):
     true_counts = np.array([len(t) for t in train.truths])
     true_min_areas = np.array([t.min_area_ratio for t in train.truths])
 
-    _, _, both = fit_decision_thresholds(
-        n_predict, true_counts, true_min_areas, labels
-    )
+    _, _, both = fit_decision_thresholds(n_predict, true_counts, true_min_areas, labels)
     # Count only: area threshold pinned at 0 (step 3 never fires).
     _, _, count_only = fit_decision_thresholds(
         n_predict, true_counts, true_min_areas, labels,

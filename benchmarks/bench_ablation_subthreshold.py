@@ -27,17 +27,13 @@ def _compare(harness):
     # Default small model (with the sub-threshold signal).
     small_train = harness.detections("small1", setting, "train")
     small_test = harness.detections("small1", setting, "test")
-    _, default_report = DifficultCaseDiscriminator.fit(
-        small_train, big_train, train.truths
-    )
+    _, default_report = DifficultCaseDiscriminator.fit(small_train, big_train, train.truths)
     default_disc, _ = harness.discriminator("small1", "ssd", setting)
     default_test = default_disc.evaluate(small_test, big_test)
 
     # Muted small model: identical recall, no sub-threshold boxes.
     base = harness.detector("small1", setting)
-    muted_profile = replace(
-        base.profile, name="small1-muted@voc07+12", miss_visibility=0.0
-    )
+    muted_profile = replace(base.profile, name="small1-muted@voc07+12", miss_visibility=0.0)
     muted_profile = calibrate_profile(
         muted_profile,
         train,
@@ -46,17 +42,14 @@ def _compare(harness):
         seed=harness.config.seed,
     )
     muted = SimulatedDetector(
-        profile=muted_profile, num_classes=train.num_classes,
+        profile=muted_profile,
+        num_classes=train.num_classes,
         seed=harness.config.seed,
     )
     muted_train = muted.detect_split(train)
     muted_test = muted.detect_split(test)
-    muted_disc, muted_report = DifficultCaseDiscriminator.fit(
-        muted_train, big_train, train.truths
-    )
-    muted_metrics = muted_disc.evaluate(
-        muted_test, big_test
-    )
+    muted_disc, muted_report = DifficultCaseDiscriminator.fit(muted_train, big_train, train.truths)
+    muted_metrics = muted_disc.evaluate(muted_test, big_test)
     # Labels differ per small model; recompute for reporting only.
     label_cases(muted_test, big_test)
     return default_test, muted_metrics, default_report, muted_report

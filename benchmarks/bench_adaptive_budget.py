@@ -19,9 +19,7 @@ def _run(harness):
     discriminator, _ = harness.discriminator("small1", "ssd", setting)
     small_train = harness.detections("small1", setting, "train")
     labels = label_cases(small_train, harness.detections("ssd", setting, "train"))
-    n_predict, n_estimated, min_area = extract_feature_arrays(
-        small_train, discriminator.confidence_threshold
-    )
+    n_predict, n_estimated, min_area = extract_feature_arrays(small_train, discriminator.confidence_threshold)
     budget_fits = {
         budget: fit_for_budget(n_predict, n_estimated, min_area, labels, budget)
         for budget in (0.2, 0.35, 0.5, 0.7)

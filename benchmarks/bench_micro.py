@@ -124,9 +124,7 @@ def test_micro_detections_cold_cache(benchmark, workers, tmp_path_factory):
 
 def test_micro_features_batched_500_images(benchmark, harness):
     batch = harness.detections("small1", "voc07", "test")[:500]
-    n_predict, n_estimated, min_area = benchmark(
-        extract_feature_arrays, batch, 0.2
-    )
+    n_predict, n_estimated, min_area = benchmark(extract_feature_arrays, batch, 0.2)
     assert n_predict.shape == n_estimated.shape == min_area.shape == (500,)
 
 

@@ -1,0 +1,123 @@
+"""Micro-benchmarks of the event-driven serving engine's hot loop.
+
+The fleet simulator multiplies event volume (cameras x frames x pipeline
+stages), so the discrete-event core and the stream engine are tracked by
+the bench-micro regression gate alongside the detection kernels.  All
+cases here are harness-free (no detection artifacts) so the gate stays
+cheap on cold CI runners.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import load_dataset
+from repro.runtime import (
+    JETSON_NANO,
+    RTX3060_SERVER,
+    WLAN,
+    Deployment,
+    EventLoop,
+    FifoResource,
+    StreamConfig,
+    cloud_only_scheme,
+    collaborative_scheme,
+    simulate_fleet,
+    simulate_stream,
+)
+
+
+@pytest.fixture(scope="module")
+def helmet_slice():
+    return load_dataset("helmet", "test", fraction=0.1)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return Deployment(
+        edge=JETSON_NANO,
+        cloud=RTX3060_SERVER,
+        link=WLAN,
+        small_model_flops=5.6e9,
+        big_model_flops=61.2e9,
+    )
+
+
+@pytest.fixture(scope="module")
+def half_mask(helmet_slice):
+    import numpy as np
+
+    mask = np.zeros(len(helmet_slice), dtype=bool)
+    mask[::2] = True
+    return mask
+
+
+def test_micro_event_loop_10k_chained(benchmark):
+    """Heap throughput: 10k events, each scheduling its successor."""
+
+    def run() -> float:
+        loop = EventLoop()
+        remaining = [10_000]
+
+        def tick() -> None:
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                loop.schedule(0.001, tick)
+
+        loop.schedule(0.0, tick)
+        return loop.run()
+
+    final = benchmark(run)
+    assert final == pytest.approx(10.0, rel=1e-6)
+
+
+def test_micro_fifo_resource_5k_jobs(benchmark):
+    """Queue discipline throughput: 5k jobs through one busy resource."""
+
+    def run() -> int:
+        loop = EventLoop()
+        resource = FifoResource(loop, "dev")
+        for _ in range(5_000):
+            resource.acquire(0.01, lambda _t: None)
+        loop.run()
+        return resource.jobs_served
+
+    assert benchmark(run) == 5_000
+
+
+def test_micro_stream_collaborative_1200_frames(benchmark, deployment, helmet_slice, half_mask):
+    """Single-stream engine: ~1200 frames through the three-stage pipeline."""
+    config = StreamConfig(fps=40.0, duration_s=30.0, poisson=False, max_edge_queue=30)
+
+    def run():
+        return simulate_stream(
+            collaborative_scheme(),
+            deployment,
+            helmet_slice,
+            config,
+            mask=half_mask,
+            seed=1,
+        )
+
+    report = benchmark(run)
+    assert report.frames_offered == 1200
+    assert report.frames_served + report.frames_dropped == report.frames_offered
+
+
+def test_micro_fleet_8_cameras(benchmark, deployment, helmet_slice):
+    """Fleet engine: 8 cameras contending for one uplink and cloud GPU."""
+    config = StreamConfig(fps=5.0, duration_s=20.0, poisson=False, max_edge_queue=30)
+
+    def run():
+        return simulate_fleet(
+            cloud_only_scheme(),
+            deployment,
+            helmet_slice,
+            config,
+            cameras=8,
+            seed=1,
+        )
+
+    report = benchmark(run)
+    assert len(report.cameras) == 8
+    assert report.frames_offered == 8 * 100

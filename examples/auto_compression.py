@@ -27,10 +27,8 @@ def main() -> None:
     big_train = big.detect_split(train)
     big_test = big.detect_split(test)
 
-    budgets = [(25.0, "flagship edge box"), (10.0, "Jetson-class device"),
-               (4.0, "MCU-class camera")]
-    print(f"{'budget':>8}  {'config':<34}{'MiB':>7}{'GFLOPs':>8}"
-          f"{'upload %':>10}{'e2e mAP':>9}")
+    budgets = [(25.0, "flagship edge box"), (10.0, "Jetson-class device"), (4.0, "MCU-class camera")]
+    print(f"{'budget':>8}  {'config':<34}{'MiB':>7}{'GFLOPs':>8}" f"{'upload %':>10}{'e2e mAP':>9}")
     for budget_mib, label in budgets:
         result = search_configuration(size_budget_mib=budget_mib)
         # Predicted profile -> calibrated capability (recall scaled by the
@@ -40,16 +38,11 @@ def main() -> None:
             target=min(0.9, 0.40 * (result.spec.gflops / 6.3) ** 0.2),
         )
         small = SimulatedDetector(profile=profile, num_classes=train.num_classes)
-        discriminator, _ = DifficultCaseDiscriminator.fit(
-            small.detect_split(train), big_train, train.truths
-        )
-        system = SmallBigSystem(
-            small_model=small, big_model=big, discriminator=discriminator
-        )
+        discriminator, _ = DifficultCaseDiscriminator.fit(small.detect_split(train), big_train, train.truths)
+        system = SmallBigSystem(small_model=small, big_model=big, discriminator=discriminator)
         run = system.run(test, big_detections=big_test)
         config = result.config
-        desc = (f"{config.base} w={config.width_multiplier:g} "
-                f"e/{config.extras_divisor} c7={config.conv7_channels}")
+        desc = f"{config.base} w={config.width_multiplier:g} " f"e/{config.extras_divisor} c7={config.conv7_channels}"
         print(
             f"{budget_mib:>6.0f}MB  {desc:<34}{result.spec.size_mib:>7.2f}"
             f"{result.spec.gflops:>8.2f}{100 * run.upload_ratio:>10.1f}"

@@ -30,12 +30,8 @@ def main(setting: str = "voc07") -> None:
     big = make_detector("ssd", setting)
 
     train = load_dataset(setting, "train", fraction=1500 / 5011)
-    discriminator, _ = DifficultCaseDiscriminator.fit(
-        small.detect_split(train), big.detect_split(train), train.truths
-    )
-    system = SmallBigSystem(
-        small_model=small, big_model=big, discriminator=discriminator
-    )
+    discriminator, _ = DifficultCaseDiscriminator.fit(small.detect_split(train), big.detect_split(train), train.truths)
+    system = SmallBigSystem(small_model=small, big_model=big, discriminator=discriminator)
 
     test = load_dataset(setting, "test", fraction=0.4)
     small_dets = small.detect_split(test)
@@ -58,7 +54,9 @@ def main(setting: str = "voc07") -> None:
         else:
             mask = policy.select(test, small_dets)
             run = system.run(
-                test, small_detections=small_dets, big_detections=big_dets,
+                test,
+                small_detections=small_dets,
+                big_detections=big_dets,
                 uploaded=mask,
             )
         print(
@@ -66,8 +64,7 @@ def main(setting: str = "voc07") -> None:
             f"{run.end_to_end_counts().detected:>10d}"
             f"{100 * run.upload_ratio:>10.1f}"
         )
-    print(f"\ncloud-only reference: mAP {ours.big_model_map():.2f}, "
-          f"{ours.big_model_counts().detected} objects")
+    print(f"\ncloud-only reference: mAP {ours.big_model_map():.2f}, " f"{ours.big_model_counts().detected} objects")
 
 
 if __name__ == "__main__":

@@ -32,12 +32,8 @@ def main() -> None:
     big = make_detector("ssd", "helmet")
 
     train = load_dataset("helmet", "train", fraction=0.5)
-    discriminator, _ = DifficultCaseDiscriminator.fit(
-        small.detect_split(train), big.detect_split(train), train.truths
-    )
-    system = SmallBigSystem(
-        small_model=small, big_model=big, discriminator=discriminator
-    )
+    discriminator, _ = DifficultCaseDiscriminator.fit(small.detect_split(train), big.detect_split(train), train.truths)
+    system = SmallBigSystem(small_model=small, big_model=big, discriminator=discriminator)
 
     test = load_dataset("helmet", "test")
     print(f"serving {len(test)} camera frames ({test.total_objects} annotated heads/helmets)\n")
@@ -56,19 +52,17 @@ def main() -> None:
     ours_cost = runtime.run_collaborative(test, run.uploaded)
 
     def served_map(detections):
-        return mean_average_precision(
-            [d.above(0.5) for d in detections], test.truths, test.num_classes
-        )
+        return mean_average_precision([d.above(0.5) for d in detections], test.truths, test.num_classes)
 
     rows = [
-        ("mAP (%)", served_map(run.small_detections), served_map(run.big_detections),
-         run.end_to_end_map()),
-        ("detected objects",
-         count_summary(run.small_detections, test.truths).detected,
-         count_summary(run.big_detections, test.truths).detected,
-         run.end_to_end_counts().detected),
-        ("total time (s)", edge_cost.latency.total, cloud_cost.latency.total,
-         ours_cost.latency.total),
+        ("mAP (%)", served_map(run.small_detections), served_map(run.big_detections), run.end_to_end_map()),
+        (
+            "detected objects",
+            count_summary(run.small_detections, test.truths).detected,
+            count_summary(run.big_detections, test.truths).detected,
+            run.end_to_end_counts().detected,
+        ),
+        ("total time (s)", edge_cost.latency.total, cloud_cost.latency.total, ours_cost.latency.total),
         ("uplink (MB)", 0.0, cloud_cost.uplink_bytes / 1e6, ours_cost.uplink_bytes / 1e6),
     ]
     print(f"{'metric':<22}{'edge-only':>12}{'cloud-only':>12}{'ours':>12}")

@@ -45,25 +45,26 @@ def main() -> None:
     print("Eq. 1 count loss  L(t) = sum |N_predict(t) - N_truth|  (per image):")
     for i in range(0, grid.size, 4):
         marker = "  <-- optimum" if i == best else ""
-        print(f"  t={grid[i]:.2f}  {losses[i] / len(train):6.3f}  "
-              f"{_bar(-losses[i], -losses.max(), -losses.min())}{marker}")
+        print(
+            f"  t={grid[i]:.2f}  {losses[i] / len(train):6.3f}  "
+            f"{_bar(-losses[i], -losses.max(), -losses.min())}{marker}"
+        )
     confidence_threshold = float(grid[best])
-    print(f"\nfitted confidence threshold: {confidence_threshold:.2f} "
-          f"(paper: 0.15-0.35)\n")
+    print(f"\nfitted confidence threshold: {confidence_threshold:.2f} " f"(paper: 0.15-0.35)\n")
 
     # --- thresholds 2-3: grid search with true features ----------------- #
     n_predict = np.array([d.count_above(0.5) for d in small_dets])
     true_counts = np.array([len(t) for t in train.truths])
     true_areas = np.array([t.min_area_ratio for t in train.truths])
-    count_thr, area_thr, metrics = fit_decision_thresholds(
-        n_predict, true_counts, true_areas, labels
-    )
+    count_thr, area_thr, metrics = fit_decision_thresholds(n_predict, true_counts, true_areas, labels)
     print(f"fitted count threshold: {count_thr} (paper: 2)")
     print(f"fitted area threshold:  {area_thr:.2f} (paper: 0.31)")
-    print(f"fit quality: accuracy {100 * metrics.accuracy:.2f}%, "
-          f"recall {100 * metrics.recall:.2f}%, "
-          f"precision {100 * metrics.precision:.2f}% "
-          f"(paper: 85.35 / 98.24 / 77.51)\n")
+    print(
+        f"fit quality: accuracy {100 * metrics.accuracy:.2f}%, "
+        f"recall {100 * metrics.recall:.2f}%, "
+        f"precision {100 * metrics.precision:.2f}% "
+        f"(paper: 85.35 / 98.24 / 77.51)\n"
+    )
 
     # --- Fig. 7: sweep the area threshold at count threshold 2 ---------- #
     rows = area_threshold_sweep(

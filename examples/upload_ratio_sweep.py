@@ -22,35 +22,32 @@ def main() -> None:
     small = make_detector("small1", setting)
     big = make_detector("ssd", setting)
     train = load_dataset(setting, "train", fraction=2000 / 16551)
-    discriminator, _ = DifficultCaseDiscriminator.fit(
-        small.detect_split(train), big.detect_split(train), train.truths
-    )
-    system = SmallBigSystem(
-        small_model=small, big_model=big, discriminator=discriminator
-    )
+    discriminator, _ = DifficultCaseDiscriminator.fit(small.detect_split(train), big.detect_split(train), train.truths)
+    system = SmallBigSystem(small_model=small, big_model=big, discriminator=discriminator)
 
     test = load_dataset(setting, "test", fraction=0.4)
     small_dets = small.detect_split(test)
     big_dets = big.detect_split(test)
 
-    n_predict, n_estimated, min_area = extract_feature_arrays(
-        small_dets, discriminator.confidence_threshold
-    )
+    n_predict, n_estimated, min_area = extract_feature_arrays(small_dets, discriminator.confidence_threshold)
     priority = difficulty_priority(
-        n_predict, n_estimated, min_area,
+        n_predict,
+        n_estimated,
+        min_area,
         count_threshold=discriminator.count_threshold,
         area_threshold=discriminator.area_threshold,
     )
     order = np.lexsort((np.arange(priority.shape[0]), -priority))
 
-    print(f"{'upload %':>9}  {'e2e mAP':>8}  {'% of cloud':>10}  "
-          f"{'detected':>9}  {'% of cloud':>10}")
+    print(f"{'upload %':>9}  {'e2e mAP':>8}  {'% of cloud':>10}  " f"{'detected':>9}  {'% of cloud':>10}")
     cloud_map = cloud_count = None
     for ratio in np.arange(0.0, 1.01, 0.1):
         mask = np.zeros(len(test), dtype=bool)
         mask[order[: int(round(ratio * len(test)))]] = True
         run = system.run(
-            test, small_detections=small_dets, big_detections=big_dets,
+            test,
+            small_detections=small_dets,
+            big_detections=big_dets,
             uploaded=mask,
         )
         e2e_map = run.end_to_end_map()

@@ -31,12 +31,8 @@ def main() -> None:
     small = make_detector("small1", "helmet")
     big = make_detector("ssd", "helmet")
     train = load_dataset("helmet", "train", fraction=0.4)
-    discriminator, _ = DifficultCaseDiscriminator.fit(
-        small.detect_split(train), big.detect_split(train), train.truths
-    )
-    system = SmallBigSystem(
-        small_model=small, big_model=big, discriminator=discriminator
-    )
+    discriminator, _ = DifficultCaseDiscriminator.fit(small.detect_split(train), big.detect_split(train), train.truths)
+    system = SmallBigSystem(small_model=small, big_model=big, discriminator=discriminator)
     test = load_dataset("helmet", "test", fraction=0.5)
     run = system.run(test)
     print(f"discriminator uploads {100 * run.upload_ratio:.1f}% of frames\n")
@@ -50,8 +46,7 @@ def main() -> None:
     )
     simulator = StreamSimulator(deployment, test)
 
-    print(f"{'fps':>5}  {'scheme':<14}{'p50 (ms)':>10}{'p99 (ms)':>10}"
-          f"{'drops':>8}{'uplink util':>13}")
+    print(f"{'fps':>5}  {'scheme':<14}{'p50 (ms)':>10}{'p99 (ms)':>10}" f"{'drops':>8}{'uplink util':>13}")
     for fps in (2.0, 5.0, 10.0, 20.0):
         config = StreamConfig(fps=fps, duration_s=60.0)
         reports = simulator.compare(config, run.uploaded)
@@ -71,8 +66,10 @@ def main() -> None:
     runtime = EdgeCloudRuntime(deployment=deployment)
     cloud = runtime.run_cloud_only(test)
     ours = runtime.run_collaborative(test, run.uploaded)
-    print(f"\n(batch totals for reference: cloud-only {cloud.latency.total:.1f}s, "
-          f"ours {ours.latency.total:.1f}s -> {100 * ours.latency.saving_over(cloud.latency):.0f}% saved)")
+    print(
+        f"\n(batch totals for reference: cloud-only {cloud.latency.total:.1f}s, "
+        f"ours {ours.latency.total:.1f}s -> {100 * ours.latency.saving_over(cloud.latency):.0f}% saved)"
+    )
 
 
 if __name__ == "__main__":

@@ -96,7 +96,5 @@ def quickstart_system(
         big_model.detect_split(train),
         train.truths,
     )
-    system = SmallBigSystem(
-        small_model=small_model, big_model=big_model, discriminator=discriminator
-    )
+    system = SmallBigSystem(small_model=small_model, big_model=big_model, discriminator=discriminator)
     return system, report

@@ -33,16 +33,9 @@ class BlurUploadPolicy(UploadPolicy):
 
     def sharpness(self, dataset: Dataset) -> np.ndarray:
         """Brenner gradient of every image in the split."""
-        return np.array(
-            [
-                brenner_gradient(render_image(record, size=self.render_size))
-                for record in dataset.records
-            ]
-        )
+        return np.array([brenner_gradient(render_image(record, size=self.render_size)) for record in dataset.records])
 
-    def select(
-        self, dataset: Dataset, small_detections: list[Detections]
-    ) -> np.ndarray:
+    def select(self, dataset: Dataset, small_detections: list[Detections]) -> np.ndarray:
         self._check_alignment(dataset, small_detections)
         # Lowest sharpness = highest upload priority.
         return quota_mask(-self.sharpness(dataset), self.ratio)

@@ -45,9 +45,7 @@ def mean_top1_confidence(detections: Detections, num_classes: int) -> float:
     return sum(tops) / len(tops)
 
 
-def mean_top1_confidence_split(
-    batch: DetectionBatch, num_classes: int
-) -> np.ndarray:
+def mean_top1_confidence_split(batch: DetectionBatch, num_classes: int) -> np.ndarray:
     """Per-image mean top-1 confidence over a whole split, vectorised.
 
     Segments are score-descending, so the first occurrence of each
@@ -82,20 +80,11 @@ class ConfidenceUploadPolicy(UploadPolicy):
         if not 0.0 <= self.ratio <= 1.0:
             raise ConfigurationError(f"ratio must be in [0, 1], got {self.ratio}")
 
-    def select(
-        self, dataset: Dataset, small_detections: DetectionBatch | list[Detections]
-    ) -> np.ndarray:
+    def select(self, dataset: Dataset, small_detections: DetectionBatch | list[Detections]) -> np.ndarray:
         self._check_alignment(dataset, small_detections)
         if isinstance(small_detections, DetectionBatch):
-            confidences = mean_top1_confidence_split(
-                small_detections, dataset.num_classes
-            )
+            confidences = mean_top1_confidence_split(small_detections, dataset.num_classes)
         else:
-            confidences = np.array(
-                [
-                    mean_top1_confidence(dets, dataset.num_classes)
-                    for dets in small_detections
-                ]
-            )
+            confidences = np.array([mean_top1_confidence(dets, dataset.num_classes) for dets in small_detections])
         # Least confident = highest upload priority.
         return quota_mask(-confidences, self.ratio)

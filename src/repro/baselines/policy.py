@@ -6,6 +6,13 @@ detections, it decides which images go to the cloud.  The paper's Sec. VI.E
 baselines (random / blurred / top-1 confidence) are ratio-quota policies —
 they upload exactly a fixed fraction, which makes the mAP comparison at
 equal bandwidth fair.
+
+Every :class:`UploadPolicy` structurally satisfies the serving pipeline's
+:class:`~repro.runtime.serving.OffloadPolicy` protocol, so the baselines
+plug directly into :func:`~repro.runtime.serving.run_cost`,
+:func:`~repro.runtime.serving.simulate_stream` and
+:func:`~repro.runtime.serving.simulate_fleet` via
+:func:`~repro.runtime.serving.collaborative_scheme`.
 """
 
 from __future__ import annotations
@@ -26,9 +33,7 @@ class UploadPolicy(abc.ABC):
     """Decides which images of a split are uploaded to the cloud."""
 
     @abc.abstractmethod
-    def select(
-        self, dataset: Dataset, small_detections: list[Detections]
-    ) -> np.ndarray:
+    def select(self, dataset: Dataset, small_detections: list[Detections]) -> np.ndarray:
         """Boolean upload mask aligned with ``dataset.records``."""
 
     @property
@@ -36,35 +41,40 @@ class UploadPolicy(abc.ABC):
         """Policy identifier used in reports."""
         return type(self).__name__
 
-    def _check_alignment(
-        self, dataset: Dataset, small_detections: list[Detections]
-    ) -> None:
-        if len(dataset) != len(small_detections):
+    def _check_alignment(self, dataset: Dataset, small_detections: list[Detections] | None) -> None:
+        if small_detections is None:
             raise ConfigurationError(
-                f"{len(small_detections)} detection sets for "
-                f"{len(dataset)} images"
+                f"the {self.name} policy needs the small model's detections "
+                "(pass small_detections= to the serving engine)"
             )
+        if len(dataset) != len(small_detections):
+            raise ConfigurationError(f"{len(small_detections)} detection sets for " f"{len(dataset)} images")
 
 
 @dataclass
 class EdgeOnlyPolicy(UploadPolicy):
-    """Never upload: every image is served by the small model."""
+    """Never upload: every image is served by the small model.
 
-    def select(
-        self, dataset: Dataset, small_detections: list[Detections]
-    ) -> np.ndarray:
-        self._check_alignment(dataset, small_detections)
+    ``small_detections`` is optional — the decision needs no model output
+    (the serving pipeline resolves degenerate policies without detections).
+    """
+
+    def select(self, dataset: Dataset, small_detections: list[Detections] | None = None) -> np.ndarray:
+        if small_detections is not None:
+            self._check_alignment(dataset, small_detections)
         return np.zeros(len(dataset), dtype=bool)
 
 
 @dataclass
 class CloudOnlyPolicy(UploadPolicy):
-    """Always upload: every image is served by the big model."""
+    """Always upload: every image is served by the big model.
 
-    def select(
-        self, dataset: Dataset, small_detections: list[Detections]
-    ) -> np.ndarray:
-        self._check_alignment(dataset, small_detections)
+    ``small_detections`` is optional, as for :class:`EdgeOnlyPolicy`.
+    """
+
+    def select(self, dataset: Dataset, small_detections: list[Detections] | None = None) -> np.ndarray:
+        if small_detections is not None:
+            self._check_alignment(dataset, small_detections)
         return np.ones(len(dataset), dtype=bool)
 
 

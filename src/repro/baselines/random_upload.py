@@ -30,9 +30,7 @@ class RandomUploadPolicy(UploadPolicy):
         if not 0.0 <= self.ratio <= 1.0:
             raise ConfigurationError(f"ratio must be in [0, 1], got {self.ratio}")
 
-    def select(
-        self, dataset: Dataset, small_detections: list[Detections]
-    ) -> np.ndarray:
+    def select(self, dataset: Dataset, small_detections: list[Detections]) -> np.ndarray:
         self._check_alignment(dataset, small_detections)
         rng = generator_for(self.seed, "random-upload", dataset.name, dataset.split)
         count = int(round(self.ratio * len(dataset)))

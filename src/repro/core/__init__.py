@@ -2,7 +2,11 @@
 
 from repro.core.adaptive import BudgetController, BudgetFit, fit_for_budget
 from repro.core.cases import SERVING_THRESHOLD, is_difficult_case, label_cases
-from repro.core.discriminator import DifficultCaseDiscriminator, DiscriminatorFitReport
+from repro.core.discriminator import (
+    DifficultCaseDiscriminator,
+    DiscriminatorFitReport,
+    DiscriminatorPolicy,
+)
 from repro.core.features import CaseFeatures, extract_feature_arrays, extract_features
 from repro.core.system import SmallBigSystem, SystemRun
 from repro.core.thresholds import (
@@ -23,6 +27,7 @@ __all__ = [
     "label_cases",
     "DifficultCaseDiscriminator",
     "DiscriminatorFitReport",
+    "DiscriminatorPolicy",
     "CaseFeatures",
     "extract_feature_arrays",
     "extract_features",

@@ -62,18 +62,17 @@ def fit_for_budget(
     if not 0.0 < upload_budget <= 1.0:
         raise ConfigurationError(f"upload_budget must be in (0, 1], got {upload_budget}")
     counts = np.arange(0, 12) if count_grid is None else np.asarray(count_grid)
-    areas = (
-        np.round(np.arange(0.0, 0.62, 0.01), 2)
-        if area_grid is None
-        else np.asarray(area_grid, dtype=np.float64)
-    )
+    areas = np.round(np.arange(0.0, 0.62, 0.01), 2) if area_grid is None else np.asarray(area_grid, dtype=np.float64)
     labels = np.asarray(difficult_labels, dtype=bool)
     best: BudgetFit | None = None
     for count_threshold in counts:
         for area_threshold in areas:
             verdicts = decide_rule(
-                n_predict, n_estimated, min_area,
-                int(count_threshold), float(area_threshold),
+                n_predict,
+                n_estimated,
+                min_area,
+                int(count_threshold),
+                float(area_threshold),
             )
             ratio = float(np.mean(verdicts))
             if ratio > upload_budget:
@@ -86,14 +85,10 @@ def fit_for_budget(
                 recall=metrics.recall,
                 precision=metrics.precision,
             )
-            if best is None or (candidate.recall, candidate.precision) > (
-                best.recall, best.precision
-            ):
+            if best is None or (candidate.recall, candidate.precision) > (best.recall, best.precision):
                 best = candidate
     if best is None:
-        raise CalibrationError(
-            f"no threshold pair fits within an upload budget of {upload_budget:.2f}"
-        )
+        raise CalibrationError(f"no threshold pair fits within an upload budget of {upload_budget:.2f}")
     return best
 
 

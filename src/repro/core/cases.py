@@ -38,10 +38,7 @@ def is_difficult_case(
     something.
     """
     if small.image_id != big.image_id:
-        raise ConfigurationError(
-            f"detections belong to different images: "
-            f"{small.image_id!r} vs {big.image_id!r}"
-        )
+        raise ConfigurationError(f"detections belong to different images: " f"{small.image_id!r} vs {big.image_id!r}")
     if margin < 1:
         raise ConfigurationError("margin must be >= 1")
     return big.count_above(threshold) - small.count_above(threshold) >= margin
@@ -62,22 +59,12 @@ def label_cases(
     of a per-image Python loop.
     """
     if len(small_detections) != len(big_detections):
-        raise ConfigurationError(
-            f"got {len(small_detections)} small vs {len(big_detections)} big "
-            f"detection sets"
-        )
+        raise ConfigurationError(f"got {len(small_detections)} small vs {len(big_detections)} big " f"detection sets")
     if margin < 1:
         raise ConfigurationError("margin must be >= 1")
     small = DetectionBatch.coerce(small_detections)
     big = DetectionBatch.coerce(big_detections)
     if small.image_ids != big.image_ids:
-        mismatch = next(
-            (a, b)
-            for a, b in zip(small.image_ids, big.image_ids)
-            if a != b
-        )
-        raise ConfigurationError(
-            f"detections belong to different images: "
-            f"{mismatch[0]!r} vs {mismatch[1]!r}"
-        )
+        mismatch = next((a, b) for a, b in zip(small.image_ids, big.image_ids) if a != b)
+        raise ConfigurationError(f"detections belong to different images: " f"{mismatch[0]!r} vs {mismatch[1]!r}")
     return big.count_above(threshold) - small.count_above(threshold) >= margin

@@ -22,10 +22,10 @@ from repro.core.thresholds import (
 )
 from repro.detection.batch import DetectionBatch, GroundTruthBatch
 from repro.detection.types import Detections, GroundTruth
-from repro.errors import CalibrationError
+from repro.errors import CalibrationError, ConfigurationError
 from repro.metrics.classify import BinaryMetrics, binary_metrics
 
-__all__ = ["DiscriminatorFitReport", "DifficultCaseDiscriminator"]
+__all__ = ["DiscriminatorFitReport", "DifficultCaseDiscriminator", "DiscriminatorPolicy"]
 
 
 @dataclass(frozen=True)
@@ -83,14 +83,9 @@ class DifficultCaseDiscriminator:
         # lockstep (the equivalence tests assert decide == decide_split).
         if features.n_predict == features.n_estimated:
             return False
-        return bool(
-            features.n_estimated > self.count_threshold
-            or features.min_area_estimated < self.area_threshold
-        )
+        return bool(features.n_estimated > self.count_threshold or features.min_area_estimated < self.area_threshold)
 
-    def decide_split(
-        self, detections: DetectionBatch | list[Detections]
-    ) -> np.ndarray:
+    def decide_split(self, detections: DetectionBatch | list[Detections]) -> np.ndarray:
         """Vectorised verdicts for a whole split (True = difficult)."""
         n_predict, n_estimated, min_area = extract_feature_arrays(
             detections,
@@ -98,8 +93,11 @@ class DifficultCaseDiscriminator:
             serving_threshold=self.serving_threshold,
         )
         return decide_rule(
-            n_predict, n_estimated, min_area,
-            self.count_threshold, self.area_threshold,
+            n_predict,
+            n_estimated,
+            min_area,
+            self.count_threshold,
+            self.area_threshold,
         )
 
     def evaluate(
@@ -137,9 +135,7 @@ class DifficultCaseDiscriminator:
         """
         gt = GroundTruthBatch.coerce(truths)
         if not (len(small_detections) == len(big_detections) == len(gt)):
-            raise CalibrationError(
-                "small detections, big detections and truths must align"
-            )
+            raise CalibrationError("small detections, big detections and truths must align")
         if len(gt) == 0:
             raise CalibrationError("cannot fit a discriminator on an empty split")
 
@@ -152,7 +148,10 @@ class DifficultCaseDiscriminator:
         true_counts = gt.counts()
         true_min_areas = gt.min_area_ratios()
         count_threshold, area_threshold, gt_metrics = fit_decision_thresholds(
-            n_predict, true_counts, true_min_areas, labels
+            n_predict,
+            true_counts,
+            true_min_areas,
+            labels,
         )
 
         discriminator = cls(
@@ -175,3 +174,36 @@ class DifficultCaseDiscriminator:
             difficult_fraction=float(np.mean(labels)),
         )
         return discriminator, report
+
+
+@dataclass(frozen=True)
+class DiscriminatorPolicy:
+    """The fitted discriminator as a serving-pipeline offload policy.
+
+    Adapts :class:`DifficultCaseDiscriminator` to the
+    :class:`~repro.runtime.serving.OffloadPolicy` protocol, so the paper's
+    contribution plugs into the same pipeline slot as the Sec. VI.E upload
+    baselines and the degenerate always/never decisions.
+    """
+
+    discriminator: DifficultCaseDiscriminator
+
+    @property
+    def name(self) -> str:
+        """Policy identifier used in reports."""
+        return "discriminator"
+
+    def select(
+        self,
+        dataset,
+        small_detections: DetectionBatch | list[Detections] | None,
+    ) -> np.ndarray:
+        """Upload mask: the discriminator's verdicts on the split."""
+        if small_detections is None:
+            raise ConfigurationError(
+                "the discriminator policy needs the small model's detections "
+                "(pass small_detections= to the serving engine)"
+            )
+        if len(small_detections) != len(dataset):
+            raise ConfigurationError(f"{len(small_detections)} detection sets for {len(dataset)} images")
+        return self.discriminator.decide_split(small_detections)

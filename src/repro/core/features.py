@@ -50,10 +50,7 @@ def extract_features(
 ) -> CaseFeatures:
     """Compute one image's :class:`CaseFeatures` from its raw detections."""
     if not 0.0 < noise_threshold <= serving_threshold:
-        raise ConfigurationError(
-            f"noise_threshold must lie in (0, {serving_threshold}], "
-            f"got {noise_threshold}"
-        )
+        raise ConfigurationError(f"noise_threshold must lie in (0, {serving_threshold}], " f"got {noise_threshold}")
     return CaseFeatures(
         image_id=detections.image_id,
         n_predict=detections.count_above(serving_threshold),
@@ -76,10 +73,7 @@ def extract_feature_arrays(
     min_area_estimated)`` arrays aligned with the input.
     """
     if not 0.0 < noise_threshold <= serving_threshold:
-        raise ConfigurationError(
-            f"noise_threshold must lie in (0, {serving_threshold}], "
-            f"got {noise_threshold}"
-        )
+        raise ConfigurationError(f"noise_threshold must lie in (0, {serving_threshold}], " f"got {noise_threshold}")
     batch = DetectionBatch.coerce(detections)
     return (
         batch.count_above(serving_threshold),

@@ -48,12 +48,7 @@ class SystemRun:
 
     def __post_init__(self) -> None:
         count = len(self.dataset)
-        if not (
-            self.uploaded.shape[0]
-            == len(self.small_detections)
-            == len(self.big_detections)
-            == count
-        ):
+        if not (self.uploaded.shape[0] == len(self.small_detections) == len(self.big_detections) == count):
             raise ConfigurationError("system run components are misaligned")
         object.__setattr__(self, "_batches", {})
 
@@ -91,14 +86,14 @@ class SystemRun:
         Mirrors the input representation: batch inputs yield the merged
         batch; list inputs yield a list of the *original* per-image objects.
         """
-        if isinstance(self.small_detections, DetectionBatch) and isinstance(
-            self.big_detections, DetectionBatch
-        ):
+        if isinstance(self.small_detections, DetectionBatch) and isinstance(self.big_detections, DetectionBatch):
             return self.final_batch()
         return [
             big if sent else small
             for small, big, sent in zip(
-                self.small_detections, self.big_detections, self.uploaded
+                self.small_detections,
+                self.big_detections,
+                self.uploaded,
             )
         ]
 

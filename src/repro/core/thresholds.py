@@ -67,9 +67,7 @@ def count_loss_curve(
     """
     gt = GroundTruthBatch.coerce(truths)
     if len(detections) != len(gt):
-        raise CalibrationError(
-            f"got {len(detections)} detection sets for {len(gt)} truths"
-        )
+        raise CalibrationError(f"got {len(detections)} detection sets for {len(gt)} truths")
     thresholds = _CONFIDENCE_GRID if grid is None else np.asarray(grid, dtype=np.float64)
     if thresholds.size == 0:
         raise CalibrationError("empty confidence-threshold grid")
@@ -147,17 +145,16 @@ def fit_decision_thresholds(
     for count_threshold in counts:
         for area_threshold in areas:
             predicted = decide_rule(
-                n_predict, true_counts, true_min_areas,
-                int(count_threshold), float(area_threshold),
+                n_predict,
+                true_counts,
+                true_min_areas,
+                int(count_threshold),
+                float(area_threshold),
             )
             metrics = binary_metrics(predicted, labels)
             candidates.append((metrics, int(count_threshold), float(area_threshold)))
     top_accuracy = max(metrics.accuracy for metrics, _, _ in candidates)
-    admissible = [
-        entry
-        for entry in candidates
-        if entry[0].accuracy >= top_accuracy - accuracy_tolerance
-    ]
+    admissible = [entry for entry in candidates if entry[0].accuracy >= top_accuracy - accuracy_tolerance]
     best_metrics, best_count, best_area = max(
         admissible,
         key=lambda entry: (entry[0].recall, entry[0].precision, entry[0].accuracy),
@@ -184,7 +181,10 @@ def area_threshold_sweep(
     rows: list[dict[str, float]] = []
     for area_threshold in areas:
         predicted = decide_rule(
-            n_predict, true_counts, true_min_areas, count_threshold,
+            n_predict,
+            true_counts,
+            true_min_areas,
+            count_threshold,
             float(area_threshold),
         )
         metrics = binary_metrics(predicted, labels)

@@ -37,8 +37,6 @@ VOC_CLASSES: tuple[str, ...] = (
     "tvmonitor",
 )
 
-COCO18_CLASSES: tuple[str, ...] = tuple(
-    name for name in VOC_CLASSES if name not in ("diningtable", "pottedplant")
-)
+COCO18_CLASSES: tuple[str, ...] = tuple(name for name in VOC_CLASSES if name not in ("diningtable", "pottedplant"))
 
 HELMET_CLASSES: tuple[str, ...] = ("helmet", "head")

@@ -187,9 +187,7 @@ _HELMET_SCENES = SceneProfile(
 )
 
 _MILD_DEGRADATION = DegradationModel(degraded_fraction=0.08, min_quality=0.7)
-_HELMET_DEGRADATION = DegradationModel(
-    degraded_fraction=0.4, min_quality=0.45, max_quality=0.9
-)
+_HELMET_DEGRADATION = DegradationModel(degraded_fraction=0.4, min_quality=0.45, max_quality=0.9)
 
 DATASET_SETTINGS: dict[str, DatasetSetting] = {
     "voc07": DatasetSetting(
@@ -280,9 +278,7 @@ def load_dataset(
     try:
         entry = DATASET_SETTINGS[setting]
     except KeyError:
-        raise DatasetError(
-            f"unknown setting {setting!r}; available: {', '.join(list_settings())}"
-        ) from None
+        raise DatasetError(f"unknown setting {setting!r}; available: {', '.join(list_settings())}") from None
 
     scope = entry.scope_for(split)
     size = int(np.ceil(entry.size_for(split) * fraction))

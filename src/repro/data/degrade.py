@@ -62,9 +62,7 @@ class DegradationModel:
         if not 0.0 <= self.degraded_fraction <= 1.0:
             raise ConfigurationError("degraded_fraction must be in [0, 1]")
         if not 0.0 < self.min_quality <= self.max_quality <= 1.0:
-            raise ConfigurationError(
-                "quality bounds must satisfy 0 < min <= max <= 1"
-            )
+            raise ConfigurationError("quality bounds must satisfy 0 < min <= max <= 1")
 
     def sample(self, rng: np.random.Generator) -> Degradation:
         """Draw one image's degradation."""
@@ -83,6 +81,4 @@ class DegradationModel:
         else:  # smoke / haze: mild blur and washed-out contrast
             blur_sigma = 1.5 * severity
             brightness = max(0.5, 1.0 - 0.4 * severity)
-        return Degradation(
-            quality=quality, blur_sigma=blur_sigma, brightness=brightness, kind=kind
-        )
+        return Degradation(quality=quality, blur_sigma=blur_sigma, brightness=brightness, kind=kind)

@@ -139,9 +139,7 @@ def load_dataset_file(path: str | Path) -> Dataset:
     return dataset_from_dict(_read_json(path))
 
 
-def save_detections(
-    detections: list[Detections], path: str | Path, detector: str = ""
-) -> Path:
+def save_detections(detections: list[Detections], path: str | Path, detector: str = "") -> Path:
     """Write per-image detections to a JSON file; returns the path."""
     path = Path(path)
     path.write_text(json.dumps(detections_to_dict(detections, detector)))
@@ -165,9 +163,7 @@ def _check_payload(payload: dict, kind: str) -> None:
     if not isinstance(payload, dict):
         raise DatasetError(f"expected a JSON object, got {type(payload).__name__}")
     if payload.get("kind") != kind:
-        raise DatasetError(
-            f"expected a {kind!r} document, got {payload.get('kind')!r}"
-        )
+        raise DatasetError(f"expected a {kind!r} document, got {payload.get('kind')!r}")
     if payload.get("schema") != _SCHEMA_VERSION:
         raise DatasetError(
             f"unsupported schema version {payload.get('schema')!r} "

@@ -107,9 +107,7 @@ def _sample_count(profile: SceneProfile, rng: np.random.Generator) -> int:
     return min(1 + extra, profile.max_objects)
 
 
-def _sample_areas(
-    profile: SceneProfile, count: int, rng: np.random.Generator
-) -> np.ndarray:
+def _sample_areas(profile: SceneProfile, count: int, rng: np.random.Generator) -> np.ndarray:
     mu = np.log(profile.area_median)
     areas = np.exp(rng.normal(mu, profile.area_sigma, size=count))
     return np.clip(areas, profile.area_min, profile.area_max)
@@ -121,9 +119,7 @@ def _class_weights(num_classes: int, zipf: float) -> np.ndarray:
     return weights / weights.sum()
 
 
-def _place_boxes(
-    areas: np.ndarray, aspect_sigma: float, rng: np.random.Generator
-) -> np.ndarray:
+def _place_boxes(areas: np.ndarray, aspect_sigma: float, rng: np.random.Generator) -> np.ndarray:
     """Place boxes of given areas uniformly so that each fits the image.
 
     Aspect ratio is log-normal around 1; width/height are capped at 1 (the
@@ -149,9 +145,7 @@ def _place_boxes(
     )
 
 
-def sample_scene(
-    profile: SceneProfile, num_classes: int, rng: np.random.Generator
-) -> Scene:
+def sample_scene(profile: SceneProfile, num_classes: int, rng: np.random.Generator) -> Scene:
     """Draw one scene from ``profile``.
 
     The returned boxes are normalised xyxy within the unit square; labels are

@@ -39,9 +39,7 @@ def per_image_features(dataset: Dataset) -> tuple[np.ndarray, np.ndarray]:
     (Sec. V.B); Fig. 4 scatters exactly these values.
     """
     counts = np.array([len(record.truth) for record in dataset.records], dtype=np.int64)
-    min_areas = np.array(
-        [record.truth.min_area_ratio for record in dataset.records], dtype=np.float64
-    )
+    min_areas = np.array([record.truth.min_area_ratio for record in dataset.records], dtype=np.float64)
     return counts, min_areas
 
 

@@ -50,9 +50,7 @@ def _segment_view(batch: "DetectionBatch", index: int) -> Detections:
     return view
 
 
-def _gather_segments(
-    values: np.ndarray, starts: np.ndarray, counts: np.ndarray
-) -> np.ndarray:
+def _gather_segments(values: np.ndarray, starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     """Concatenate ``values[starts[i] : starts[i] + counts[i]]`` segments."""
     total = int(counts.sum())
     if total == 0:
@@ -92,18 +90,14 @@ class DetectionBatch:
         total = boxes.shape[0]
         scores = np.asarray(self.scores, dtype=np.float64).reshape(-1)
         if scores.shape[0] != total:
-            raise GeometryError(
-                f"DetectionBatch: got {scores.shape[0]} scores for {total} boxes"
-            )
+            raise GeometryError(f"DetectionBatch: got {scores.shape[0]} scores for {total} boxes")
         if total and (not np.isfinite(scores).all()):
             raise GeometryError("DetectionBatch: scores contain non-finite values")
         if total and ((scores < 0.0).any() or (scores > 1.0).any()):
             raise GeometryError("DetectionBatch: scores must lie in [0, 1]")
         labels = np.asarray(self.labels, dtype=np.int64).reshape(-1)
         if labels.shape[0] != total:
-            raise GeometryError(
-                f"DetectionBatch: got {labels.shape[0]} labels for {total} boxes"
-            )
+            raise GeometryError(f"DetectionBatch: got {labels.shape[0]} labels for {total} boxes")
         offsets = np.asarray(self.offsets, dtype=np.int64).reshape(-1)
         if offsets.size == 0 or offsets[0] != 0 or offsets[-1] != total:
             raise GeometryError("DetectionBatch: offsets must run from 0 to len(boxes)")
@@ -111,18 +105,13 @@ class DetectionBatch:
             raise GeometryError("DetectionBatch: offsets must be non-decreasing")
         image_ids = tuple(self.image_ids)
         if len(image_ids) != offsets.size - 1:
-            raise GeometryError(
-                f"DetectionBatch: got {len(image_ids)} image ids for "
-                f"{offsets.size - 1} segments"
-            )
+            raise GeometryError(f"DetectionBatch: got {len(image_ids)} image ids for " f"{offsets.size - 1} segments")
         if total > 1:
             starts = np.zeros(total, dtype=bool)
             interior = offsets[1:-1]
             starts[interior[interior < total]] = True
             if not np.all((scores[1:] <= scores[:-1]) | starts[1:]):
-                raise GeometryError(
-                    "DetectionBatch: segments must be sorted by descending score"
-                )
+                raise GeometryError("DetectionBatch: segments must be sorted by descending score")
         object.__setattr__(self, "image_ids", image_ids)
         object.__setattr__(self, "boxes", boxes)
         object.__setattr__(self, "scores", scores)
@@ -158,9 +147,7 @@ class DetectionBatch:
         return batch
 
     @classmethod
-    def from_list(
-        cls, detections: Iterable[Detections], *, detector: str | None = None
-    ) -> "DetectionBatch":
+    def from_list(cls, detections: Iterable[Detections], *, detector: str | None = None) -> "DetectionBatch":
         """Concatenate per-image :class:`Detections` into one batch.
 
         A thin wrapper over :class:`DetectionBatchBuilder` — appends every
@@ -207,9 +194,7 @@ class DetectionBatch:
                 only.offsets,
                 detector,
             )
-        sizes = np.fromiter(
-            (part.num_boxes for part in parts), dtype=np.int64, count=len(parts)
-        )
+        sizes = np.fromiter((part.num_boxes for part in parts), dtype=np.int64, count=len(parts))
         bases = np.concatenate([[0], np.cumsum(sizes)[:-1]])
         offsets = np.concatenate(
             [np.zeros(1, dtype=np.int64)]
@@ -225,9 +210,7 @@ class DetectionBatch:
         )
 
     @classmethod
-    def coerce(
-        cls, detections: "DetectionBatch | list[Detections]"
-    ) -> "DetectionBatch":
+    def coerce(cls, detections: "DetectionBatch | list[Detections]") -> "DetectionBatch":
         """Pass a batch through unchanged; concatenate a list."""
         if isinstance(detections, cls):
             return detections
@@ -296,9 +279,7 @@ class DetectionBatch:
 
     def count_above(self, threshold: float) -> np.ndarray:
         """Per-image number of boxes scoring ``>= threshold``."""
-        passing = np.concatenate(
-            [[0], np.cumsum(self.scores >= threshold, dtype=np.int64)]
-        )
+        passing = np.concatenate([[0], np.cumsum(self.scores >= threshold, dtype=np.int64)])
         return passing[self.offsets[1:]] - passing[self.offsets[:-1]]
 
     def min_area_above(self, threshold: float) -> np.ndarray:
@@ -375,25 +356,17 @@ class DetectionBatch:
         if not (mask.shape[0] == len(if_true) == len(if_false)):
             raise GeometryError("DetectionBatch.where: misaligned inputs")
         if if_true.image_ids != if_false.image_ids:
-            raise GeometryError(
-                "DetectionBatch.where: batches cover different images"
-            )
+            raise GeometryError("DetectionBatch.where: batches cover different images")
         true_counts = if_true.counts()
         false_counts = if_false.counts()
         counts = np.where(mask, true_counts, false_counts)
         offsets = np.zeros(mask.shape[0] + 1, dtype=np.int64)
         np.cumsum(counts, out=offsets[1:])
-        starts = np.where(
-            mask, if_true.offsets[:-1], if_false.offsets[:-1] + if_true.num_boxes
-        )
+        starts = np.where(mask, if_true.offsets[:-1], if_false.offsets[:-1] + if_true.num_boxes)
         pooled_boxes = np.concatenate([if_true.boxes, if_false.boxes], axis=0)
         pooled_scores = np.concatenate([if_true.scores, if_false.scores])
         pooled_labels = np.concatenate([if_true.labels, if_false.labels])
-        detector = (
-            if_true.detector
-            if if_true.detector == if_false.detector
-            else "mixed"
-        )
+        detector = if_true.detector if if_true.detector == if_false.detector else "mixed"
         return cls._trusted(
             if_true.image_ids,
             _gather_segments(pooled_boxes, starts, counts),
@@ -417,9 +390,7 @@ class DetectionBatch:
         )
 
     @classmethod
-    def load(
-        cls, path, image_ids: tuple[str, ...], *, detector: str = "unknown"
-    ) -> "DetectionBatch":
+    def load(cls, path, image_ids: tuple[str, ...], *, detector: str = "unknown") -> "DetectionBatch":
         """Rebuild a batch from :meth:`save` output.
 
         ``image_ids`` supply the segment identities (the cache stores only
@@ -494,9 +465,7 @@ class DetectionBatchBuilder:
         """Append one image's detections (arrays already score-descending)."""
         boxes = np.asarray(boxes, dtype=np.float64)
         if boxes.ndim != 2 or boxes.shape[1] != 4:
-            raise GeometryError(
-                f"DetectionBatchBuilder: boxes must be (N, 4), got {boxes.shape}"
-            )
+            raise GeometryError(f"DetectionBatchBuilder: boxes must be (N, 4), got {boxes.shape}")
         count = boxes.shape[0]
         scores = np.asarray(scores, dtype=np.float64).reshape(-1)
         labels = np.asarray(labels, dtype=np.int64).reshape(-1)
@@ -529,9 +498,7 @@ class DetectionBatchBuilder:
         """Snapshot the appended images as a validated batch."""
         detector = self._detector
         if detector is None:
-            detector = (
-                next(iter(self._names)) if len(self._names) == 1 else "mixed"
-            )
+            detector = next(iter(self._names)) if len(self._names) == 1 else "mixed"
         return DetectionBatch(
             image_ids=tuple(self._image_ids),
             boxes=self._boxes[: self._count],
@@ -563,22 +530,15 @@ class GroundTruthBatch:
         total = boxes.shape[0]
         labels = np.asarray(self.labels, dtype=np.int64).reshape(-1)
         if labels.shape[0] != total:
-            raise GeometryError(
-                f"GroundTruthBatch: got {labels.shape[0]} labels for {total} boxes"
-            )
+            raise GeometryError(f"GroundTruthBatch: got {labels.shape[0]} labels for {total} boxes")
         offsets = np.asarray(self.offsets, dtype=np.int64).reshape(-1)
         if offsets.size == 0 or offsets[0] != 0 or offsets[-1] != total:
-            raise GeometryError(
-                "GroundTruthBatch: offsets must run from 0 to len(boxes)"
-            )
+            raise GeometryError("GroundTruthBatch: offsets must run from 0 to len(boxes)")
         if (np.diff(offsets) < 0).any():
             raise GeometryError("GroundTruthBatch: offsets must be non-decreasing")
         image_ids = tuple(self.image_ids)
         if len(image_ids) != offsets.size - 1:
-            raise GeometryError(
-                f"GroundTruthBatch: got {len(image_ids)} image ids for "
-                f"{offsets.size - 1} segments"
-            )
+            raise GeometryError(f"GroundTruthBatch: got {len(image_ids)} image ids for " f"{offsets.size - 1} segments")
         object.__setattr__(self, "image_ids", image_ids)
         object.__setattr__(self, "boxes", boxes)
         object.__setattr__(self, "labels", labels)
@@ -591,9 +551,7 @@ class GroundTruthBatch:
     def from_truths(cls, truths: Sequence[GroundTruth]) -> "GroundTruthBatch":
         """Flatten per-image :class:`GroundTruth` into one batch."""
         items = list(truths)
-        counts = np.fromiter(
-            (len(truth) for truth in items), dtype=np.int64, count=len(items)
-        )
+        counts = np.fromiter((len(truth) for truth in items), dtype=np.int64, count=len(items))
         offsets = np.zeros(len(items) + 1, dtype=np.int64)
         np.cumsum(counts, out=offsets[1:])
         if items and offsets[-1]:
@@ -610,9 +568,7 @@ class GroundTruthBatch:
         )
 
     @classmethod
-    def coerce(
-        cls, truths: "GroundTruthBatch | Sequence[GroundTruth]"
-    ) -> "GroundTruthBatch":
+    def coerce(cls, truths: "GroundTruthBatch | Sequence[GroundTruth]") -> "GroundTruthBatch":
         """Pass a batch through unchanged; use a ``Dataset``'s cached batch
         when one is offered; flatten a plain annotation list."""
         if isinstance(truths, cls):
@@ -640,6 +596,28 @@ class GroundTruthBatch:
     def image_indices(self) -> np.ndarray:
         """For every flat row, the index of the image that owns it."""
         return np.repeat(np.arange(len(self), dtype=np.int64), self.counts())
+
+    def select(self, indices: np.ndarray) -> "GroundTruthBatch":
+        """Batch over a subset/reordering of images (repeats allowed).
+
+        The annotation-side mirror of :meth:`DetectionBatch.select` — the
+        rolling stream evaluator uses it to gather the ground truth of the
+        frames completed inside one time window.
+        """
+        indices = np.asarray(indices)
+        if indices.dtype == bool:
+            indices = np.flatnonzero(indices)
+        indices = indices.astype(np.int64, copy=False)
+        counts = self.counts()[indices]
+        offsets = np.zeros(indices.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        starts = self.offsets[:-1][indices]
+        return GroundTruthBatch(
+            image_ids=tuple(self.image_ids[int(i)] for i in indices),
+            boxes=_gather_segments(self.boxes, starts, counts),
+            labels=_gather_segments(self.labels, starts, counts),
+            offsets=offsets,
+        )
 
     def min_area_ratios(self) -> np.ndarray:
         """Per-image smallest object area ratio (1.0 for empty images),

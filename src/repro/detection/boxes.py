@@ -119,9 +119,7 @@ def pairwise_iou(boxes_a: np.ndarray, boxes_b: np.ndarray) -> np.ndarray:
     a = as_boxes(boxes_a)
     b = as_boxes(boxes_b)
     if a.shape != b.shape:
-        raise GeometryError(
-            f"pairwise_iou requires equal shapes, got {a.shape} vs {b.shape}"
-        )
+        raise GeometryError(f"pairwise_iou requires equal shapes, got {a.shape} vs {b.shape}")
     if a.shape[0] == 0:
         return np.zeros(0)
     lt = np.maximum(a[:, :2], b[:, :2])
@@ -163,10 +161,6 @@ def boxes_contain(boxes: np.ndarray, points: np.ndarray) -> np.ndarray:
     """Boolean matrix ``(N, P)``: does box ``n`` contain point ``p``?"""
     array = as_boxes(boxes)
     pts = np.asarray(points, dtype=np.float64).reshape(-1, 2)
-    inside_x = (pts[None, :, 0] >= array[:, None, 0]) & (
-        pts[None, :, 0] <= array[:, None, 2]
-    )
-    inside_y = (pts[None, :, 1] >= array[:, None, 1]) & (
-        pts[None, :, 1] <= array[:, None, 3]
-    )
+    inside_x = (pts[None, :, 0] >= array[:, None, 0]) & (pts[None, :, 0] <= array[:, None, 2])
+    inside_y = (pts[None, :, 1] >= array[:, None, 1]) & (pts[None, :, 1] <= array[:, None, 3])
     return inside_x & inside_y

@@ -76,9 +76,7 @@ def greedy_match_arrays(
     :class:`~repro.detection.batch.DetectionBatch` segments maintain.
     """
     if not 0.0 < iou_threshold <= 1.0:
-        raise ConfigurationError(
-            f"iou_threshold must be in (0, 1], got {iou_threshold}"
-        )
+        raise ConfigurationError(f"iou_threshold must be in (0, 1], got {iou_threshold}")
     num_det = int(det_boxes.shape[0])
     num_gt = int(gt_boxes.shape[0])
     is_tp = np.zeros(num_det, dtype=bool)

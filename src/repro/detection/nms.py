@@ -54,9 +54,7 @@ def class_aware_nms(detections: Detections, iou_threshold: float = 0.45) -> Dete
     keep_mask = np.zeros(len(detections), dtype=bool)
     for label in np.unique(detections.labels):
         class_idx = np.flatnonzero(detections.labels == label)
-        kept = nms_indices(
-            detections.boxes[class_idx], detections.scores[class_idx], iou_threshold
-        )
+        kept = nms_indices(detections.boxes[class_idx], detections.scores[class_idx], iou_threshold)
         keep_mask[class_idx[kept]] = True
     return Detections(
         image_id=detections.image_id,

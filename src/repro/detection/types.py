@@ -24,9 +24,7 @@ __all__ = ["GroundTruth", "Detections"]
 def _as_int_labels(labels: np.ndarray | list, count: int, what: str) -> np.ndarray:
     array = np.asarray(labels, dtype=np.int64).reshape(-1)
     if array.shape[0] != count:
-        raise GeometryError(
-            f"{what}: got {array.shape[0]} labels for {count} boxes"
-        )
+        raise GeometryError(f"{what}: got {array.shape[0]} labels for {count} boxes")
     return array
 
 
@@ -100,9 +98,7 @@ class Detections:
         count = boxes.shape[0]
         scores = np.asarray(self.scores, dtype=np.float64).reshape(-1)
         if scores.shape[0] != count:
-            raise GeometryError(
-                f"Detections: got {scores.shape[0]} scores for {count} boxes"
-            )
+            raise GeometryError(f"Detections: got {scores.shape[0]} scores for {count} boxes")
         if count and (not np.isfinite(scores).all()):
             raise GeometryError("Detections: scores contain non-finite values")
         if count and ((scores < 0.0).any() or (scores > 1.0).any()):

@@ -18,6 +18,7 @@ __all__ = [
     "figure_07_threshold_sweep",
     "figure_08_map_vs_upload",
     "figure_09_counts_vs_upload",
+    "figure_10_fleet_quality",
     "all_figures",
 ]
 
@@ -29,15 +30,21 @@ def detection_artifacts() -> tuple[tuple[str, str, str], ...]:
     """Distinct ``(model, setting, split)`` detection artifacts of the figures.
 
     Figures 4 and 7 read the small1/SSD train-split detections on VOC07+12;
-    Figures 8-9 additionally sweep the test split through the same pair.
-    (All four are a subset of the table suite's artifacts; the suite
-    scheduler deduplicates across both lists.)
+    Figures 8-9 additionally sweep the test split through the same pair, and
+    Figure 10's fleet runs consume the helmet pair (both splits: the test
+    detections feed the policies, the train split fits the discriminator).
+    (All are a subset of the table suite's artifacts; the suite scheduler
+    deduplicates across both lists.)
     """
     return (
         ("small1", "voc07+12", "train"),
         ("ssd", "voc07+12", "train"),
         ("small1", "voc07+12", "test"),
         ("ssd", "voc07+12", "test"),
+        ("small1", "helmet", "train"),
+        ("ssd", "helmet", "train"),
+        ("small1", "helmet", "test"),
+        ("ssd", "helmet", "test"),
     )
 
 
@@ -112,9 +119,7 @@ def figure_07_threshold_sweep(harness: Harness) -> FigureResult:
     n_predict = small_train.count_above(0.5)
     true_counts = train.truth_batch.counts()
     true_min_areas = train.truth_batch.min_area_ratios()
-    rows = area_threshold_sweep(
-        n_predict, true_counts, true_min_areas, labels, count_threshold=2
-    )
+    rows = area_threshold_sweep(n_predict, true_counts, true_min_areas, labels, count_threshold=2)
     return FigureResult(
         figure_id="7",
         title="Discriminator performance as the minimum-object-area-ratio "
@@ -134,9 +139,7 @@ def _upload_sweep(harness: Harness, setting: str) -> list:
     """System runs across the upload-ratio grid using difficulty ranking."""
     discriminator, _ = harness.discriminator("small1", "ssd", setting)
     small_test = harness.detections("small1", setting, "test")
-    n_predict, n_estimated, min_area = extract_feature_arrays(
-        small_test, discriminator.confidence_threshold
-    )
+    n_predict, n_estimated, min_area = extract_feature_arrays(small_test, discriminator.confidence_threshold)
     priority = difficulty_priority(
         n_predict,
         n_estimated,
@@ -194,11 +197,39 @@ def figure_09_counts_vs_upload(harness: Harness, setting: str = "voc07+12") -> F
     )
 
 
+def figure_10_fleet_quality(harness: Harness) -> FigureResult:
+    """Figure 10 (extension): rolling online mAP of every fleet policy.
+
+    One mAP series per offload policy over the shared window grid of the
+    eight-camera fleet run (:mod:`repro.experiments.fleet`).  The shared
+    uplink saturating under cloud-only shows up directly as a quality
+    collapse, while the collaborative policies hold their level.
+    """
+    from repro.experiments.fleet import fleet_policy_outcomes
+
+    outcomes = fleet_policy_outcomes(harness)
+    x_values = [window.t_end for window in outcomes[0].windows]
+    return FigureResult(
+        figure_id="10",
+        title="Rolling online mAP of an 8-camera fleet under each offload "
+        "policy (helmet deployment, shared uplink and cloud GPU)",
+        x_label="window end (s)",
+        x_values=x_values,
+        series={
+            outcome.policy: [window.map_percent for window in outcome.windows]
+            for outcome in outcomes
+        },
+        notes="Windows score every arriving frame; dropped and stale results "
+        "count as empty detections, so saturation is measured quality loss.",
+    )
+
+
 def all_figures(harness: Harness) -> list[FigureResult]:
-    """Run every figure in paper order."""
+    """Run every figure in paper order (extensions last)."""
     return [
         figure_04_case_scatter(harness),
         figure_07_threshold_sweep(harness),
         figure_08_map_vs_upload(harness),
         figure_09_counts_vs_upload(harness),
+        figure_10_fleet_quality(harness),
     ]

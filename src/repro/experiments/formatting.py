@@ -45,9 +45,7 @@ def format_table_markdown(result: TableResult) -> str:
         lines.append("| " + " | ".join(headers) + " |")
         lines.append("|" + "|".join("---" for _ in headers) + "|")
         for row in result.rows:
-            lines.append(
-                "| " + " | ".join(_format_cell(row.get(col)) for col in headers) + " |"
-            )
+            lines.append("| " + " | ".join(_format_cell(row.get(col)) for col in headers) + " |")
     else:
         key_col = headers[0]
         value_cols = headers[1:]

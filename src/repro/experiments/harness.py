@@ -120,6 +120,7 @@ class Harness:
     _discriminators: dict = field(default_factory=dict, repr=False)
     _maps: dict = field(default_factory=dict, repr=False)
     _counts: dict = field(default_factory=dict, repr=False)
+    _fleet: dict = field(default_factory=dict, repr=False)
     _pool: WorkerPool | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #
@@ -164,9 +165,7 @@ class Harness:
                 fraction = min(1.0, self.config.train_images / entry.train_size)
             else:
                 fraction = self.config.test_fraction
-            self._datasets[key] = load_dataset(
-                setting, split, seed=self.config.seed, fraction=fraction
-            )
+            self._datasets[key] = load_dataset(setting, split, seed=self.config.seed, fraction=fraction)
         return self._datasets[key]
 
     def detector(self, model: str, setting: str) -> SimulatedDetector:
@@ -192,7 +191,10 @@ class Harness:
         return self._detections[key]
 
     def discriminator(
-        self, small: str, big: str, setting: str
+        self,
+        small: str,
+        big: str,
+        setting: str,
     ) -> tuple[DifficultCaseDiscriminator, DiscriminatorFitReport]:
         """Fit (once) the discriminator for a model pair on a train split."""
         key = (small, big, setting)
@@ -240,9 +242,7 @@ class Harness:
         if key not in self._maps:
             dataset = self.dataset(setting, "test")
             served = self.detections(model, setting, "test").above(0.5)
-            self._maps[key] = mean_average_precision(
-                served, dataset.truth_batch, dataset.num_classes
-            )
+            self._maps[key] = mean_average_precision(served, dataset.truth_batch, dataset.num_classes)
         return self._maps[key]
 
     def model_counts(self, model: str, setting: str) -> CountSummary:
@@ -250,10 +250,27 @@ class Harness:
         key = (model, setting)
         if key not in self._counts:
             dataset = self.dataset(setting, "test")
-            self._counts[key] = count_summary(
-                self.detections(model, setting, "test"), dataset.truth_batch
-            )
+            self._counts[key] = count_summary(self.detections(model, setting, "test"), dataset.truth_batch)
         return self._counts[key]
+
+    def fleet_outcomes(self, *, cameras=None, config=None, window_s=None) -> tuple:
+        """Fleet policy comparison (Table XVIII / Figure 10), memoised.
+
+        Thin cache owner over
+        :func:`repro.experiments.fleet.compute_fleet_outcomes` — the fleet
+        runs are the suite's heaviest non-detection workload, and the table
+        and figure consume identical inputs.  Defaults resolve to the fleet
+        module's reported configuration.
+        """
+        from repro.experiments import fleet as _fleet
+
+        cameras = _fleet.FLEET_CAMERAS if cameras is None else cameras
+        config = _fleet.fleet_config() if config is None else config
+        window_s = _fleet.FLEET_WINDOW_S if window_s is None else window_s
+        key = (cameras, config, window_s)
+        if key not in self._fleet:
+            self._fleet[key] = _fleet.compute_fleet_outcomes(self, cameras=cameras, config=config, window_s=window_s)
+        return self._fleet[key]
 
     # ------------------------------------------------------------------ #
     # detection production (sharded disk cache + parallel runner)
@@ -278,7 +295,9 @@ class Harness:
         return self._assemble(detector, shards)
 
     def _production_state(
-        self, detector: SimulatedDetector, dataset: Dataset
+        self,
+        detector: SimulatedDetector,
+        dataset: Dataset,
     ) -> tuple[list[tuple[int, int]], list[DetectionBatch | None], list[int]]:
         """Cache spans, warm shard loads, and the indices still missing.
 
@@ -287,15 +306,11 @@ class Harness:
         spans of *many* artifacts out across the shared pool at once).
         """
         spans = self._cache_spans(len(dataset))
-        shards: list[DetectionBatch | None] = [
-            self._load_shard(detector, dataset, span) for span in spans
-        ]
+        shards: list[DetectionBatch | None] = [self._load_shard(detector, dataset, span) for span in spans]
         missing = [index for index, shard in enumerate(shards) if shard is None]
         return spans, shards, missing
 
-    def _assemble(
-        self, detector: SimulatedDetector, shards: Sequence[DetectionBatch]
-    ) -> DetectionBatch:
+    def _assemble(self, detector: SimulatedDetector, shards: Sequence[DetectionBatch]) -> DetectionBatch:
         """Concatenate completed cache shards into one split batch."""
         if not shards:
             return DetectionBatch.from_list([], detector=detector.name)
@@ -331,9 +346,7 @@ class Harness:
         # Same tiny-split fallback as run_split: don't fork workers when the
         # total missing work is under one pool-worthy shard per worker.
         total = sum(hi - lo for lo, hi in spans)
-        workers = min(
-            self.config.resolve_workers(), max(1, total // DEFAULT_MIN_SHARD_IMAGES)
-        )
+        workers = min(self.config.resolve_workers(), max(1, total // DEFAULT_MIN_SHARD_IMAGES))
         return run_shards(
             detector,
             [records[lo:hi] for lo, hi in spans],
@@ -406,9 +419,7 @@ class Harness:
             return None
         lo, hi = span
         try:
-            batch = DetectionBatch.load(
-                path, dataset.image_ids[lo:hi], detector=detector.name
-            )
+            batch = DetectionBatch.load(path, dataset.image_ids[lo:hi], detector=detector.name)
         except (
             OSError,
             KeyError,

@@ -43,6 +43,7 @@ __all__ = [
     "table_15_blur_counts",
     "table_16_confidence_map",
     "table_17_confidence_counts",
+    "table_18_fleet_policies",
     "all_tables",
 ]
 
@@ -179,9 +180,7 @@ def _counts_table(
     )
 
 
-def _baseline_run(
-    harness: Harness, setting: str, policy: UploadPolicy
-):
+def _baseline_run(harness: Harness, setting: str, policy: UploadPolicy):
     dataset = harness.dataset(setting, "test")
     small_dets = harness.detections("small1", setting, "test")
     mask = policy.select(dataset, small_dets)
@@ -305,10 +304,8 @@ def table_01_discriminator(harness: Harness) -> TableResult:
         {"features": "Predicted", **test_metrics.as_row()},
     ]
     paper_rows = [
-        {"features": "Ground Truth", "accuracy": 85.35, "f1": 0.8665,
-         "precision": 77.51, "recall": 98.24},
-        {"features": "Predicted", "accuracy": 78.35, "f1": 0.7732,
-         "precision": 78.38, "recall": 76.29},
+        {"features": "Ground Truth", "accuracy": 85.35, "f1": 0.8665, "precision": 77.51, "recall": 98.24},
+        {"features": "Predicted", "accuracy": 78.35, "f1": 0.7732, "precision": 78.38, "recall": 76.29},
     ]
     return TableResult(
         table_id="I",
@@ -360,8 +357,13 @@ def table_03_map_small1(harness: Harness) -> TableResult:
         {"setting": "Average", "upload_percent": 51.32},
     ]
     return _map_table(
-        harness, "small1", "ssd", SSD_SETTINGS, "III",
-        "mAP when using small model 1", paper_rows,
+        harness,
+        "small1",
+        "ssd",
+        SSD_SETTINGS,
+        "III",
+        "mAP when using small model 1",
+        paper_rows,
     )
 
 
@@ -375,8 +377,13 @@ def table_04_counts_small1(harness: Harness) -> TableResult:
         {"setting": "Average", "e2e_over_big_percent": 94.01},
     ]
     return _counts_table(
-        harness, "small1", "ssd", SSD_SETTINGS, "IV",
-        "Number of detected objects when using small model 1", paper_rows,
+        harness,
+        "small1",
+        "ssd",
+        SSD_SETTINGS,
+        "IV",
+        "Number of detected objects when using small model 1",
+        paper_rows,
     )
 
 
@@ -390,8 +397,13 @@ def table_05_map_small2(harness: Harness) -> TableResult:
         {"setting": "Average", "upload_percent": 51.61},
     ]
     return _map_table(
-        harness, "small2", "ssd", SSD_SETTINGS, "V",
-        "mAP when using small model 2 (MobileNetV1)", paper_rows,
+        harness,
+        "small2",
+        "ssd",
+        SSD_SETTINGS,
+        "V",
+        "mAP when using small model 2 (MobileNetV1)",
+        paper_rows,
     )
 
 
@@ -405,8 +417,13 @@ def table_06_counts_small2(harness: Harness) -> TableResult:
         {"setting": "Average", "e2e_over_big_percent": 97.84},
     ]
     return _counts_table(
-        harness, "small2", "ssd", SSD_SETTINGS, "VI",
-        "Number of detected objects when using small model 2", paper_rows,
+        harness,
+        "small2",
+        "ssd",
+        SSD_SETTINGS,
+        "VI",
+        "Number of detected objects when using small model 2",
+        paper_rows,
     )
 
 
@@ -420,8 +437,13 @@ def table_07_map_small3(harness: Harness) -> TableResult:
         {"setting": "Average", "upload_percent": 51.19},
     ]
     return _map_table(
-        harness, "small3", "ssd", SSD_SETTINGS, "VII",
-        "mAP when using small model 3 (MobileNetV2)", paper_rows,
+        harness,
+        "small3",
+        "ssd",
+        SSD_SETTINGS,
+        "VII",
+        "mAP when using small model 3 (MobileNetV2)",
+        paper_rows,
     )
 
 
@@ -435,8 +457,13 @@ def table_08_counts_small3(harness: Harness) -> TableResult:
         {"setting": "Average", "e2e_over_big_percent": 96.23},
     ]
     return _counts_table(
-        harness, "small3", "ssd", SSD_SETTINGS, "VIII",
-        "Number of detected objects when using small model 3", paper_rows,
+        harness,
+        "small3",
+        "ssd",
+        SSD_SETTINGS,
+        "VIII",
+        "Number of detected objects when using small model 3",
+        paper_rows,
     )
 
 
@@ -451,8 +478,13 @@ def table_09_map_yolov4(harness: Harness) -> TableResult:
         {"setting": "Average", "upload_percent": 21.11},
     ]
     return _map_table(
-        harness, "small-yolo", "yolov4", YOLO_SETTINGS, "IX",
-        "mAP when using YOLOv4", paper_rows,
+        harness,
+        "small-yolo",
+        "yolov4",
+        YOLO_SETTINGS,
+        "IX",
+        "mAP when using YOLOv4",
+        paper_rows,
     )
 
 
@@ -464,8 +496,13 @@ def table_10_counts_yolov4(harness: Harness) -> TableResult:
         {"setting": "Average", "e2e_over_big_percent": 98.57},
     ]
     return _counts_table(
-        harness, "small-yolo", "yolov4", YOLO_SETTINGS, "X",
-        "Number of detected objects when using YOLOv4", paper_rows,
+        harness,
+        "small-yolo",
+        "yolov4",
+        YOLO_SETTINGS,
+        "X",
+        "Number of detected objects when using YOLOv4",
+        paper_rows,
     )
 
 
@@ -608,6 +645,59 @@ def table_17_confidence_counts(harness: Harness) -> TableResult:
     )
 
 
+# --------------------------------------------------------------------- #
+# Table XVIII (extension): multi-camera fleet with online quality
+# --------------------------------------------------------------------- #
+def table_18_fleet_policies(harness: Harness) -> TableResult:
+    """Table XVIII (extension): every offload policy at fleet scale.
+
+    Eight helmet-site cameras share one WLAN uplink and one cloud GPU
+    (:mod:`repro.experiments.fleet`); every policy rides the same serving
+    pipeline and arrival processes, and quality is measured *online* —
+    rolling mAP / count error over the frames arriving in each window, with
+    dropped and stale (late beyond the freshness deadline) frames scoring
+    zero detections.  No paper counterpart: the paper's Table XI serves one
+    camera statically.
+    """
+    from repro.experiments.fleet import FLEET_CAMERAS, FLEET_FRESHNESS_S, fleet_policy_outcomes
+
+    rows = []
+    for outcome in fleet_policy_outcomes(harness):
+        report = outcome.report
+        rows.append(
+            {
+                "policy": outcome.policy,
+                "upload_percent": round(100.0 * report.upload_ratio, 2),
+                "drop_percent": round(100.0 * report.drop_rate, 2),
+                "p50_ms": round(1000.0 * report.latency.p50, 1),
+                "p99_ms": round(1000.0 * report.latency.p99, 1),
+                "rolling_map": round(outcome.mean_map, 2),
+                "count_error_percent": round(outcome.mean_count_error, 2),
+            }
+        )
+    return TableResult(
+        table_id="XVIII",
+        title=f"Offload policies serving a {FLEET_CAMERAS}-camera fleet over one "
+        "shared uplink and cloud GPU (helmet deployment, online quality)",
+        columns=(
+            "policy",
+            "upload_percent",
+            "drop_percent",
+            "p50_ms",
+            "p99_ms",
+            "rolling_map",
+            "count_error_percent",
+        ),
+        rows=rows,
+        paper_rows=None,
+        notes="Extension workload: rolling-window quality (mAP / missed objects) "
+        "over arriving frames; dropped and stale results score as empty "
+        "detections (freshness deadline "
+        f"{FLEET_FRESHNESS_S:g} s).  Baselines run at the discriminator's "
+        "measured upload quota.",
+    )
+
+
 def all_tables(harness: Harness) -> list[TableResult]:
     """Run every table in paper order."""
     runners = [
@@ -628,5 +718,6 @@ def all_tables(harness: Harness) -> list[TableResult]:
         table_15_blur_counts,
         table_16_confidence_map,
         table_17_confidence_counts,
+        table_18_fleet_policies,
     ]
     return [runner(harness) for runner in runners]

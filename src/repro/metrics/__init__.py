@@ -1,8 +1,10 @@
-"""Evaluation substrate: VOC AP/mAP, counting, classification, latency."""
+"""Evaluation substrate: VOC AP/mAP, counting, classification, latency,
+rolling online stream quality."""
 
 from repro.metrics.classify import BinaryMetrics, binary_metrics, confusion_counts
 from repro.metrics.counting import CountSummary, count_detected_objects, count_summary
 from repro.metrics.latency import LatencySummary, summarize_latencies
+from repro.metrics.rolling import RollingWindow, rolling_quality
 from repro.metrics.voc_ap import (
     EvalResult,
     PRCurve,
@@ -21,6 +23,8 @@ __all__ = [
     "count_summary",
     "LatencySummary",
     "summarize_latencies",
+    "RollingWindow",
+    "rolling_quality",
     "EvalResult",
     "PRCurve",
     "evaluate_detections",

@@ -62,16 +62,12 @@ class BinaryMetrics:
         }
 
 
-def confusion_counts(
-    predicted: np.ndarray | list[bool], actual: np.ndarray | list[bool]
-) -> tuple[int, int, int, int]:
+def confusion_counts(predicted: np.ndarray | list[bool], actual: np.ndarray | list[bool]) -> tuple[int, int, int, int]:
     """Return ``(tp, fp, tn, fn)`` for boolean arrays (positive = True)."""
     pred = np.asarray(predicted, dtype=bool).reshape(-1)
     act = np.asarray(actual, dtype=bool).reshape(-1)
     if pred.shape != act.shape:
-        raise ConfigurationError(
-            f"predicted and actual differ in length: {pred.shape} vs {act.shape}"
-        )
+        raise ConfigurationError(f"predicted and actual differ in length: {pred.shape} vs {act.shape}")
     tp = int(np.count_nonzero(pred & act))
     fp = int(np.count_nonzero(pred & ~act))
     tn = int(np.count_nonzero(~pred & ~act))
@@ -79,9 +75,7 @@ def confusion_counts(
     return tp, fp, tn, fn
 
 
-def binary_metrics(
-    predicted: np.ndarray | list[bool], actual: np.ndarray | list[bool]
-) -> BinaryMetrics:
+def binary_metrics(predicted: np.ndarray | list[bool], actual: np.ndarray | list[bool]) -> BinaryMetrics:
     """Build :class:`BinaryMetrics` from predicted/actual boolean labels."""
     tp, fp, tn, fn = confusion_counts(predicted, actual)
     return BinaryMetrics(tp=tp, fp=fp, tn=tn, fn=fn)

@@ -59,9 +59,7 @@ def count_detected_objects(
     """
     gt = GroundTruthBatch.coerce(truths)
     if len(detections) != len(gt):
-        raise ConfigurationError(
-            f"got {len(detections)} detection sets for {len(gt)} images"
-        )
+        raise ConfigurationError(f"got {len(detections)} detection sets for {len(gt)} images")
     served = DetectionBatch.coerce(detections).above(score_threshold)
     offsets = served.offsets
     gt_offsets = gt.offsets

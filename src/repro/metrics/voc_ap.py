@@ -37,9 +37,7 @@ class PRCurve:
 
     def ap(self, *, use_07_metric: bool = True) -> float:
         """Average precision of this curve."""
-        return voc_ap_from_pr(
-            self.recall, self.precision, use_07_metric=use_07_metric
-        )
+        return voc_ap_from_pr(self.recall, self.precision, use_07_metric=use_07_metric)
 
 
 @dataclass(frozen=True)
@@ -63,9 +61,7 @@ class EvalResult:
         return 100.0 * self.map
 
 
-def voc_ap_from_pr(
-    recall: np.ndarray, precision: np.ndarray, *, use_07_metric: bool = True
-) -> float:
+def voc_ap_from_pr(recall: np.ndarray, precision: np.ndarray, *, use_07_metric: bool = True) -> float:
     """Average precision from a PR curve.
 
     With ``use_07_metric`` the 11-point interpolation of the VOC2007 devkit
@@ -131,9 +127,7 @@ def _pooled_pr_curve(
     num_gt = int(gt_boxes.shape[0])
     num_det = int(det_scores.shape[0])
     if num_det == 0:
-        return PRCurve(
-            recall=np.zeros(0), precision=np.zeros(0), scores=np.zeros(0), num_gt=num_gt
-        )
+        return PRCurve(recall=np.zeros(0), precision=np.zeros(0), scores=np.zeros(0), num_gt=num_gt)
 
     gt_counts = np.bincount(gt_images, minlength=num_images)
     gt_starts = np.zeros(num_images, dtype=np.int64)
@@ -145,10 +139,7 @@ def _pooled_pr_curve(
 
     if total_pairs:
         det_idx = np.repeat(np.arange(num_det), pair_counts)
-        gt_idx = (
-            np.repeat(gt_starts[det_images] - row_starts, pair_counts)
-            + np.arange(total_pairs)
-        )
+        gt_idx = np.repeat(gt_starts[det_images] - row_starts, pair_counts) + np.arange(total_pairs)
         iou_flat = pairwise_iou(det_boxes[det_idx], gt_boxes[gt_idx])
     else:
         iou_flat = np.zeros(0)
@@ -197,9 +188,7 @@ def precision_recall_curve(
     """
     gt = GroundTruthBatch.coerce(truths)
     if len(detections) != len(gt):
-        raise ConfigurationError(
-            f"got {len(detections)} detection sets for {len(gt)} images"
-        )
+        raise ConfigurationError(f"got {len(detections)} detection sets for {len(gt)} images")
     batch = DetectionBatch.coerce(detections)
     gt_mask = gt.labels == label
     det_mask = batch.labels == label
@@ -232,9 +221,7 @@ def evaluate_detections(
     """
     gt = GroundTruthBatch.coerce(truths)
     if len(detections) != len(gt):
-        raise ConfigurationError(
-            f"got {len(detections)} detection sets for {len(gt)} images"
-        )
+        raise ConfigurationError(f"got {len(detections)} detection sets for {len(gt)} images")
     batch = DetectionBatch.coerce(detections)
     det_images = batch.image_indices()
     gt_labels, gt_images = gt.labels, gt.image_indices()

@@ -1,14 +1,9 @@
-"""Edge-cloud execution substrate: devices, links, codecs, latency."""
+"""Edge-cloud execution substrate: devices, links, codecs, serving schemes."""
 
 from repro.runtime.codec import JpegCodec, detections_payload_bytes
 from repro.runtime.devices import JETSON_NANO, RTX3060_SERVER, RYZEN9_CPU, ComputeDevice
-from repro.runtime.executor import (
-    DISCRIMINATOR_FLOPS,
-    Deployment,
-    EdgeCloudRuntime,
-    RunCost,
-)
 from repro.runtime.events import EventLoop, FifoResource
+from repro.runtime.executor import EdgeCloudRuntime
 from repro.runtime.network import ETHERNET_1G, LTE, WLAN, NetworkLink
 from repro.runtime.parallel import (
     detect_records,
@@ -17,7 +12,28 @@ from repro.runtime.parallel import (
     shard_spans,
 )
 from repro.runtime.pool import WorkerPool, resolve_workers
-from repro.runtime.stream import StreamConfig, StreamReport, StreamSimulator
+from repro.runtime.serving import (
+    DISCRIMINATOR_FLOPS,
+    AlwaysOffload,
+    Deployment,
+    FleetReport,
+    NeverOffload,
+    OffloadPolicy,
+    RunCost,
+    ServingScheme,
+    StreamConfig,
+    StreamReport,
+    cloud_only_scheme,
+    cloud_round_trip_time,
+    collaborative_scheme,
+    edge_compute_time,
+    edge_only_scheme,
+    paper_schemes,
+    run_cost,
+    simulate_fleet,
+    simulate_stream,
+)
+from repro.runtime.stream import StreamSimulator
 
 __all__ = [
     "EventLoop",
@@ -45,4 +61,18 @@ __all__ = [
     "LTE",
     "WLAN",
     "NetworkLink",
+    "AlwaysOffload",
+    "FleetReport",
+    "NeverOffload",
+    "OffloadPolicy",
+    "ServingScheme",
+    "cloud_only_scheme",
+    "cloud_round_trip_time",
+    "collaborative_scheme",
+    "edge_compute_time",
+    "edge_only_scheme",
+    "paper_schemes",
+    "run_cost",
+    "simulate_fleet",
+    "simulate_stream",
 ]

@@ -47,9 +47,7 @@ class EventLoop:
         """Run ``action`` ``delay`` seconds from the current time."""
         if delay < 0.0:
             raise RuntimeModelError(f"cannot schedule into the past: {delay}")
-        heapq.heappush(
-            self._heap, _Event(self._now + delay, next(self._counter), action)
-        )
+        heapq.heappush(self._heap, _Event(self._now + delay, next(self._counter), action))
 
     def run(self, until: float | None = None) -> float:
         """Drain the event queue (optionally stopping at time ``until``).
@@ -88,9 +86,7 @@ class FifoResource:
         """Jobs currently waiting (not including the one in service)."""
         return len(self._queue)
 
-    def acquire(
-        self, service_time: float, on_done: Callable[[float], None]
-    ) -> None:
+    def acquire(self, service_time: float, on_done: Callable[[float], None]) -> None:
         """Enqueue a job; ``on_done(completion_time)`` fires when served."""
         if service_time < 0.0:
             raise RuntimeModelError(f"negative service time: {service_time}")

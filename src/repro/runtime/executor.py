@@ -10,70 +10,38 @@ Three serving schemes are modelled per image:
   run at the edge for every frame; difficult frames additionally pay the
   cloud-only path.
 
-The executor is deterministic given a seed (jitter draws are scoped per
-image), so Table XI's totals are reproducible.
+The per-frame stage arithmetic lives in :mod:`repro.runtime.serving` — the
+three schemes here are :func:`~repro.runtime.serving.paper_schemes` run
+through the shared static engine, and :meth:`EdgeCloudRuntime.run_scheme`
+accepts any other :class:`~repro.runtime.serving.ServingScheme` (e.g. a
+baseline offload policy).  The executor is deterministic given a seed
+(jitter draws are scoped per image), so Table XI's totals are reproducible.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro._rng import DEFAULT_SEED, generator_for
 from repro.data.datasets import Dataset, ImageRecord
-from repro.errors import RuntimeModelError
-from repro.metrics.latency import LatencySummary, summarize_latencies
-from repro.runtime.codec import JpegCodec, detections_payload_bytes
-from repro.runtime.devices import ComputeDevice
-from repro.runtime.network import NetworkLink
+from repro.detection.batch import DetectionBatch
+from repro.detection.types import Detections
+from repro.runtime.serving import (
+    DISCRIMINATOR_FLOPS,
+    Deployment,
+    RunCost,
+    ServingScheme,
+    cloud_only_scheme,
+    cloud_round_trip_time,
+    collaborative_scheme,
+    edge_compute_time,
+    edge_only_scheme,
+    run_cost,
+)
 
-__all__ = ["Deployment", "RunCost", "EdgeCloudRuntime"]
-
-#: FLOPs of the threshold-based difficult-case discriminator.  It compares a
-#: few dozen scores against thresholds — negligible next to any CNN, but
-#: accounted for honesty.
-DISCRIMINATOR_FLOPS = 2.0e4
-
-
-@dataclass(frozen=True)
-class Deployment:
-    """Hardware/network description of one deployment."""
-
-    edge: ComputeDevice
-    cloud: ComputeDevice
-    link: NetworkLink
-    codec: JpegCodec = field(default_factory=JpegCodec)
-    small_model_flops: float = 6.3e9
-    big_model_flops: float = 62.7e9
-
-    def __post_init__(self) -> None:
-        if self.small_model_flops <= 0 or self.big_model_flops <= 0:
-            raise RuntimeModelError("model FLOPs must be positive")
-
-
-@dataclass(frozen=True)
-class RunCost:
-    """Aggregate cost of serving one split under one scheme."""
-
-    latency: LatencySummary
-    uploaded_images: int
-    total_images: int
-    uplink_bytes: int
-    downlink_bytes: int
-
-    @property
-    def upload_ratio(self) -> float:
-        """Fraction of images sent to the cloud."""
-        if self.total_images == 0:
-            return 0.0
-        return self.uploaded_images / self.total_images
-
-    def bandwidth_saving_over(self, other: "RunCost") -> float:
-        """Fractional uplink bytes saved relative to ``other``."""
-        if other.uplink_bytes == 0:
-            return 0.0
-        return 1.0 - self.uplink_bytes / other.uplink_bytes
+__all__ = ["Deployment", "RunCost", "EdgeCloudRuntime", "DISCRIMINATOR_FLOPS"]
 
 
 @dataclass(frozen=True)
@@ -88,75 +56,42 @@ class EdgeCloudRuntime:
     # ------------------------------------------------------------------ #
     def edge_latency(self, record: ImageRecord) -> float:
         """Small model plus discriminator on the edge device."""
-        device = self.deployment.edge
-        return device.inference_latency(
-            self.deployment.small_model_flops
-        ) + device.inference_latency(DISCRIMINATOR_FLOPS)
+        return edge_compute_time(self.deployment, discriminate=True)
 
     def cloud_round_trip(self, record: ImageRecord, result_boxes: int = 8) -> float:
         """Upload one frame, run the big model, return the results."""
-        dep = self.deployment
         rng = generator_for(self.seed, "net", record.image_id)
-        upload = dep.link.transfer_time(dep.codec.encoded_bytes(record), rng)
-        inference = dep.cloud.inference_latency(dep.big_model_flops)
-        download = dep.link.transfer_time(detections_payload_bytes(result_boxes), rng)
-        return upload + inference + download
+        return cloud_round_trip_time(self.deployment, record, rng, result_boxes=result_boxes)
 
     # ------------------------------------------------------------------ #
     # split-level schemes
     # ------------------------------------------------------------------ #
+    def run_scheme(
+        self,
+        scheme: ServingScheme,
+        dataset: Dataset,
+        *,
+        mask: np.ndarray | None = None,
+        small_detections: DetectionBatch | list[Detections] | None = None,
+    ) -> RunCost:
+        """Serve ``dataset`` under any scheme (policy- or mask-driven)."""
+        return run_cost(
+            scheme,
+            self.deployment,
+            dataset,
+            mask=mask,
+            small_detections=small_detections,
+            seed=self.seed,
+        )
+
     def run_edge_only(self, dataset: Dataset) -> RunCost:
         """Every frame served by the small model at the edge."""
-        latencies = [
-            self.deployment.edge.inference_latency(self.deployment.small_model_flops)
-            for _ in dataset.records
-        ]
-        return RunCost(
-            latency=summarize_latencies(latencies),
-            uploaded_images=0,
-            total_images=len(dataset),
-            uplink_bytes=0,
-            downlink_bytes=0,
-        )
+        return self.run_scheme(edge_only_scheme(), dataset)
 
     def run_cloud_only(self, dataset: Dataset) -> RunCost:
         """Every frame uploaded and served by the big model."""
-        dep = self.deployment
-        latencies = [self.cloud_round_trip(record) for record in dataset.records]
-        uplink = sum(dep.codec.encoded_bytes(record) for record in dataset.records)
-        downlink = len(dataset) * detections_payload_bytes(8)
-        return RunCost(
-            latency=summarize_latencies(latencies),
-            uploaded_images=len(dataset),
-            total_images=len(dataset),
-            uplink_bytes=uplink,
-            downlink_bytes=downlink,
-        )
+        return self.run_scheme(cloud_only_scheme(), dataset)
 
-    def run_collaborative(
-        self, dataset: Dataset, uploaded: np.ndarray | list[bool]
-    ) -> RunCost:
+    def run_collaborative(self, dataset: Dataset, uploaded: np.ndarray | list[bool]) -> RunCost:
         """Small model everywhere; cloud round trip for uploaded frames."""
-        mask = np.asarray(uploaded, dtype=bool).reshape(-1)
-        if mask.shape[0] != len(dataset):
-            raise RuntimeModelError(
-                f"uploaded mask has {mask.shape[0]} entries for "
-                f"{len(dataset)} images"
-            )
-        dep = self.deployment
-        latencies: list[float] = []
-        uplink = 0
-        for record, send in zip(dataset.records, mask):
-            latency = self.edge_latency(record)
-            if send:
-                latency += self.cloud_round_trip(record)
-                uplink += dep.codec.encoded_bytes(record)
-            latencies.append(latency)
-        downlink = int(mask.sum()) * detections_payload_bytes(8)
-        return RunCost(
-            latency=summarize_latencies(latencies),
-            uploaded_images=int(mask.sum()),
-            total_images=len(dataset),
-            uplink_bytes=uplink,
-            downlink_bytes=downlink,
-        )
+        return self.run_scheme(collaborative_scheme(), dataset, mask=uploaded)

@@ -37,9 +37,7 @@ class NetworkLink:
         if self.rtt_s < 0.0 or self.jitter_s < 0.0:
             raise ConfigurationError("rtt_s and jitter_s must be >= 0")
 
-    def transfer_time(
-        self, payload_bytes: int, rng: np.random.Generator | None = None
-    ) -> float:
+    def transfer_time(self, payload_bytes: int, rng: np.random.Generator | None = None) -> float:
         """Seconds to move ``payload_bytes`` across the link (one way).
 
         Includes half the RTT as the one-way protocol cost; a full

@@ -68,9 +68,7 @@ def shard_spans(count: int, shards: int) -> list[tuple[int, int]]:
     return spans
 
 
-def detect_records(
-    detector: "SimulatedDetector", records: Sequence["ImageRecord"]
-) -> DetectionBatch:
+def detect_records(detector: "SimulatedDetector", records: Sequence["ImageRecord"]) -> DetectionBatch:
     """Run ``detector`` over ``records`` serially into one batch."""
     builder = DetectionBatchBuilder(detector=detector.name)
     for record in records:
@@ -115,10 +113,7 @@ def run_shards(
             results.append(batch)
         return results
     results: list[DetectionBatch | None] = [None] * len(shards)
-    futures = {
-        pool.submit(_detect_shard_task, (detector, shard)): index
-        for index, shard in enumerate(shards)
-    }
+    futures = {pool.submit(_detect_shard_task, (detector, shard)): index for index, shard in enumerate(shards)}
     for future in as_completed(futures):
         index = futures[future]
         batch = future.result()

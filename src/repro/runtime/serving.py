@@ -1,0 +1,799 @@
+"""The unified serving-scheme pipeline.
+
+Every way this repository serves detections over an edge-cloud deployment is
+one composition of the same four pipeline stages — edge compute, uplink
+transfer, cloud compute, downlink transfer — differing only in *which frames
+escalate to the cloud*.  This module makes that structure explicit:
+
+* :class:`OffloadPolicy` — the per-frame escalation decision as a structural
+  protocol.  The difficult-case discriminator (the paper's contribution),
+  the Sec. VI.E baselines (random / blur / top-1 confidence) and the
+  degenerate always/never decisions (cloud-only / edge-only) are all
+  interchangeable instances.
+* :class:`ServingScheme` — a named pipeline shape (does the frame pass the
+  edge accelerator? does the discriminator run there?) plus a policy.  The
+  paper's three schemes are :func:`edge_only_scheme`,
+  :func:`cloud_only_scheme` and :func:`collaborative_scheme`.
+* Two engines over the same schemes: :func:`run_cost` reproduces the static
+  Table XI accounting (one latency per frame, no contention) and
+  :func:`simulate_stream` the discrete-event queueing simulation
+  (:mod:`repro.runtime.events`).  Both are bit-for-bit identical to the
+  per-scheme code they replaced (``tests/test_serving_equivalence.py``).
+* :func:`simulate_fleet` — the workload the per-scheme code could not
+  express: N camera streams, each with its own edge accelerator, contending
+  for one shared uplink and one shared cloud GPU on a single event loop.
+
+One modelling note, inherited from the pre-refactor implementations: in the
+*static* accounting the edge-only scheme pays the bare small-model latency
+(Table XI's definition), while the *streaming* engine always fuses the
+discriminator into the edge service time whenever the edge stage runs — an
+online deployment ships one edge binary and the discriminator's cost does
+not depend on whether its verdict is used.  :meth:`ServingScheme.edge_latency`
+takes ``online`` to select between the two readings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro._rng import DEFAULT_SEED, generator_for
+from repro.data.datasets import Dataset, ImageRecord
+from repro.detection.batch import DetectionBatch, DetectionBatchBuilder
+from repro.detection.types import Detections
+from repro.errors import RuntimeModelError
+from repro.metrics.latency import LatencySummary, summarize_latencies
+from repro.runtime.codec import JpegCodec, detections_payload_bytes
+from repro.runtime.devices import ComputeDevice
+from repro.runtime.events import EventLoop, FifoResource
+from repro.runtime.network import NetworkLink
+
+__all__ = [
+    "DISCRIMINATOR_FLOPS",
+    "RESULT_BOXES",
+    "AlwaysOffload",
+    "Deployment",
+    "FleetReport",
+    "NeverOffload",
+    "OffloadPolicy",
+    "RunCost",
+    "ServingScheme",
+    "StreamConfig",
+    "StreamReport",
+    "cloud_only_scheme",
+    "cloud_round_trip_time",
+    "collaborative_scheme",
+    "edge_compute_time",
+    "edge_only_scheme",
+    "paper_schemes",
+    "run_cost",
+    "simulate_fleet",
+    "simulate_stream",
+]
+
+#: FLOPs of the threshold-based difficult-case discriminator.  It compares a
+#: few dozen scores against thresholds — negligible next to any CNN, but
+#: accounted for honesty.
+DISCRIMINATOR_FLOPS = 2.0e4
+
+#: Detection boxes assumed per returned result payload.
+RESULT_BOXES = 8
+
+
+# --------------------------------------------------------------------- #
+# deployment description + per-run cost container
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Deployment:
+    """Hardware/network description of one deployment."""
+
+    edge: ComputeDevice
+    cloud: ComputeDevice
+    link: NetworkLink
+    codec: JpegCodec = field(default_factory=JpegCodec)
+    small_model_flops: float = 6.3e9
+    big_model_flops: float = 62.7e9
+
+    def __post_init__(self) -> None:
+        if self.small_model_flops <= 0 or self.big_model_flops <= 0:
+            raise RuntimeModelError("model FLOPs must be positive")
+
+
+@dataclass(frozen=True)
+class RunCost:
+    """Aggregate cost of serving one split under one scheme."""
+
+    latency: LatencySummary
+    uploaded_images: int
+    total_images: int
+    uplink_bytes: int
+    downlink_bytes: int
+
+    @property
+    def upload_ratio(self) -> float:
+        """Fraction of images sent to the cloud."""
+        if self.total_images == 0:
+            return 0.0
+        return self.uploaded_images / self.total_images
+
+    def bandwidth_saving_over(self, other: "RunCost") -> float:
+        """Fractional uplink bytes saved relative to ``other``."""
+        if other.uplink_bytes == 0:
+            return 0.0
+        return 1.0 - self.uplink_bytes / other.uplink_bytes
+
+
+# --------------------------------------------------------------------- #
+# per-frame stage arithmetic (the once-triplicated core)
+# --------------------------------------------------------------------- #
+def edge_compute_time(deployment: Deployment, *, discriminate: bool) -> float:
+    """Edge-stage service time: the small model, plus the discriminator."""
+    latency = deployment.edge.inference_latency(deployment.small_model_flops)
+    if discriminate:
+        latency += deployment.edge.inference_latency(DISCRIMINATOR_FLOPS)
+    return latency
+
+
+def cloud_round_trip_time(
+    deployment: Deployment,
+    record: ImageRecord,
+    rng: np.random.Generator | None = None,
+    *,
+    result_boxes: int = RESULT_BOXES,
+) -> float:
+    """Upload one frame, run the big model, return the results.
+
+    ``rng`` (when given) jitters both transfers — the upload first, then the
+    download, so the draw order is stable across engines.
+    """
+    dep = deployment
+    return (
+        dep.link.transfer_time(dep.codec.encoded_bytes(record), rng)
+        + dep.cloud.inference_latency(dep.big_model_flops)
+        + dep.link.transfer_time(detections_payload_bytes(result_boxes), rng)
+    )
+
+
+# --------------------------------------------------------------------- #
+# the offload decision
+# --------------------------------------------------------------------- #
+@runtime_checkable
+class OffloadPolicy(Protocol):
+    """Decides which frames of a split escalate from the edge to the cloud.
+
+    Structural: anything exposing ``name`` and ``select`` qualifies — the
+    baseline :class:`~repro.baselines.policy.UploadPolicy` subclasses, the
+    :class:`~repro.core.discriminator.DiscriminatorPolicy` adapter, and the
+    degenerate :class:`NeverOffload`/:class:`AlwaysOffload` below.
+    ``select`` returns a boolean mask aligned with ``dataset.records``;
+    policies that need the small model's preliminary detections receive them
+    via ``small_detections`` (``None`` when the caller has none to offer).
+    """
+
+    @property
+    def name(self) -> str:  # pragma: no cover - protocol signature
+        ...
+
+    def select(
+        self, dataset: Dataset, small_detections: DetectionBatch | list[Detections] | None
+    ) -> np.ndarray:  # pragma: no cover - protocol signature
+        ...
+
+
+@dataclass(frozen=True)
+class NeverOffload:
+    """Edge-only decision: no frame ever crosses the network."""
+
+    name: str = "never"
+
+    def select(self, dataset: Dataset, small_detections: DetectionBatch | list[Detections] | None = None) -> np.ndarray:
+        return np.zeros(len(dataset), dtype=bool)
+
+
+@dataclass(frozen=True)
+class AlwaysOffload:
+    """Cloud-only decision: every frame crosses the network."""
+
+    name: str = "always"
+
+    def select(self, dataset: Dataset, small_detections: DetectionBatch | list[Detections] | None = None) -> np.ndarray:
+        return np.ones(len(dataset), dtype=bool)
+
+
+# --------------------------------------------------------------------- #
+# serving schemes
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ServingScheme:
+    """One pipeline shape plus its per-frame escalation decision.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports (``"edge"``/``"cloud"``/``"collaborative"``
+        for the paper's schemes; policy labels for fleet comparisons).
+    edge_compute:
+        Frames pass the edge accelerator (false only for cloud-only).
+    edge_discriminates:
+        The discriminator's cost is charged at the edge in the *static*
+        accounting.  The streaming engine always fuses it into the edge
+        stage when ``edge_compute`` (see the module docstring).
+    policy:
+        The escalation decision.  ``None`` means the caller must supply an
+        explicit mask per run (the pre-refactor collaborative contract).
+    """
+
+    name: str
+    edge_compute: bool
+    edge_discriminates: bool
+    policy: OffloadPolicy | None = None
+
+    def edge_latency(self, deployment: Deployment, *, online: bool = False) -> float:
+        """Per-frame edge service time under this scheme (0 without edge)."""
+        if not self.edge_compute:
+            return 0.0
+        discriminate = self.edge_discriminates or online
+        return edge_compute_time(deployment, discriminate=discriminate)
+
+    def offload_mask(
+        self,
+        dataset: Dataset,
+        small_detections: DetectionBatch | list[Detections] | None = None,
+        mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Resolve the per-frame escalation mask for one split.
+
+        An explicit ``mask`` wins (and is validated); otherwise the scheme's
+        policy decides.  A policy-less scheme with no mask is an error.
+        """
+        if mask is None:
+            if self.policy is None:
+                raise RuntimeModelError(f"{self.name} scheme needs an upload mask")
+            mask = self.policy.select(dataset, small_detections)
+        mask = np.asarray(mask, dtype=bool).reshape(-1)
+        if mask.shape[0] != len(dataset):
+            raise RuntimeModelError(f"upload mask has {mask.shape[0]} entries for {len(dataset)} images")
+        return mask
+
+
+def edge_only_scheme() -> ServingScheme:
+    """Every frame served by the small model at the edge."""
+    return ServingScheme("edge", edge_compute=True, edge_discriminates=False, policy=NeverOffload())
+
+
+def cloud_only_scheme() -> ServingScheme:
+    """Every frame uploaded and served by the big model."""
+    return ServingScheme("cloud", edge_compute=False, edge_discriminates=False, policy=AlwaysOffload())
+
+
+def collaborative_scheme(policy: OffloadPolicy | None = None, *, name: str = "collaborative") -> ServingScheme:
+    """Small model plus discriminator at the edge; ``policy`` escalates.
+
+    With ``policy=None`` the caller supplies an explicit upload mask per run
+    (e.g. a :class:`~repro.core.system.SystemRun`'s ``uploaded``).
+    """
+    return ServingScheme(name, edge_compute=True, edge_discriminates=True, policy=policy)
+
+
+def paper_schemes(policy: OffloadPolicy | None = None) -> dict[str, ServingScheme]:
+    """The paper's three serving schemes, keyed by report name."""
+    return {
+        "edge": edge_only_scheme(),
+        "cloud": cloud_only_scheme(),
+        "collaborative": collaborative_scheme(policy),
+    }
+
+
+# --------------------------------------------------------------------- #
+# static engine (Table XI accounting)
+# --------------------------------------------------------------------- #
+def run_cost(
+    scheme: ServingScheme,
+    deployment: Deployment,
+    dataset: Dataset,
+    *,
+    mask: np.ndarray | None = None,
+    small_detections: DetectionBatch | list[Detections] | None = None,
+    seed: int = DEFAULT_SEED,
+) -> RunCost:
+    """Serve one split under ``scheme`` with per-frame latency accounting.
+
+    No contention is modelled: each frame pays its stage times in isolation
+    (the Table XI protocol).  Jitter draws are scoped per image, so totals
+    are reproducible and independent of the serving order.
+    """
+    dep = deployment
+    mask = scheme.offload_mask(dataset, small_detections, mask)
+    edge_s = scheme.edge_latency(dep)
+    latencies: list[float] = []
+    uplink = 0
+    uploads = 0
+    for record, send in zip(dataset.records, mask):
+        latency = edge_s
+        if send:
+            rng = generator_for(seed, "net", record.image_id)
+            trip = cloud_round_trip_time(dep, record, rng)
+            latency = latency + trip if scheme.edge_compute else trip
+            uplink += dep.codec.encoded_bytes(record)
+            uploads += 1
+        latencies.append(latency)
+    return RunCost(
+        latency=summarize_latencies(latencies),
+        uploaded_images=uploads,
+        total_images=len(dataset),
+        uplink_bytes=uplink,
+        downlink_bytes=uploads * detections_payload_bytes(RESULT_BOXES),
+    )
+
+
+# --------------------------------------------------------------------- #
+# streaming engine (event-driven queueing)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StreamConfig:
+    """Workload description for one stream (or one fleet camera).
+
+    Attributes
+    ----------
+    fps:
+        Mean frame arrival rate (per camera).
+    poisson:
+        Poisson arrivals when true; exactly periodic otherwise.
+    duration_s:
+        Stream length in simulated seconds.
+    max_edge_queue:
+        Camera buffer bound; an arriving frame is dropped when the camera's
+        own edge queue is this deep.  For schemes with no edge stage the
+        bound applies to the camera's frames in flight toward the uplink
+        (waiting or transmitting, at most ``max_edge_queue + 1``) — per
+        camera, even when the uplink is fleet-shared.
+    """
+
+    fps: float = 10.0
+    poisson: bool = True
+    duration_s: float = 60.0
+    max_edge_queue: int = 30
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0.0 or self.duration_s <= 0.0:
+            raise RuntimeModelError("fps and duration_s must be positive")
+        if self.max_edge_queue < 1:
+            raise RuntimeModelError("max_edge_queue must be >= 1")
+
+
+def _values_equal(a: object, b: object) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return isinstance(a, np.ndarray) and isinstance(b, np.ndarray) and bool(np.array_equal(a, b))
+    return a == b
+
+
+def _batches_equal(a: DetectionBatch | None, b: DetectionBatch | None) -> bool:
+    if a is None or b is None:
+        return a is b
+    return (
+        a.image_ids == b.image_ids
+        and a.detector == b.detector
+        and np.array_equal(a.boxes, b.boxes)
+        and np.array_equal(a.scores, b.scores)
+        and np.array_equal(a.labels, b.labels)
+        and np.array_equal(a.offsets, b.offsets)
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class StreamReport:
+    """Outcome of one streaming run.
+
+    ``served`` (present when the run was given per-record detections) is the
+    stream's served output in completion order, accumulated frame by frame
+    through a :class:`DetectionBatchBuilder` — no per-frame container
+    staging.  ``frame_arrivals``/``frame_times``/``frame_records``/
+    ``frame_served`` (same condition) log every *offered* frame in event
+    order — arrival time, result-ready time (arrival again for drops),
+    dataset record index, and whether it was served — which is exactly what
+    :func:`repro.metrics.rolling.rolling_quality` needs to score the stream
+    online, drops and staleness included.
+    """
+
+    scheme: str
+    latency: LatencySummary
+    frames_offered: int
+    frames_served: int
+    frames_dropped: int
+    frames_uploaded: int
+    edge_utilization: float
+    uplink_utilization: float
+    cloud_utilization: float
+    served: DetectionBatch | None = field(default=None, repr=False)
+    frame_arrivals: np.ndarray | None = field(default=None, repr=False)
+    frame_times: np.ndarray | None = field(default=None, repr=False)
+    frame_records: np.ndarray | None = field(default=None, repr=False)
+    frame_served: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered frames dropped at the buffer."""
+        if self.frames_offered == 0:
+            return 0.0
+        return self.frames_dropped / self.frames_offered
+
+    @property
+    def upload_ratio(self) -> float:
+        """Fraction of served frames that crossed the uplink."""
+        if self.frames_served == 0:
+            return 0.0
+        return self.frames_uploaded / self.frames_served
+
+    def __eq__(self, other: object) -> bool:
+        """Field-wise value equality, array-aware.
+
+        The dataclass-generated ``__eq__`` would compare the ``frame_*``
+        array fields elementwise and raise on multi-element logs; reports
+        compare as equal iff every field (arrays included) matches.
+        """
+        if not isinstance(other, StreamReport):
+            return NotImplemented
+        for name in (
+            "scheme",
+            "latency",
+            "frames_offered",
+            "frames_served",
+            "frames_dropped",
+            "frames_uploaded",
+            "edge_utilization",
+            "uplink_utilization",
+            "cloud_utilization",
+            "frame_arrivals",
+            "frame_times",
+            "frame_records",
+            "frame_served",
+        ):
+            if not _values_equal(getattr(self, name), getattr(other, name)):
+                return False
+        return _batches_equal(self.served, other.served)
+
+    # defining __eq__ sets __hash__ to None; keep reports hashable (by
+    # identity — the array fields make a value hash impractical)
+    __hash__ = object.__hash__
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Outcome of one multi-camera fleet run.
+
+    ``cameras`` holds one :class:`StreamReport` per camera (each with its
+    own edge accelerator); the uplink/cloud utilizations are those of the
+    *shared* resources, identical across cameras.  The fleet-level latency
+    summary aggregates every served frame across cameras.
+    """
+
+    scheme: str
+    cameras: tuple[StreamReport, ...]
+    latency: LatencySummary
+    frames_offered: int
+    frames_served: int
+    frames_dropped: int
+    frames_uploaded: int
+    edge_utilization: float
+    uplink_utilization: float
+    cloud_utilization: float
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered frames dropped fleet-wide."""
+        if self.frames_offered == 0:
+            return 0.0
+        return self.frames_dropped / self.frames_offered
+
+    @property
+    def upload_ratio(self) -> float:
+        """Fraction of served frames that crossed the shared uplink."""
+        if self.frames_served == 0:
+            return 0.0
+        return self.frames_uploaded / self.frames_served
+
+
+def _arrival_times(config: StreamConfig, seed: int, *scope: object) -> np.ndarray:
+    """Arrival instants of one stream (Poisson or periodic), seed-scoped.
+
+    Poisson gap draws are extended until they cover the whole duration, so
+    the process is never silently truncated at low ``fps * duration_s``
+    (periodic gaps always cover it: the initial batch spans twice the
+    duration).  The first batch matches the historical single draw, so runs
+    the old sizing already covered are reproduced gap-for-gap.
+    """
+    rng = generator_for(seed, *scope, config.fps, config.poisson)
+    size = int(config.fps * config.duration_s * 2)
+    if not config.poisson:
+        times = np.cumsum(np.full(size, 1.0 / config.fps))
+        return times[times < config.duration_s]
+    chunks = [rng.exponential(1.0 / config.fps, size=size)]
+    total = float(chunks[0].sum())
+    while total < config.duration_s:
+        gaps = rng.exponential(1.0 / config.fps, size=max(size, 16))
+        chunks.append(gaps)
+        total += float(gaps.sum())
+    times = np.cumsum(np.concatenate(chunks) if len(chunks) > 1 else chunks[0])
+    return times[times < config.duration_s]
+
+
+class _CameraStream:
+    """One camera's frames flowing through a scheme's pipeline stages.
+
+    Owns its edge accelerator; the uplink and cloud resources may be shared
+    with other cameras (the fleet case).  All stage service times except the
+    per-record uplink serialisation are precomputed once per run.
+    """
+
+    def __init__(
+        self,
+        scheme: ServingScheme,
+        deployment: Deployment,
+        dataset: Dataset,
+        config: StreamConfig,
+        mask: np.ndarray,
+        detections: DetectionBatch | None,
+        *,
+        loop: EventLoop,
+        edge: FifoResource,
+        uplink: FifoResource,
+        cloud: FifoResource,
+        record_for: Callable[[int], int],
+    ) -> None:
+        self.scheme = scheme
+        self.deployment = deployment
+        self.records = dataset.records
+        self.config = config
+        self.mask = mask
+        self.detections = detections
+        self.loop = loop
+        self.edge = edge
+        self.uplink = uplink
+        self.cloud = cloud
+        self.record_for = record_for
+        self.edge_service = scheme.edge_latency(deployment, online=True)
+        self.cloud_service = deployment.cloud.inference_latency(deployment.big_model_flops)
+        self.downlink_latency = deployment.link.transfer_time(detections_payload_bytes(RESULT_BOXES))
+        self.latencies: list[float] = []
+        self.served = self.dropped = self.uploads = 0
+        # This camera's frames inside the uplink stage (waiting or being
+        # transmitted) — the admission bound for schemes with no edge stage,
+        # so each camera gets its own buffer even on the shared fleet link.
+        self.in_uplink = 0
+        self.builder: DetectionBatchBuilder | None = None
+        if detections is not None:
+            self.builder = DetectionBatchBuilder(detector=detections.detector)
+            self.frame_arrivals: list[float] = []
+            self.frame_times: list[float] = []
+            self.frame_records: list[int] = []
+            self.frame_served: list[bool] = []
+
+    def schedule(self, arrivals: np.ndarray) -> None:
+        """Queue every arrival of this camera onto the shared loop."""
+        for index, arrival in enumerate(arrivals):
+            self.loop.schedule(arrival, lambda i=index, a=arrival: self._on_frame(i, a))
+        self.frames_offered = int(arrivals.shape[0])
+
+    # ------------------------------------------------------------------ #
+    def _log(self, arrival: float, time: float, record_index: int, served: bool) -> None:
+        if self.builder is None:
+            return
+        self.frame_arrivals.append(arrival)
+        self.frame_times.append(time)
+        self.frame_records.append(record_index)
+        self.frame_served.append(served)
+
+    def _collect(self, record_index: int) -> None:
+        if self.builder is None:
+            return
+        detections = self.detections
+        lo = int(detections.offsets[record_index])
+        hi = int(detections.offsets[record_index + 1])
+        self.builder.append(
+            detections.image_ids[record_index],
+            detections.boxes[lo:hi],
+            detections.scores[lo:hi],
+            detections.labels[lo:hi],
+        )
+
+    def _finish(self, start: float, record_index: int) -> None:
+        self.served += 1
+        latency = self.loop.now - start + self.downlink_latency
+        self.latencies.append(latency)
+        self._log(start, start + latency, record_index, True)
+        self._collect(record_index)
+
+    def _finish_local(self, start: float, record_index: int) -> None:
+        self.served += 1
+        latency = self.loop.now - start
+        self.latencies.append(latency)
+        self._log(start, start + latency, record_index, True)
+        self._collect(record_index)
+
+    def _cloud_path(self, record: ImageRecord, start: float, record_index: int) -> None:
+        self.uploads += 1
+        self.in_uplink += 1
+        dep = self.deployment
+
+        def after_uplink(_t: float) -> None:
+            self.in_uplink -= 1
+            self.cloud.acquire(self.cloud_service, lambda _t2: self._finish(start, record_index))
+
+        self.uplink.acquire(dep.link.transfer_time(dep.codec.encoded_bytes(record)), after_uplink)
+
+    def _admits(self) -> bool:
+        """Camera-buffer admission control for one arriving frame.
+
+        Edge schemes bound the camera's own edge queue.  No-edge schemes
+        bound this camera's frames inside the (possibly shared) uplink
+        stage; for a single camera the rule is exactly the pre-refactor
+        ``uplink.queue_depth >= max_edge_queue`` (waiting = in-stage minus
+        the one in transmission), and on a fleet it keeps one buffer *per
+        camera* instead of one fleet-wide bound on the shared link.
+        """
+        if self.scheme.edge_compute:
+            return self.edge.queue_depth < self.config.max_edge_queue
+        return self.in_uplink < self.config.max_edge_queue + 1
+
+    def _on_frame(self, index: int, arrival: float) -> None:
+        record_index = self.record_for(index)
+        if not self._admits():
+            self.dropped += 1
+            self._log(arrival, arrival, record_index, False)
+            return
+        start = arrival
+        if not self.scheme.edge_compute:
+            self._cloud_path(self.records[record_index], start, record_index)
+            return
+        record = self.records[record_index]
+        send = bool(self.mask[record_index])
+
+        def after_edge(_t: float) -> None:
+            if send:
+                self._cloud_path(record, start, record_index)
+            else:
+                self._finish_local(start, record_index)
+
+        self.edge.acquire(self.edge_service, after_edge)
+
+    # ------------------------------------------------------------------ #
+    def report(self, elapsed: float) -> StreamReport:
+        """Summarise this camera once the loop has drained."""
+        has_frames = self.builder is not None
+        return StreamReport(
+            scheme=self.scheme.name,
+            latency=summarize_latencies(self.latencies),
+            frames_offered=self.frames_offered,
+            frames_served=self.served,
+            frames_dropped=self.dropped,
+            frames_uploaded=self.uploads,
+            edge_utilization=self.edge.utilization(elapsed),
+            uplink_utilization=self.uplink.utilization(elapsed),
+            cloud_utilization=self.cloud.utilization(elapsed),
+            served=self.builder.build() if has_frames else None,
+            frame_arrivals=np.asarray(self.frame_arrivals) if has_frames else None,
+            frame_times=np.asarray(self.frame_times) if has_frames else None,
+            frame_records=np.asarray(self.frame_records, dtype=np.int64) if has_frames else None,
+            frame_served=np.asarray(self.frame_served, dtype=bool) if has_frames else None,
+        )
+
+
+def _check_stream_inputs(
+    dataset: Dataset,
+    detections: DetectionBatch | list[Detections] | None,
+) -> DetectionBatch | None:
+    if len(dataset) == 0:
+        raise RuntimeModelError("cannot stream an empty dataset")
+    if detections is None:
+        return None
+    if len(detections) != len(dataset):
+        raise RuntimeModelError("detections misaligned with dataset")
+    return DetectionBatch.coerce(detections)
+
+
+def simulate_stream(
+    scheme: ServingScheme,
+    deployment: Deployment,
+    dataset: Dataset,
+    config: StreamConfig,
+    *,
+    mask: np.ndarray | None = None,
+    small_detections: DetectionBatch | list[Detections] | None = None,
+    detections: DetectionBatch | None = None,
+    seed: int = DEFAULT_SEED,
+) -> StreamReport:
+    """Serve one frame stream through ``scheme`` on a fresh event loop.
+
+    Frames cycle through ``dataset.records``.  The escalation mask comes
+    from ``mask`` when given, else from the scheme's policy (fed
+    ``small_detections``).  When ``detections`` holds the per-record served
+    outputs, the report carries the served stream and the per-frame log the
+    online quality evaluation consumes.
+    """
+    detections = _check_stream_inputs(dataset, detections)
+    mask = scheme.offload_mask(dataset, small_detections, mask)
+    loop = EventLoop()
+    num_records = len(dataset)
+    camera = _CameraStream(
+        scheme,
+        deployment,
+        dataset,
+        config,
+        mask,
+        detections,
+        loop=loop,
+        edge=FifoResource(loop, "edge"),
+        uplink=FifoResource(loop, "uplink"),
+        cloud=FifoResource(loop, "cloud"),
+        record_for=lambda index: index % num_records,
+    )
+    camera.schedule(_arrival_times(config, seed, "stream-arrivals"))
+    elapsed = loop.run()
+    return camera.report(elapsed)
+
+
+def simulate_fleet(
+    scheme: ServingScheme,
+    deployment: Deployment,
+    dataset: Dataset,
+    config: StreamConfig,
+    *,
+    cameras: int,
+    mask: np.ndarray | None = None,
+    small_detections: DetectionBatch | list[Detections] | None = None,
+    detections: DetectionBatch | None = None,
+    seed: int = DEFAULT_SEED,
+) -> FleetReport:
+    """Serve ``cameras`` concurrent streams contending for one deployment.
+
+    Each camera owns an edge accelerator (cameras are independent devices)
+    but every upload serialises through the *single* shared uplink and the
+    *single* shared cloud GPU — the contention that decides whether a scheme
+    scales to a fleet.  Camera ``c`` starts its cycle through the records at
+    offset ``c * len(dataset) // cameras`` so the fleet covers the split
+    rather than synchronising on the same frames; arrivals are seeded per
+    camera, so runs are deterministic for any camera count.
+    """
+    if cameras < 1:
+        raise RuntimeModelError(f"a fleet needs at least one camera, got {cameras}")
+    detections = _check_stream_inputs(dataset, detections)
+    mask = scheme.offload_mask(dataset, small_detections, mask)
+    loop = EventLoop()
+    uplink = FifoResource(loop, "uplink")
+    cloud = FifoResource(loop, "cloud")
+    num_records = len(dataset)
+    runs: list[_CameraStream] = []
+    for camera in range(cameras):
+        start = (camera * num_records) // cameras
+        stream = _CameraStream(
+            scheme,
+            deployment,
+            dataset,
+            config,
+            mask,
+            detections,
+            loop=loop,
+            edge=FifoResource(loop, f"edge-{camera}"),
+            uplink=uplink,
+            cloud=cloud,
+            record_for=lambda index, start=start: (start + index) % num_records,
+        )
+        stream.schedule(_arrival_times(config, seed, "fleet-arrivals", camera))
+        runs.append(stream)
+    elapsed = loop.run()
+    reports = tuple(stream.report(elapsed) for stream in runs)
+    all_latencies = [latency for stream in runs for latency in stream.latencies]
+    return FleetReport(
+        scheme=scheme.name,
+        cameras=reports,
+        latency=summarize_latencies(all_latencies),
+        frames_offered=sum(report.frames_offered for report in reports),
+        frames_served=sum(report.frames_served for report in reports),
+        frames_dropped=sum(report.frames_dropped for report in reports),
+        frames_uploaded=sum(report.frames_uploaded for report in reports),
+        edge_utilization=float(np.mean([report.edge_utilization for report in reports])),
+        uplink_utilization=uplink.utilization(elapsed),
+        cloud_utilization=cloud.utilization(elapsed),
+    )

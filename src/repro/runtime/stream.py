@@ -3,106 +3,42 @@
 The paper motivates edge-cloud collaboration with video workloads
 ("Edge-Cloud collaboration focuses more on timeliness (e.g., object
 detection for video stream)").  This module serves a *continuous frame
-stream* through the three schemes and measures what the static Table XI
+stream* through the serving schemes and measures what the static Table XI
 totals cannot show: queueing delay, saturation and drop behaviour under
 load.
 
-Model
------
-* Frames arrive periodically or as a Poisson process.
-* **edge-only**: every frame queues for the edge accelerator.
-* **cloud-only**: every frame queues for the WLAN uplink (serialisation is
-  the bottleneck), then for the cloud GPU.
-* **collaborative**: every frame first queues for the edge accelerator
-  (small model + discriminator); frames ruled difficult then take the
-  cloud path.  The edge and cloud stages pipeline naturally.
+The pipeline itself — scheme definitions, stage service times, the
+event-driven engine, and the multi-camera fleet variant — lives in
+:mod:`repro.runtime.serving`; :class:`StreamSimulator` binds a deployment
+and a dataset and keeps the historical ``run("edge" | "cloud" |
+"collaborative", ...)`` entry point, while :meth:`StreamSimulator.run_scheme`
+accepts any :class:`~repro.runtime.serving.ServingScheme` (e.g. a baseline
+offload policy).
 
-A bounded edge queue with drop-oldest backpressure models a real camera
-buffer: the stream report counts drops instead of letting latency diverge
-when a scheme saturates.
+A bounded edge queue models a real camera buffer: a frame arriving while
+the queue is full is dropped and counted, instead of letting latency
+diverge when a scheme saturates.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from repro._rng import DEFAULT_SEED, generator_for
+from repro._rng import DEFAULT_SEED
 from repro.data.datasets import Dataset
-from repro.detection.batch import DetectionBatch, DetectionBatchBuilder
+from repro.detection.batch import DetectionBatch
+from repro.detection.types import Detections
 from repro.errors import RuntimeModelError
-from repro.metrics.latency import LatencySummary, summarize_latencies
-from repro.runtime.codec import detections_payload_bytes
-from repro.runtime.events import EventLoop, FifoResource
-from repro.runtime.executor import DISCRIMINATOR_FLOPS, Deployment
+from repro.runtime.serving import (
+    Deployment,
+    ServingScheme,
+    StreamConfig,
+    StreamReport,
+    paper_schemes,
+    simulate_stream,
+)
 
 __all__ = ["StreamConfig", "StreamReport", "StreamSimulator"]
-
-
-@dataclass(frozen=True)
-class StreamConfig:
-    """Workload description for one streaming run.
-
-    Attributes
-    ----------
-    fps:
-        Mean frame arrival rate.
-    poisson:
-        Poisson arrivals when true; exactly periodic otherwise.
-    duration_s:
-        Stream length in simulated seconds.
-    max_edge_queue:
-        Camera buffer bound; an arriving frame is dropped when the edge
-        (or, for cloud-only, the uplink) queue is this deep.
-    """
-
-    fps: float = 10.0
-    poisson: bool = True
-    duration_s: float = 60.0
-    max_edge_queue: int = 30
-
-    def __post_init__(self) -> None:
-        if self.fps <= 0.0 or self.duration_s <= 0.0:
-            raise RuntimeModelError("fps and duration_s must be positive")
-        if self.max_edge_queue < 1:
-            raise RuntimeModelError("max_edge_queue must be >= 1")
-
-
-@dataclass(frozen=True)
-class StreamReport:
-    """Outcome of one streaming run.
-
-    ``served`` (present when the run was given per-record detections) is the
-    stream's served output in completion order, accumulated frame by frame
-    through a :class:`DetectionBatchBuilder` — no per-frame container
-    staging.
-    """
-
-    scheme: str
-    latency: LatencySummary
-    frames_offered: int
-    frames_served: int
-    frames_dropped: int
-    frames_uploaded: int
-    edge_utilization: float
-    uplink_utilization: float
-    cloud_utilization: float
-    served: DetectionBatch | None = field(default=None, repr=False)
-
-    @property
-    def drop_rate(self) -> float:
-        """Fraction of offered frames dropped at the buffer."""
-        if self.frames_offered == 0:
-            return 0.0
-        return self.frames_dropped / self.frames_offered
-
-    @property
-    def upload_ratio(self) -> float:
-        """Fraction of served frames that crossed the uplink."""
-        if self.frames_served == 0:
-            return 0.0
-        return self.frames_uploaded / self.frames_served
 
 
 class StreamSimulator:
@@ -128,33 +64,6 @@ class StreamSimulator:
         self.seed = seed
 
     # ------------------------------------------------------------------ #
-    def _arrivals(self, config: StreamConfig) -> np.ndarray:
-        rng = generator_for(self.seed, "stream-arrivals", config.fps, config.poisson)
-        if config.poisson:
-            gaps = rng.exponential(1.0 / config.fps, size=int(config.fps * config.duration_s * 2))
-        else:
-            gaps = np.full(int(config.fps * config.duration_s * 2), 1.0 / config.fps)
-        times = np.cumsum(gaps)
-        return times[times < config.duration_s]
-
-    def _edge_service(self) -> float:
-        dep = self.deployment
-        return dep.edge.inference_latency(dep.small_model_flops) + dep.edge.inference_latency(
-            DISCRIMINATOR_FLOPS
-        )
-
-    def _uplink_service(self, record) -> float:
-        dep = self.deployment
-        return dep.link.transfer_time(dep.codec.encoded_bytes(record))
-
-    def _cloud_service(self) -> float:
-        dep = self.deployment
-        return dep.cloud.inference_latency(dep.big_model_flops)
-
-    def _downlink_latency(self) -> float:
-        return self.deployment.link.transfer_time(detections_payload_bytes(8))
-
-    # ------------------------------------------------------------------ #
     def run(
         self,
         scheme: str,
@@ -163,134 +72,49 @@ class StreamSimulator:
         *,
         detections: DetectionBatch | None = None,
     ) -> StreamReport:
-        """Simulate one scheme over the configured stream.
+        """Simulate one named paper scheme over the configured stream.
 
         Parameters
         ----------
         scheme:
             ``"edge"``, ``"cloud"`` or ``"collaborative"``.
         uploaded:
-            Per-record upload mask, required for ``"collaborative"``.
+            Per-record upload mask, required for ``"collaborative"`` (and
+            ignored by the other schemes, whose decisions are degenerate).
         detections:
             Optional per-record served outputs aligned with the dataset
-            (e.g. a :class:`SystemRun`'s final batch).  When given, every
-            served frame's segment is appended to a streaming
-            :class:`DetectionBatchBuilder` and the report carries the
-            resulting batch as ``served``.
+            (e.g. a :class:`SystemRun`'s final batch).  When given, the
+            report carries the served stream plus the per-frame log that
+            online quality evaluation consumes.
         """
-        if scheme not in ("edge", "cloud", "collaborative"):
+        schemes = paper_schemes()
+        if scheme not in schemes:
             raise RuntimeModelError(f"unknown scheme {scheme!r}")
-        if scheme == "collaborative":
-            if uploaded is None:
-                raise RuntimeModelError("collaborative scheme needs an upload mask")
-            uploaded = np.asarray(uploaded, dtype=bool).reshape(-1)
-            if uploaded.shape[0] != len(self.dataset):
-                raise RuntimeModelError("upload mask misaligned with dataset")
-        builder: DetectionBatchBuilder | None = None
-        if detections is not None:
-            if len(detections) != len(self.dataset):
-                raise RuntimeModelError("detections misaligned with dataset")
-            builder = DetectionBatchBuilder(detector=detections.detector)
+        mask = uploaded if scheme == "collaborative" else None
+        return self.run_scheme(schemes[scheme], config, mask=mask, detections=detections)
 
-        loop = EventLoop()
-        edge = FifoResource(loop, "edge")
-        uplink = FifoResource(loop, "uplink")
-        cloud = FifoResource(loop, "cloud")
-
-        latencies: list[float] = []
-        served = dropped = uploads = 0
-        arrivals = self._arrivals(config)
-        records = self.dataset.records
-        num_records = len(records)
-        # Per-frame constants: only the uplink serialisation time depends on
-        # the frame, so everything else is computed once per run instead of
-        # inside the event callbacks.
-        edge_service = self._edge_service()
-        cloud_service = self._cloud_service()
-        downlink_latency = self._downlink_latency()
-
-        def collect(record_index: int) -> None:
-            if builder is None:
-                return
-            lo = int(detections.offsets[record_index])
-            hi = int(detections.offsets[record_index + 1])
-            builder.append(
-                detections.image_ids[record_index],
-                detections.boxes[lo:hi],
-                detections.scores[lo:hi],
-                detections.labels[lo:hi],
-            )
-
-        def finish(start: float, record_index: int) -> None:
-            nonlocal served
-            served += 1
-            latencies.append(loop.now - start + downlink_latency)
-            collect(record_index)
-
-        def finish_local(start: float, record_index: int) -> None:
-            nonlocal served
-            served += 1
-            latencies.append(loop.now - start)
-            collect(record_index)
-
-        def cloud_path(record, start: float, record_index: int) -> None:
-            nonlocal uploads
-            uploads += 1
-            uplink.acquire(
-                self._uplink_service(record),
-                lambda _t: cloud.acquire(
-                    cloud_service, lambda _t2: finish(start, record_index)
-                ),
-            )
-
-        def on_frame(index: int, arrival: float) -> None:
-            nonlocal dropped
-            record_index = index % num_records
-            record = records[record_index]
-            entry_queue = edge if scheme != "cloud" else uplink
-            if entry_queue.queue_depth >= config.max_edge_queue:
-                dropped += 1
-                return
-            start = arrival
-            if scheme == "edge":
-                edge.acquire(
-                    edge_service, lambda _t: finish_local(start, record_index)
-                )
-            elif scheme == "cloud":
-                cloud_path(record, start, record_index)
-            else:
-                send = bool(uploaded[record_index])
-
-                def after_edge(
-                    _t: float, record=record, send=send, record_index=record_index
-                ) -> None:
-                    if send:
-                        cloud_path(record, start, record_index)
-                    else:
-                        finish_local(start, record_index)
-
-                edge.acquire(edge_service, after_edge)
-
-        for index, arrival in enumerate(arrivals):
-            loop.schedule(arrival, lambda i=index, a=arrival: on_frame(i, a))
-        elapsed = loop.run()
-
-        return StreamReport(
-            scheme=scheme,
-            latency=summarize_latencies(latencies),
-            frames_offered=int(arrivals.shape[0]),
-            frames_served=served,
-            frames_dropped=dropped,
-            frames_uploaded=uploads,
-            edge_utilization=edge.utilization(elapsed),
-            uplink_utilization=uplink.utilization(elapsed),
-            cloud_utilization=cloud.utilization(elapsed),
-            served=builder.build() if builder is not None else None,
+    def run_scheme(
+        self,
+        scheme: ServingScheme,
+        config: StreamConfig,
+        *,
+        mask: np.ndarray | None = None,
+        small_detections: DetectionBatch | list[Detections] | None = None,
+        detections: DetectionBatch | None = None,
+    ) -> StreamReport:
+        """Simulate any serving scheme (policy- or mask-driven)."""
+        return simulate_stream(
+            scheme,
+            self.deployment,
+            self.dataset,
+            config,
+            mask=mask,
+            small_detections=small_detections,
+            detections=detections,
+            seed=self.seed,
         )
 
-    def compare(
-        self, config: StreamConfig, uploaded: np.ndarray
-    ) -> dict[str, StreamReport]:
+    def compare(self, config: StreamConfig, uploaded: np.ndarray) -> dict[str, StreamReport]:
         """Run all three schemes over the same arrival process."""
         return {
             "edge": self.run("edge", config),

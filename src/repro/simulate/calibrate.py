@@ -39,9 +39,7 @@ def expected_recall(profile: DetectorProfile, dataset: Dataset) -> float:
         truth = record.truth
         if len(truth) == 0:
             continue
-        p = detection_probability(
-            profile, truth.area_ratios, len(truth), record.quality
-        )
+        p = detection_probability(profile, truth.area_ratios, len(truth), record.quality)
         total_p += float(p.sum())
         total_n += len(truth)
     if total_n == 0:
@@ -121,13 +119,9 @@ def calibrate_profile(
     for _ in range(measured_rounds + 1):
         analytic_target = min(0.995, target_recall / loss_factor)
         calibrated = solve_base_recall(calibrated, dataset, analytic_target)
-        detector = SimulatedDetector(
-            profile=calibrated, num_classes=num_classes, seed=seed
-        )
+        detector = SimulatedDetector(profile=calibrated, num_classes=num_classes, seed=seed)
         detections = detector.detect_split(sample)
-        measured = count_detected_objects(detections, sample.truth_batch) / max(
-            sample.total_objects, 1
-        )
+        measured = count_detected_objects(detections, sample.truth_batch) / max(sample.total_objects, 1)
         if measured <= 0.0:
             raise CalibrationError("measured recall collapsed to zero")
         expected_on_sample = expected_recall(calibrated, sample)

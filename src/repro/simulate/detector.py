@@ -24,9 +24,7 @@ from repro.simulate.profile import DetectorProfile, detection_probability
 __all__ = ["SimulatedDetector"]
 
 
-def _jitter_boxes(
-    boxes: np.ndarray, sigma: float, rng: np.random.Generator
-) -> np.ndarray:
+def _jitter_boxes(boxes: np.ndarray, sigma: float, rng: np.random.Generator) -> np.ndarray:
     """Perturb box centres and sizes by relative Gaussian noise."""
     if boxes.shape[0] == 0 or sigma <= 0.0:
         return boxes.copy()
@@ -118,9 +116,7 @@ class SimulatedDetector:
                 visible = rng.uniform(size=miss_idx.size) < profile.miss_visibility
                 vis_idx = miss_idx[visible]
                 if vis_idx.size:
-                    vis_boxes = _jitter_boxes(
-                        truth.boxes[vis_idx], profile.loc_sigma * 1.5, rng
-                    )
+                    vis_boxes = _jitter_boxes(truth.boxes[vis_idx], profile.loc_sigma * 1.5, rng)
                     vis_scores = miss_scores(profile, vis_idx.size, rng)
                     boxes_parts.append(vis_boxes)
                     scores_parts.append(vis_scores)
@@ -130,9 +126,7 @@ class SimulatedDetector:
         if num_fp:
             boxes_parts.append(_random_fp_boxes(num_fp, rng))
             scores_parts.append(noise_scores(profile, num_fp, rng))
-            labels_parts.append(
-                rng.integers(0, self.num_classes, size=num_fp).astype(np.int64)
-            )
+            labels_parts.append(rng.integers(0, self.num_classes, size=num_fp).astype(np.int64))
 
         if not boxes_parts:
             return Detections.empty(truth.image_id, detector=profile.name)

@@ -240,9 +240,7 @@ def make_detector(
     if key in _DETECTOR_CACHE:
         return _DETECTOR_CACHE[key]
     if model not in SHAPE_PRESETS:
-        raise RegistryError(
-            f"unknown model {model!r}; available: {', '.join(sorted(SHAPE_PRESETS))}"
-        )
+        raise RegistryError(f"unknown model {model!r}; available: {', '.join(sorted(SHAPE_PRESETS))}")
     if (model, setting) not in RECALL_TARGETS:
         raise RegistryError(
             f"no published operating point for ({model!r}, {setting!r}); "
@@ -280,8 +278,6 @@ def make_detector(
         seed=seed,
         sample_size=calibration_images,
     )
-    detector = SimulatedDetector(
-        profile=calibrated, num_classes=entry.num_classes, seed=seed
-    )
+    detector = SimulatedDetector(profile=calibrated, num_classes=entry.num_classes, seed=seed)
     _DETECTOR_CACHE[key] = detector
     return detector

@@ -101,9 +101,7 @@ class DetectorProfile:
         if not 0.0 <= self.miss_visibility <= 1.0:
             raise ConfigurationError("miss_visibility must be in [0, 1]")
         if not 0.0 < self.miss_score_lo < self.miss_score_hi < 0.5:
-            raise ConfigurationError(
-                "miss score range must satisfy 0 < lo < hi < 0.5 (sub-threshold)"
-            )
+            raise ConfigurationError("miss score range must satisfy 0 < lo < hi < 0.5 (sub-threshold)")
         if self.fp_rate < 0.0 or self.fp_score_scale <= 0.0:
             raise ConfigurationError("false-positive parameters out of range")
         if not 0.0 <= self.class_confusion < 1.0:
@@ -132,15 +130,11 @@ def detection_probability(
     if (areas <= 0.0).any():
         raise ConfigurationError("object areas must be positive")
     if num_objects < areas.shape[0]:
-        raise ConfigurationError(
-            f"num_objects={num_objects} smaller than the {areas.shape[0]} areas given"
-        )
+        raise ConfigurationError(f"num_objects={num_objects} smaller than the {areas.shape[0]} areas given")
     if not 0.0 < quality <= 1.0:
         raise ConfigurationError(f"quality must be in (0, 1], got {quality}")
     area_term = 1.0 / (1.0 + (profile.area_half / areas) ** profile.area_gamma)
-    crowd_term = 1.0 / (
-        1.0 + (num_objects / profile.crowd_half) ** profile.crowd_gamma
-    )
+    crowd_term = 1.0 / (1.0 + (num_objects / profile.crowd_half) ** profile.crowd_gamma)
     quality_term = quality**profile.quality_sensitivity
     raw = profile.base_recall * area_term * crowd_term * quality_term
     return np.clip(raw, 0.0, _MAX_DETECTION_PROBABILITY)

@@ -62,9 +62,7 @@ class SmallModelConfig:
 
     def __post_init__(self) -> None:
         if self.base not in _BASES:
-            raise ConfigurationError(
-                f"unknown base {self.base!r}; expected one of {_BASES}"
-            )
+            raise ConfigurationError(f"unknown base {self.base!r}; expected one of {_BASES}")
         if not 0.1 <= self.width_multiplier <= 2.0:
             raise ConfigurationError("width_multiplier out of range [0.1, 2]")
         if self.extras_divisor not in (1, 2, 4, 8):
@@ -96,25 +94,18 @@ def build_candidate(config: SmallModelConfig, num_classes: int = 20) -> Detector
             conv7_channels=config.conv7_channels,
         )
     elif config.base == "mobilenet-v1":
-        backbone = mobilenet_v1_trunk(
-            width_multiplier=config.width_multiplier, truncate_at_stride=16
-        )
+        backbone = mobilenet_v1_trunk(width_multiplier=config.width_multiplier, truncate_at_stride=16)
         tape = backbone.tape
         tape.goto(backbone.taps["final"])
         tape.conv("conv7", config.conv7_channels, kernel=1)
         backbone.taps["conv7"] = tape.shape
     else:  # mobilenet-v2
-        backbone = mobilenet_v2_trunk(
-            width_multiplier=config.width_multiplier, truncate_at_stride=16
-        )
+        backbone = mobilenet_v2_trunk(width_multiplier=config.width_multiplier, truncate_at_stride=16)
         tape = backbone.tape
         tape.goto(backbone.taps["final"])
         tape.conv("conv7", config.conv7_channels, kernel=1)
         backbone.taps["conv7"] = tape.shape
-    name = (
-        f"auto-{config.base}-w{config.width_multiplier:g}"
-        f"-e{config.extras_divisor}-c{config.conv7_channels}"
-    )
+    name = f"auto-{config.base}-w{config.width_multiplier:g}" f"-e{config.extras_divisor}-c{config.conv7_channels}"
     return _assemble(
         name,
         backbone,
@@ -179,9 +170,7 @@ def search_configuration(
     bases = (base,) if base is not None else _BASES
 
     best: tuple[float, float, SmallModelConfig, DetectorSpec] | None = None
-    for candidate_base, width, divisor, conv7 in product(
-        bases, _WIDTHS, _EXTRA_DIVISORS, _CONV7_WIDTHS
-    ):
+    for candidate_base, width, divisor, conv7 in product(bases, _WIDTHS, _EXTRA_DIVISORS, _CONV7_WIDTHS):
         try:
             config = SmallModelConfig(
                 base=candidate_base,

@@ -57,10 +57,19 @@ def vgg16_ssd_trunk(input_size: int = 300) -> BackboneResult:
     taps: dict[str, TensorShape] = {}
 
     cfg = [
-        ("conv1_1", 64), ("conv1_2", 64), ("pool1", None),
-        ("conv2_1", 128), ("conv2_2", 128), ("pool2", None),
-        ("conv3_1", 256), ("conv3_2", 256), ("conv3_3", 256), ("pool3", None),
-        ("conv4_1", 512), ("conv4_2", 512), ("conv4_3", 512),
+        ("conv1_1", 64),
+        ("conv1_2", 64),
+        ("pool1", None),
+        ("conv2_1", 128),
+        ("conv2_2", 128),
+        ("pool2", None),
+        ("conv3_1", 256),
+        ("conv3_2", 256),
+        ("conv3_3", 256),
+        ("pool3", None),
+        ("conv4_1", 512),
+        ("conv4_2", 512),
+        ("conv4_3", 512),
     ]
     for name, channels in cfg:
         if channels is None:
@@ -155,16 +164,10 @@ def mobilenet_v1_trunk(
     tape.conv("conv1", _scaled(32, width_multiplier), stride=2, bias=False, batch_norm=True)
     stride_product = 2
     for index, (channels, stride) in enumerate(_MOBILENET_V1_BLOCKS, start=1):
-        if (
-            truncate_at_stride is not None
-            and stride == 2
-            and stride_product * 2 > truncate_at_stride
-        ):
+        if truncate_at_stride is not None and stride == 2 and stride_product * 2 > truncate_at_stride:
             break
         stride_product *= stride if stride == 2 else 1
-        tape.depthwise_separable(
-            f"block{index}", _scaled(channels, width_multiplier), stride=stride
-        )
+        tape.depthwise_separable(f"block{index}", _scaled(channels, width_multiplier), stride=stride)
     return BackboneResult(tape=tape, taps={"final": tape.shape})
 
 
@@ -200,11 +203,7 @@ def mobilenet_v2_trunk(
     stride_product = 2
     block_index = 0
     for expansion, channels, repeats, first_stride in _MOBILENET_V2_BLOCKS:
-        if (
-            truncate_at_stride is not None
-            and first_stride == 2
-            and stride_product * 2 > truncate_at_stride
-        ):
+        if truncate_at_stride is not None and first_stride == 2 and stride_product * 2 > truncate_at_stride:
             break
         for repeat in range(repeats):
             stride = first_stride if repeat == 0 else 1
@@ -253,9 +252,7 @@ def cspdarknet53_trunk(input_size: int = 608) -> BackboneResult:
         for block in range(blocks):
             bottleneck = half if stage_index == 1 else half
             tape.pointwise(f"{prefix}/res{block}/reduce", bottleneck)
-            tape.conv(
-                f"{prefix}/res{block}/expand", half, bias=False, batch_norm=True
-            )
+            tape.conv(f"{prefix}/res{block}/expand", half, bias=False, batch_norm=True)
         main_shape = tape.shape
         tape.goto(stage_input)
         tape.pointwise(f"{prefix}/split_shortcut", half)

@@ -104,10 +104,7 @@ class Tape:
         """2-D convolution (optionally grouped / depthwise via ``groups``)."""
         in_c = self.shape.channels
         if in_c % groups or out_channels % groups:
-            raise ConfigurationError(
-                f"{name}: channels ({in_c}->{out_channels}) not divisible by "
-                f"groups={groups}"
-            )
+            raise ConfigurationError(f"{name}: channels ({in_c}->{out_channels}) not divisible by " f"groups={groups}")
         pad = (kernel - 1) // 2 if padding is None else padding
         out_h = _conv_out_size(self.shape.height, kernel, stride, pad)
         out_w = _conv_out_size(self.shape.width, kernel, stride, pad)

@@ -57,9 +57,7 @@ def build_model(name: str, num_classes: int = 20) -> DetectorSpec:
     try:
         builder = MODEL_BUILDERS[key]
     except KeyError:
-        raise RegistryError(
-            f"unknown model {name!r}; available: {', '.join(list_models())}"
-        ) from None
+        raise RegistryError(f"unknown model {name!r}; available: {', '.join(list_models())}") from None
     return builder(num_classes)
 
 

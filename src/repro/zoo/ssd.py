@@ -69,9 +69,7 @@ class DetectorSpec:
         return 100.0 * (1.0 - self.params / big.params)
 
 
-def _extra_feature_layers(
-    tape: Tape, *, width_divisor: int = 1, prefix: str = "extra"
-) -> list[TensorShape]:
+def _extra_feature_layers(tape: Tape, *, width_divisor: int = 1, prefix: str = "extra") -> list[TensorShape]:
     """SSD's eight extra feature layers producing the 10/5/3/1 maps.
 
     ``width_divisor`` thins the standard 256/512 widths for the small
@@ -103,15 +101,10 @@ def _attach_heads(
 ) -> None:
     """Per-map localisation (4k) and classification ((C+1)k) 3x3 heads."""
     if len(map_shapes) != len(maps):
-        raise ConfigurationError(
-            f"{len(map_shapes)} tapped maps for {len(maps)} anchor specs"
-        )
+        raise ConfigurationError(f"{len(map_shapes)} tapped maps for {len(maps)} anchor specs")
     for index, (shape, spec) in enumerate(zip(map_shapes, maps)):
         if shape.height != spec.size:
-            raise ConfigurationError(
-                f"head {index}: tapped map is {shape.height}, anchors expect "
-                f"{spec.size}"
-            )
+            raise ConfigurationError(f"head {index}: tapped map is {shape.height}, anchors expect " f"{spec.size}")
         k = spec.boxes_per_location
         tape.goto(shape)
         tape.conv(f"head{index}/loc", 4 * k, kernel=3)

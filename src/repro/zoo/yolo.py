@@ -73,8 +73,7 @@ def build_yolov4(num_classes: int = 20, input_size: int = 608) -> DetectorSpec:
     # Three parallel max-pools (5/9/13) concatenated with the identity.
     for pool_kernel in (5, 9, 13):
         tape.goto(spp_shape)
-        tape.max_pool(f"spp/pool{pool_kernel}", kernel=pool_kernel, stride=1,
-                      padding=pool_kernel // 2)
+        tape.max_pool(f"spp/pool{pool_kernel}", kernel=pool_kernel, stride=1, padding=pool_kernel // 2)
     tape.goto(TensorShape(512 * 4, spp_shape.height, spp_shape.width))
     _conv_block(tape, "spp/post1", 512)
     _conv_block(tape, "spp/post2", 1024, kernel=3)
@@ -119,18 +118,14 @@ def build_yolov4(num_classes: int = 20, input_size: int = 608) -> DetectorSpec:
     )
 
 
-def build_small_yolo_mobilenet_v1(
-    num_classes: int = 20, input_size: int = 608
-) -> DetectorSpec:
+def build_small_yolo_mobilenet_v1(num_classes: int = 20, input_size: int = 608) -> DetectorSpec:
     """The YOLO small model: MobileNetV1 base, stride-8 map removed.
 
     MobileNetV1 runs to stride 32; a thin two-level FPN fuses the stride-16
     and stride-32 maps; heads predict at 38x38 and 19x19 only, keeping 24 %
     of YOLOv4's anchor budget.
     """
-    backbone = mobilenet_v1_trunk(
-        input_size, width_multiplier=1.0, truncate_at_stride=None
-    )
+    backbone = mobilenet_v1_trunk(input_size, width_multiplier=1.0, truncate_at_stride=None)
     tape = backbone.tape
     p5_in = backbone.taps["final"]  # stride 32: 19x19x1024
 

@@ -29,10 +29,7 @@ class TestFitForBudget:
 
     def test_recall_monotone_in_budget(self):
         n_predict, counts, areas, labels = _synthetic_features()
-        recalls = [
-            fit_for_budget(n_predict, counts, areas, labels, budget).recall
-            for budget in (0.15, 0.3, 0.5, 0.7)
-        ]
+        recalls = [fit_for_budget(n_predict, counts, areas, labels, budget).recall for budget in (0.15, 0.3, 0.5, 0.7)]
         assert all(b >= a - 1e-9 for a, b in zip(recalls, recalls[1:]))
 
     def test_generous_budget_reaches_high_recall(self):
@@ -47,8 +44,13 @@ class TestFitForBudget:
         always_uncertain = n_predict * 0
         with pytest.raises(CalibrationError):
             fit_for_budget(
-                always_uncertain, counts, areas, labels, 0.001,
-                count_grid=np.array([0]), area_grid=np.array([0.6]),
+                always_uncertain,
+                counts,
+                areas,
+                labels,
+                0.001,
+                count_grid=np.array([0]),
+                area_grid=np.array([0.6]),
             )
 
     def test_invalid_budget_rejected(self):
@@ -59,9 +61,7 @@ class TestFitForBudget:
 
 class TestBudgetController:
     def _controller(self, target=0.3, area=0.3, gain=0.05):
-        discriminator = DifficultCaseDiscriminator(
-            confidence_threshold=0.15, count_threshold=2, area_threshold=area
-        )
+        discriminator = DifficultCaseDiscriminator(confidence_threshold=0.15, count_threshold=2, area_threshold=area)
         return BudgetController(discriminator, target, gain=gain)
 
     def test_tracks_target_on_live_detections(self, small1_voc07, voc_test_small):

@@ -131,9 +131,7 @@ class TestConfidencePolicy:
     def test_least_confident_uploaded(self, voc_mini, small_dets):
         policy = ConfidenceUploadPolicy(ratio=0.5)
         mask = policy.select(voc_mini, small_dets)
-        confidences = np.array(
-            [mean_top1_confidence(d, voc_mini.num_classes) for d in small_dets]
-        )
+        confidences = np.array([mean_top1_confidence(d, voc_mini.num_classes) for d in small_dets])
         assert confidences[mask].mean() < confidences[~mask].mean()
 
     def test_ratio_respected(self, voc_mini, small_dets):

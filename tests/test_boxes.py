@@ -133,9 +133,7 @@ class TestIoU:
 
     def test_pairwise_matches_diagonal(self):
         a, b = _unit_boxes(6), _unit_boxes(6, seed=2)
-        np.testing.assert_allclose(
-            pairwise_iou(a, b), np.diag(iou_matrix(a, b)), atol=1e-12
-        )
+        np.testing.assert_allclose(pairwise_iou(a, b), np.diag(iou_matrix(a, b)), atol=1e-12)
 
     def test_pairwise_shape_mismatch_rejected(self):
         with pytest.raises(GeometryError):
@@ -148,9 +146,7 @@ class TestConversions:
         np.testing.assert_allclose(cxcywh_to_xyxy(xyxy_to_cxcywh(boxes)), boxes, atol=1e-12)
 
     def test_cxcywh_to_xyxy_known(self):
-        np.testing.assert_allclose(
-            cxcywh_to_xyxy([[0.5, 0.5, 0.2, 0.4]]), [[0.4, 0.3, 0.6, 0.7]]
-        )
+        np.testing.assert_allclose(cxcywh_to_xyxy([[0.5, 0.5, 0.2, 0.4]]), [[0.4, 0.3, 0.6, 0.7]])
 
     def test_scale_boxes(self):
         scaled = scale_boxes([[0.0, 0.0, 0.5, 1.0]], 200, 100)

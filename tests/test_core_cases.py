@@ -17,9 +17,7 @@ def _dets(scores, image_id="img", areas=None):
     if areas is None:
         areas = np.full(n, 0.04)
     sides = np.sqrt(np.asarray(areas, dtype=float))
-    boxes = np.stack(
-        [np.full(n, 0.1), np.full(n, 0.1), 0.1 + sides, 0.1 + sides], axis=1
-    )
+    boxes = np.stack([np.full(n, 0.1), np.full(n, 0.1), 0.1 + sides, 0.1 + sides], axis=1)
     return Detections(image_id, boxes, scores, np.zeros(n, dtype=np.int64), "t")
 
 

@@ -62,27 +62,19 @@ class TestCountLoss:
 
 class TestDecideRule:
     def test_step1_equal_counts_easy(self):
-        verdict = decide_rule(
-            np.array([2]), np.array([2]), np.array([0.01]), 2, 0.31
-        )
+        verdict = decide_rule(np.array([2]), np.array([2]), np.array([0.01]), 2, 0.31)
         assert verdict.tolist() == [False]
 
     def test_step2_too_many_objects_difficult(self):
-        verdict = decide_rule(
-            np.array([1]), np.array([5]), np.array([0.9]), 2, 0.31
-        )
+        verdict = decide_rule(np.array([1]), np.array([5]), np.array([0.9]), 2, 0.31)
         assert verdict.tolist() == [True]
 
     def test_step3_too_small_area_difficult(self):
-        verdict = decide_rule(
-            np.array([1]), np.array([2]), np.array([0.05]), 2, 0.31
-        )
+        verdict = decide_rule(np.array([1]), np.array([2]), np.array([0.05]), 2, 0.31)
         assert verdict.tolist() == [True]
 
     def test_fallthrough_easy(self):
-        verdict = decide_rule(
-            np.array([1]), np.array([2]), np.array([0.6]), 2, 0.31
-        )
+        verdict = decide_rule(np.array([1]), np.array([2]), np.array([0.6]), 2, 0.31)
         assert verdict.tolist() == [False]
 
     def test_vectorised(self):
@@ -110,9 +102,7 @@ class TestFitDecisionThresholds:
         noisy_easy = (~labels) & (rng.uniform(size=n) < 0.4)
         uncertain = labels | noisy_easy
         n_predict = np.where(uncertain, np.maximum(true_counts - 1, 0), true_counts)
-        count_thr, area_thr, metrics = fit_decision_thresholds(
-            n_predict, true_counts, min_areas, labels
-        )
+        count_thr, area_thr, metrics = fit_decision_thresholds(n_predict, true_counts, min_areas, labels)
         assert count_thr == 3
         assert area_thr == pytest.approx(0.2, abs=0.03)
         assert metrics.accuracy > 0.99
@@ -124,16 +114,17 @@ class TestFitDecisionThresholds:
         true_counts = np.array([2, 3, 2, 3])
         min_areas = np.array([0.05, 0.04, 0.06, 0.03])
         labels = np.array([True, True, True, True])
-        _, _, metrics = fit_decision_thresholds(
-            n_predict, true_counts, min_areas, labels
-        )
+        _, _, metrics = fit_decision_thresholds(n_predict, true_counts, min_areas, labels)
         assert metrics.recall == 1.0
 
     def test_empty_grid_rejected(self):
         with pytest.raises(CalibrationError):
             fit_decision_thresholds(
-                np.array([1]), np.array([1]), np.array([0.1]),
-                np.array([True]), count_grid=np.array([]),
+                np.array([1]),
+                np.array([1]),
+                np.array([0.1]),
+                np.array([True]),
+                count_grid=np.array([]),
             )
 
 
@@ -145,17 +136,16 @@ class TestAreaSweep:
         min_areas = rng.uniform(0.0, 0.6, size=n)
         labels = (true_counts > 2) | (min_areas < 0.25)
         n_predict = np.where(labels, np.maximum(true_counts - 1, 0), true_counts)
-        rows = area_threshold_sweep(
-            n_predict, true_counts, min_areas, labels, count_threshold=2
-        )
+        rows = area_threshold_sweep(n_predict, true_counts, min_areas, labels, count_threshold=2)
         recalls = [row["recall"] for row in rows]
         # Raising the area threshold can only add positive predictions.
         assert all(b >= a - 1e-12 for a, b in zip(recalls, recalls[1:]))
 
     def test_sweep_columns(self):
         rows = area_threshold_sweep(
-            np.array([1]), np.array([2]), np.array([0.1]), np.array([True]),
+            np.array([1]),
+            np.array([2]),
+            np.array([0.1]),
+            np.array([True]),
         )
-        assert {"area_threshold", "accuracy", "precision", "recall", "f1"} <= set(
-            rows[0]
-        )
+        assert {"area_threshold", "accuracy", "precision", "recall", "f1"} <= set(rows[0])

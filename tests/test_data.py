@@ -30,8 +30,7 @@ class TestClasses:
 class TestSceneProfile:
     def test_invalid_area_bounds_rejected(self):
         with pytest.raises(ConfigurationError):
-            SceneProfile(mean_extra_objects=1.0, count_dispersion=1.0,
-                         area_min=0.5, area_max=0.1)
+            SceneProfile(mean_extra_objects=1.0, count_dispersion=1.0, area_min=0.5, area_max=0.1)
 
     def test_negative_mean_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -93,7 +92,11 @@ class TestDegradation:
 class TestDatasets:
     def test_all_settings_registered(self):
         assert set(list_settings()) == {
-            "voc07", "voc07+12", "voc07++12", "coco18", "helmet",
+            "voc07",
+            "voc07+12",
+            "voc07++12",
+            "coco18",
+            "helmet",
         }
 
     def test_split_sizes_match_paper(self):
@@ -168,9 +171,7 @@ class TestDatasets:
         ds = load_dataset("helmet", "test", fraction=0.3)
         qualities = [r.quality for r in ds.records]
         assert min(qualities) < 1.0
-        assert sum(q < 1.0 for q in qualities) / len(qualities) == pytest.approx(
-            0.4, abs=0.12
-        )
+        assert sum(q < 1.0 for q in qualities) / len(qualities) == pytest.approx(0.4, abs=0.12)
 
 
 class TestStats:

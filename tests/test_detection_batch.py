@@ -48,10 +48,7 @@ def small_list(small_batch):
 
 @pytest.fixture(scope="module")
 def big_list(big_batch):
-    return [
-        Detections(v.image_id, v.boxes.copy(), v.scores.copy(), v.labels.copy(), "ssd")
-        for v in big_batch
-    ]
+    return [Detections(v.image_id, v.boxes.copy(), v.scores.copy(), v.labels.copy(), "ssd") for v in big_batch]
 
 
 class TestStructure:
@@ -120,17 +117,13 @@ class TestPerImageOpEquivalence:
             np.testing.assert_array_equal(view.labels, filtered.labels)
 
     def test_top_scores(self, small_batch, small_list):
-        assert (
-            small_batch.top_scores() == np.array([d.top_score() for d in small_list])
-        ).all()
+        assert (small_batch.top_scores() == np.array([d.top_score() for d in small_list])).all()
 
 
 class TestPipelineEquivalence:
     def test_features_bitwise(self, small_batch, small_list):
         batched = extract_feature_arrays(small_batch, 0.2)
-        listed = [
-            extract_features(d, 0.2) for d in small_list
-        ]
+        listed = [extract_features(d, 0.2) for d in small_list]
         assert (batched[0] == np.array([f.n_predict for f in listed])).all()
         assert (batched[1] == np.array([f.n_estimated for f in listed])).all()
         assert (batched[2] == np.array([f.min_area_estimated for f in listed])).all()
@@ -145,9 +138,7 @@ class TestPipelineEquivalence:
 
     def test_labels_bitwise(self, small_batch, big_batch, small_list, big_list):
         batched = label_cases(small_batch, big_batch)
-        listed = np.array(
-            [is_difficult_case(s, b) for s, b in zip(small_list, big_list)]
-        )
+        listed = np.array([is_difficult_case(s, b) for s, b in zip(small_list, big_list)])
         np.testing.assert_array_equal(batched, listed)
 
     def test_count_loss_curve_bitwise(self, harness, small_batch, small_list):
@@ -175,17 +166,11 @@ class TestPipelineEquivalence:
     def test_confidence_policy_mask_bitwise(self, harness, small_batch, small_list):
         dataset = harness.dataset("voc07", "test")
         policy = ConfidenceUploadPolicy(ratio=0.5)
-        np.testing.assert_array_equal(
-            policy.select(dataset, small_batch), policy.select(dataset, small_list)
-        )
-        listed = np.array(
-            [mean_top1_confidence(d, dataset.num_classes) for d in small_list]
-        )
+        np.testing.assert_array_equal(policy.select(dataset, small_batch), policy.select(dataset, small_list))
+        listed = np.array([mean_top1_confidence(d, dataset.num_classes) for d in small_list])
         from repro.baselines.confidence_upload import mean_top1_confidence_split
 
-        assert (
-            mean_top1_confidence_split(small_batch, dataset.num_classes) == listed
-        ).all()
+        assert (mean_top1_confidence_split(small_batch, dataset.num_classes) == listed).all()
 
     def test_confidence_split_ignores_out_of_vocabulary_labels(self):
         from repro.baselines.confidence_upload import mean_top1_confidence_split
@@ -207,9 +192,7 @@ class TestPipelineEquivalence:
 
 
 class TestSystemRunEquivalence:
-    def test_full_quick_run_bitwise(
-        self, harness, small_batch, big_batch, small_list, big_list
-    ):
+    def test_full_quick_run_bitwise(self, harness, small_batch, big_batch, small_list, big_list):
         dataset = harness.dataset("voc07", "test")
         discriminator, _ = harness.discriminator("small1", "ssd", "voc07")
         uploaded = discriminator.decide_split(small_batch)
@@ -253,18 +236,8 @@ class TestSystemRunEquivalence:
         big_train = harness.detections("ssd", "voc07", "train")
         from repro.core.discriminator import DifficultCaseDiscriminator
 
-        small_rebuilt = [
-            Detections(v.image_id, v.boxes.copy(), v.scores.copy(), v.labels.copy())
-            for v in small_train
-        ]
-        big_rebuilt = [
-            Detections(v.image_id, v.boxes.copy(), v.scores.copy(), v.labels.copy())
-            for v in big_train
-        ]
-        disc_batch, _ = DifficultCaseDiscriminator.fit(
-            small_train, big_train, train.truths
-        )
-        disc_list, _ = DifficultCaseDiscriminator.fit(
-            small_rebuilt, big_rebuilt, train.truths
-        )
+        small_rebuilt = [Detections(v.image_id, v.boxes.copy(), v.scores.copy(), v.labels.copy()) for v in small_train]
+        big_rebuilt = [Detections(v.image_id, v.boxes.copy(), v.scores.copy(), v.labels.copy()) for v in big_train]
+        disc_batch, _ = DifficultCaseDiscriminator.fit(small_train, big_train, train.truths)
+        disc_list, _ = DifficultCaseDiscriminator.fit(small_rebuilt, big_rebuilt, train.truths)
         assert disc_batch == disc_list

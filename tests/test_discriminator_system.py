@@ -49,10 +49,7 @@ class TestFit:
 
     def test_predicted_weaker_than_ground_truth(self, fitted):
         _, report, _, _, _ = fitted
-        assert (
-            report.predicted_metrics.accuracy
-            <= report.ground_truth_metrics.accuracy + 1e-9
-        )
+        assert (report.predicted_metrics.accuracy <= report.ground_truth_metrics.accuracy + 1e-9)
 
     def test_difficult_fraction_moderate(self, fitted):
         _, report, _, _, _ = fitted

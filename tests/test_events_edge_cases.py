@@ -1,0 +1,175 @@
+"""Edge-case tests for the discrete-event core under the serving pipeline.
+
+The fleet simulator multiplies the event volume through :class:`EventLoop`
+and :class:`FifoResource`; these tests pin the semantics the engines lean
+on — zero-delay self-scheduling, deterministic same-instant ordering, and
+the bounded-buffer backpressure that drops frames arriving at a full queue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.errors import RuntimeModelError
+from repro.runtime import (
+    JETSON_NANO,
+    RTX3060_SERVER,
+    WLAN,
+    Deployment,
+    EventLoop,
+    FifoResource,
+    StreamConfig,
+    edge_only_scheme,
+    simulate_stream,
+)
+
+
+class TestZeroDelayScheduling:
+    def test_zero_delay_self_scheduling_chain_terminates(self):
+        """An action may re-schedule itself at delay 0; the chain drains in
+        FIFO order without advancing simulated time."""
+        loop = EventLoop()
+        fired: list[int] = []
+
+        def chain(remaining: int) -> None:
+            fired.append(remaining)
+            if remaining > 0:
+                loop.schedule(0.0, lambda: chain(remaining - 1))
+
+        loop.schedule(0.0, lambda: chain(5))
+        final = loop.run()
+        assert fired == [5, 4, 3, 2, 1, 0]
+        assert final == 0.0
+
+    def test_zero_delay_interleaves_after_already_queued_same_instant(self):
+        """A zero-delay event scheduled from a callback runs after events
+        already queued for the same instant (insertion order wins)."""
+        loop = EventLoop()
+        fired: list[str] = []
+
+        def first() -> None:
+            fired.append("a")
+            loop.schedule(0.0, lambda: fired.append("a-child"))
+
+        loop.schedule(1.0, first)
+        loop.schedule(1.0, lambda: fired.append("b"))
+        loop.run()
+        assert fired == ["a", "b", "a-child"]
+
+    def test_zero_service_time_jobs_complete_in_order(self):
+        loop = EventLoop()
+        resource = FifoResource(loop, "dev")
+        completions: list[int] = []
+        for index in range(4):
+            resource.acquire(0.0, lambda _t, i=index: completions.append(i))
+        elapsed = loop.run()
+        assert completions == [0, 1, 2, 3]
+        assert elapsed == 0.0
+        assert resource.jobs_served == 4
+
+
+class TestSameInstantDeterminism:
+    def test_interleaved_schedule_orders_by_insertion(self):
+        loop = EventLoop()
+        fired: list[int] = []
+        # Schedule at mixed times; ties broken by scheduling sequence.
+        loop.schedule(2.0, lambda: fired.append(20))
+        loop.schedule(1.0, lambda: fired.append(10))
+        loop.schedule(2.0, lambda: fired.append(21))
+        loop.schedule(1.0, lambda: fired.append(11))
+        loop.run()
+        assert fired == [10, 11, 20, 21]
+
+    def test_two_identical_runs_fire_identically(self):
+        def run_once() -> list[float]:
+            loop = EventLoop()
+            resource = FifoResource(loop, "dev")
+            times: list[float] = []
+            for _ in range(8):
+                loop.schedule(0.5, lambda: resource.acquire(0.25, times.append))
+            loop.run()
+            return times
+
+        assert run_once() == run_once()
+
+    def test_resource_handoff_at_shared_instant(self):
+        """A job completing at t and a job arriving at t serialise: the
+        arrival queues behind whatever acquire order the instant produced."""
+        loop = EventLoop()
+        resource = FifoResource(loop, "dev")
+        completions: list[tuple[str, float]] = []
+        resource.acquire(1.0, lambda t: completions.append(("first", t)))
+        loop.schedule(1.0, lambda: resource.acquire(1.0, lambda t: completions.append(("second", t))))
+        loop.run()
+        assert completions == [("first", 1.0), ("second", 2.0)]
+
+
+class TestBoundedBufferBackpressure:
+    @pytest.fixture(scope="class")
+    def helmet_mini(self):
+        return load_dataset("helmet", "test", fraction=0.05)
+
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        return Deployment(
+            edge=JETSON_NANO,
+            cloud=RTX3060_SERVER,
+            link=WLAN,
+            small_model_flops=5.6e9,
+            big_model_flops=61.2e9,
+        )
+
+    def test_simultaneous_arrivals_drop_beyond_queue_bound(self, deployment, helmet_mini):
+        """A burst arriving into a full buffer: one frame in service plus
+        ``max_edge_queue`` waiting are accepted, the rest are dropped."""
+        loop_probe = EventLoop()
+        resource = FifoResource(loop_probe, "edge")
+        accepted = 0
+        bound = 3
+        for _ in range(10):
+            if resource.queue_depth >= bound:
+                continue
+            resource.acquire(1.0, lambda _t: None)
+            accepted += 1
+        assert accepted == bound + 1  # one in service + bound queued
+        assert resource.max_queue_depth == bound
+
+    def test_stream_counts_drops_under_burst(self, deployment, helmet_mini):
+        """Periodic arrivals far above the edge service rate with a tiny
+        buffer: the report's drop accounting stays exact."""
+        config = StreamConfig(fps=200.0, duration_s=1.0, poisson=False, max_edge_queue=2)
+        report = simulate_stream(edge_only_scheme(), deployment, helmet_mini, config, seed=1)
+        assert report.frames_dropped > 0
+        assert report.frames_served + report.frames_dropped == report.frames_offered
+        # The buffer bound caps the backlog: served latency never exceeds
+        # (bound + 1) service times plus the service itself.
+        edge_service = deployment.edge.inference_latency(5.6e9) + deployment.edge.inference_latency(2.0e4)
+        assert report.latency.p99 <= (config.max_edge_queue + 2) * edge_service + 1e-9
+
+    def test_drop_accounting_deterministic(self, deployment, helmet_mini):
+        config = StreamConfig(fps=150.0, duration_s=2.0, max_edge_queue=1)
+        a = simulate_stream(edge_only_scheme(), deployment, helmet_mini, config, seed=2)
+        b = simulate_stream(edge_only_scheme(), deployment, helmet_mini, config, seed=2)
+        assert a == b
+        assert a.frames_dropped > 0
+
+    def test_negative_delay_and_service_still_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(RuntimeModelError):
+            loop.schedule(-0.5, lambda: None)
+        resource = FifoResource(loop, "dev")
+        with pytest.raises(RuntimeModelError):
+            resource.acquire(-1.0, lambda _t: None)
+
+    def test_burst_into_shared_uplink_cloud_scheme(self, deployment, helmet_mini):
+        """Cloud-only admission control guards the uplink queue, not the
+        edge: a burst beyond the bound drops there too."""
+        from repro.runtime import cloud_only_scheme
+
+        config = StreamConfig(fps=50.0, duration_s=2.0, poisson=False, max_edge_queue=4)
+        report = simulate_stream(cloud_only_scheme(), deployment, helmet_mini, config, seed=3)
+        assert report.frames_dropped > 0
+        assert report.frames_uploaded == report.frames_served
+        assert report.edge_utilization == 0.0  # nothing touched the edge

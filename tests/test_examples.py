@@ -26,6 +26,7 @@ def test_expected_examples_present():
         "threshold_tuning.py",
         "upload_ratio_sweep.py",
         "video_stream.py",
+        "stream_fleet.py",
         "auto_compression.py",
     } <= names
 
@@ -49,9 +50,7 @@ def test_example_has_main_guard(path):
     source = path.read_text()
     assert 'if __name__ == "__main__":' in source
     tree = ast.parse(source)
-    functions = {
-        node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
-    }
+    functions = {node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)}
     assert "main" in functions
 
 
@@ -65,6 +64,4 @@ def test_example_imports_resolve(path):
         if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
             module = importlib.import_module(node.module)
             for alias in node.names:
-                assert hasattr(module, alias.name), (
-                    f"{path.name}: {node.module}.{alias.name} missing"
-                )
+                assert hasattr(module, alias.name), f"{path.name}: {node.module}.{alias.name} missing"

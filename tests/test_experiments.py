@@ -147,9 +147,7 @@ class TestFigureShapes:
         assert fraction[-1] == pytest.approx(1.0, abs=1e-6)
 
     def test_difficulty_priority_orders_uncertain_first(self):
-        priority = difficulty_priority(
-            np.array([1, 2]), np.array([2, 2]), np.array([0.4, 0.4])
-        )
+        priority = difficulty_priority(np.array([1, 2]), np.array([2, 2]), np.array([0.4, 0.4]))
         assert priority[0] > priority[1]
 
 

@@ -85,9 +85,7 @@ class TestCacheCorruption:
 
 class TestDegenerateInputs:
     def test_map_of_empty_detection_lists(self):
-        truths = [
-            GroundTruth("a", np.array([[0.1, 0.1, 0.4, 0.4]]), np.array([0]))
-        ]
+        truths = [GroundTruth("a", np.array([[0.1, 0.1, 0.4, 0.4]]), np.array([0]))]
         value = mean_average_precision([Detections.empty("a")], truths, 1)
         assert value == 0.0
 
@@ -113,9 +111,7 @@ class TestDegenerateInputs:
         from repro.data.degrade import PRISTINE
 
         record = ImageRecord(truth=truth, degradation=PRISTINE, render_seed=1)
-        detector = SimulatedDetector(
-            DetectorProfile(name="t"), num_classes=20, seed=0
-        )
+        detector = SimulatedDetector(DetectorProfile(name="t"), num_classes=20, seed=0)
         detections = detector.detect(record)
         assert len(detections) <= count * 2 + 20  # bounded output
 
@@ -138,9 +134,7 @@ class TestDegenerateInputs:
         dataset = load_dataset("voc07", "train", fraction=1 / 5011)
         detector = SimulatedDetector(DetectorProfile(name="t"), 20, seed=0)
         dets = detector.detect_split(dataset)
-        discriminator, report = DifficultCaseDiscriminator.fit(
-            dets, dets, dataset.truths
-        )
+        discriminator, report = DifficultCaseDiscriminator.fit(dets, dets, dataset.truths)
         # Identical small/big output: nothing is difficult.
         assert report.difficult_fraction == 0.0
         assert discriminator.count_threshold >= 1

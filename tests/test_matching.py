@@ -15,8 +15,7 @@ def _gt(boxes, labels):
 
 
 def _dets(boxes, scores, labels):
-    return Detections("img", np.asarray(boxes, float), np.asarray(scores, float),
-                      np.asarray(labels), detector="t")
+    return Detections("img", np.asarray(boxes, float), np.asarray(scores, float), np.asarray(labels), detector="t")
 
 
 class TestMatchDetections:
@@ -41,17 +40,13 @@ class TestMatchDetections:
 
     def test_each_gt_claimed_once(self):
         gt = _gt([[0.1, 0.1, 0.4, 0.4]], [0])
-        dets = _dets(
-            [[0.1, 0.1, 0.4, 0.4], [0.12, 0.1, 0.42, 0.4]], [0.9, 0.8], [0, 0]
-        )
+        dets = _dets([[0.1, 0.1, 0.4, 0.4], [0.12, 0.1, 0.42, 0.4]], [0.9, 0.8], [0, 0])
         result = match_detections(dets, gt)
         assert result.num_tp == 1 and result.num_fp == 1
 
     def test_higher_score_claims_first(self):
         gt = _gt([[0.1, 0.1, 0.4, 0.4]], [0])
-        dets = _dets(
-            [[0.1, 0.1, 0.4, 0.4], [0.1, 0.1, 0.4, 0.4]], [0.7, 0.95], [0, 0]
-        )
+        dets = _dets([[0.1, 0.1, 0.4, 0.4], [0.1, 0.1, 0.4, 0.4]], [0.7, 0.95], [0, 0])
         result = match_detections(dets, gt)
         # Detections sorted by score: the 0.95 one is rank 0 and claims the GT.
         assert result.is_tp.tolist() == [True, False]
@@ -82,9 +77,7 @@ class TestMatchDetections:
 class TestTruePositiveCount:
     def test_score_threshold_applied(self):
         gt = _gt([[0.1, 0.1, 0.4, 0.4], [0.6, 0.6, 0.9, 0.9]], [0, 1])
-        dets = _dets(
-            [[0.1, 0.1, 0.4, 0.4], [0.6, 0.6, 0.9, 0.9]], [0.9, 0.4], [0, 1]
-        )
+        dets = _dets([[0.1, 0.1, 0.4, 0.4], [0.6, 0.6, 0.9, 0.9]], [0.9, 0.4], [0, 1])
         # Only the 0.9 box passes the 0.5 serving threshold.
         assert true_positive_count(dets, gt) == 1
         assert true_positive_count(dets, gt, score_threshold=0.3) == 2

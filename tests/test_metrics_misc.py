@@ -19,18 +19,13 @@ def _gt(boxes, labels, image_id="img"):
 
 
 def _dets(boxes, scores, labels, image_id="img"):
-    return Detections(image_id, np.asarray(boxes, float), np.asarray(scores, float),
-                      np.asarray(labels), detector="t")
+    return Detections(image_id, np.asarray(boxes, float), np.asarray(scores, float), np.asarray(labels), detector="t")
 
 
 class TestCounting:
     def test_counts_true_positives_only(self):
         gts = [_gt([[0.1, 0.1, 0.4, 0.4]], [0])]
-        dets = [
-            _dets(
-                [[0.1, 0.1, 0.4, 0.4], [0.6, 0.6, 0.9, 0.9]], [0.9, 0.8], [0, 0]
-            )
-        ]
+        dets = [_dets([[0.1, 0.1, 0.4, 0.4], [0.6, 0.6, 0.9, 0.9]], [0.9, 0.8], [0, 0])]
         assert count_detected_objects(dets, gts) == 1
 
     def test_summary_fraction(self):

@@ -14,8 +14,7 @@ from repro.errors import ConfigurationError
 
 
 def _dets(boxes, scores, labels):
-    return Detections("img", np.asarray(boxes, float), np.asarray(scores, float),
-                      np.asarray(labels), detector="t")
+    return Detections("img", np.asarray(boxes, float), np.asarray(scores, float), np.asarray(labels), detector="t")
 
 
 class TestNmsIndices:
@@ -70,16 +69,12 @@ class TestNmsIndices:
 
 class TestClassAwareNms:
     def test_different_classes_not_suppressed(self):
-        dets = _dets(
-            [[0.1, 0.1, 0.3, 0.3], [0.1, 0.1, 0.3, 0.3]], [0.9, 0.8], [0, 1]
-        )
+        dets = _dets([[0.1, 0.1, 0.3, 0.3], [0.1, 0.1, 0.3, 0.3]], [0.9, 0.8], [0, 1])
         out = class_aware_nms(dets, 0.45)
         assert len(out) == 2
 
     def test_same_class_duplicates_suppressed(self):
-        dets = _dets(
-            [[0.1, 0.1, 0.3, 0.3], [0.1, 0.1, 0.3, 0.3]], [0.9, 0.8], [0, 0]
-        )
+        dets = _dets([[0.1, 0.1, 0.3, 0.3], [0.1, 0.1, 0.3, 0.3]], [0.9, 0.8], [0, 0])
         out = class_aware_nms(dets, 0.45)
         assert len(out) == 1 and out.scores[0] == pytest.approx(0.9)
 
@@ -95,7 +90,5 @@ class TestClassAwareNms:
 
 class TestFilterByScore:
     def test_matches_above(self):
-        dets = _dets(
-            [[0.1, 0.1, 0.3, 0.3], [0.4, 0.4, 0.5, 0.5]], [0.9, 0.2], [0, 0]
-        )
+        dets = _dets([[0.1, 0.1, 0.3, 0.3], [0.4, 0.4, 0.5, 0.5]], [0.9, 0.2], [0, 0])
         assert len(filter_by_score(dets, 0.5)) == len(dets.above(0.5)) == 1

@@ -46,9 +46,7 @@ def split_small():
 
 @pytest.fixture(scope="module")
 def serial_batch(split_small, small1_voc07):
-    return DetectionBatch.from_list(
-        small1_voc07.detect_split(split_small), detector=small1_voc07.name
-    )
+    return DetectionBatch.from_list(small1_voc07.detect_split(split_small), detector=small1_voc07.name)
 
 
 # --------------------------------------------------------------------- #
@@ -96,19 +94,13 @@ def test_shard_spans_cover_exactly(count, shards):
 # --------------------------------------------------------------------- #
 def test_run_split_parallel_matches_serial(split_small, small1_voc07, serial_batch):
     with WorkerPool(2) as pool:
-        parallel = run_split(
-            small1_voc07, split_small, pool=pool, min_shard_images=8
-        )
+        parallel = run_split(small1_voc07, split_small, pool=pool, min_shard_images=8)
     assert_batches_identical(serial_batch, parallel)
 
 
-def test_run_split_three_workers_matches_serial(
-    split_small, small1_voc07, serial_batch
-):
+def test_run_split_three_workers_matches_serial(split_small, small1_voc07, serial_batch):
     with WorkerPool(3) as pool:
-        parallel = run_split(
-            small1_voc07, split_small, pool=pool, min_shard_images=8
-        )
+        parallel = run_split(small1_voc07, split_small, pool=pool, min_shard_images=8)
     assert_batches_identical(serial_batch, parallel)
 
 
@@ -131,9 +123,7 @@ def test_run_shards_order_preserved(split_small, small1_voc07, serial_batch):
 
 
 @pytest.mark.parametrize("workers", [1, 2])
-def test_run_shards_on_result_fires_per_completed_shard(
-    split_small, small1_voc07, workers
-):
+def test_run_shards_on_result_fires_per_completed_shard(split_small, small1_voc07, workers):
     records = split_small.records
     shards = [records[0:40], records[40:80], records[80:120]]
     seen: dict[int, int] = {}
@@ -208,9 +198,7 @@ def test_builder_snapshots_are_stable(serial_batch):
 
 def test_builder_validates_on_build():
     builder = DetectionBatchBuilder()
-    builder.append(
-        "bad", np.array([[0.0, 0.0, 0.5, 0.5]]), np.array([1.5]), np.array([0])
-    )
+    builder.append("bad", np.array([[0.0, 0.0, 0.5, 0.5]]), np.array([1.5]), np.array([0]))
     with pytest.raises(GeometryError):
         builder.build()
 
@@ -247,9 +235,7 @@ def test_ground_truth_batch_flattening(split_small):
     assert np.array_equal(gt.counts(), np.array([len(t) for t in truths]))
     assert np.array_equal(gt.boxes, np.concatenate([t.boxes for t in truths]))
     assert np.array_equal(gt.labels, np.concatenate([t.labels for t in truths]))
-    assert np.array_equal(
-        gt.min_area_ratios(), np.array([t.min_area_ratio for t in truths])
-    )
+    assert np.array_equal(gt.min_area_ratios(), np.array([t.min_area_ratio for t in truths]))
     assert np.array_equal(
         gt.image_indices(),
         np.repeat(np.arange(len(truths)), [len(t) for t in truths]),
@@ -300,9 +286,7 @@ def test_ground_truth_batch_metrics_identical(split_small, serial_batch):
     assert count_detected_objects(serial_batch, truths) == (
         count_detected_objects(serial_batch, split_small.truth_batch)
     )
-    assert count_summary(serial_batch, truths) == (
-        count_summary(serial_batch, split_small.truth_batch)
-    )
+    assert count_summary(serial_batch, truths) == (count_summary(serial_batch, split_small.truth_batch))
 
 
 def test_count_loss_curve_identical(split_small, serial_batch):
@@ -351,12 +335,8 @@ def test_harness_cache_partial_recompute(tmp_path):
 
 
 def test_harness_parallel_matches_serial(tmp_path):
-    serial = Harness(
-        _tiny_config(tmp_path / "serial", workers=1)
-    ).detections("small1", "voc07", "test")
-    with Harness(
-        _tiny_config(tmp_path / "parallel", workers=2, cache_shard_size=16)
-    ) as harness:
+    serial = Harness(_tiny_config(tmp_path / "serial", workers=1)).detections("small1", "voc07", "test")
+    with Harness(_tiny_config(tmp_path / "parallel", workers=2, cache_shard_size=16)) as harness:
         parallel = harness.detections("small1", "voc07", "test")
     assert_batches_identical(serial, parallel)
 
@@ -384,9 +364,7 @@ def test_harness_workers_from_env(monkeypatch, tmp_path):
     with Harness(config) as env_harness:
         env_parallel = env_harness.detections("small1", "voc07", "test")
     monkeypatch.delenv("REPRO_WORKERS")
-    serial = Harness(
-        _tiny_config(tmp_path / "serial-check")
-    ).detections("small1", "voc07", "test")
+    serial = Harness(_tiny_config(tmp_path / "serial-check")).detections("small1", "voc07", "test")
     assert_batches_identical(env_parallel, serial)
 
 

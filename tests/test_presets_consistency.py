@@ -60,7 +60,9 @@ class TestBookkeeping:
 class TestOperatingPointSanity:
     def test_big_models_out_recall_their_small_models(self):
         pairs = {
-            ("small1", "ssd"), ("small2", "ssd"), ("small3", "ssd"),
+            ("small1", "ssd"),
+            ("small2", "ssd"),
+            ("small3", "ssd"),
             ("small-yolo", "yolov4"),
         }
         for small, big in pairs:
@@ -69,7 +71,9 @@ class TestOperatingPointSanity:
                 big_key = (big, setting)
                 if small_key in RECALL_TARGETS and big_key in RECALL_TARGETS:
                     assert RECALL_TARGETS[big_key] > RECALL_TARGETS[small_key], (
-                        small, big, setting,
+                        small,
+                        big,
+                        setting,
                     )
 
     def test_big_models_out_map_their_small_models(self):
@@ -93,10 +97,7 @@ class TestOperatingPointSanity:
         # The reconciled assignment: small2 (V1) stronger than small3 (V2)
         # on every shared setting.
         for setting in ("voc07", "voc07+12", "voc07++12", "coco18"):
-            assert (
-                MAP_REFERENCES[("small2", setting)]
-                > MAP_REFERENCES[("small3", setting)]
-            )
+            assert (MAP_REFERENCES[("small2", setting)] > MAP_REFERENCES[("small3", setting)])
 
     @pytest.mark.parametrize("model", sorted(SHAPE_PRESETS))
     def test_shape_presets_valid(self, model):

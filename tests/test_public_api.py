@@ -16,9 +16,7 @@ class TestPublicSurface:
             assert hasattr(repro, name), name
 
     def test_quickstart_system(self):
-        system, report = repro.quickstart_system(
-            "voc07", train_images=300
-        )
+        system, report = repro.quickstart_system("voc07", train_images=300)
         record = repro.load_dataset("voc07", "test", fraction=0.002).records[0]
         detections, uploaded = system.process_image(record)
         assert isinstance(uploaded, bool)
@@ -28,13 +26,8 @@ class TestPublicSurface:
     def test_quickstart_deterministic(self):
         system_a, _ = repro.quickstart_system("voc07", train_images=300)
         system_b, _ = repro.quickstart_system("voc07", train_images=300)
-        assert (
-            system_a.discriminator.confidence_threshold
-            == system_b.discriminator.confidence_threshold
-        )
-        assert system_a.discriminator.area_threshold == pytest.approx(
-            system_b.discriminator.area_threshold
-        )
+        assert (system_a.discriminator.confidence_threshold == system_b.discriminator.confidence_threshold)
+        assert system_a.discriminator.area_threshold == pytest.approx(system_b.discriminator.area_threshold)
 
     def test_subpackages_importable(self):
         import repro.baselines

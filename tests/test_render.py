@@ -43,9 +43,7 @@ class TestRender:
             degradation=Degradation(quality=0.5, blur_sigma=2.5),
             render_seed=record.render_seed,
         )
-        assert brenner_gradient(render_image(blurred)) < brenner_gradient(
-            render_image(record)
-        )
+        assert brenner_gradient(render_image(blurred)) < brenner_gradient(render_image(record))
 
     def test_low_light_reduces_brenner(self, records):
         record = records[0]
@@ -54,9 +52,7 @@ class TestRender:
             degradation=Degradation(quality=0.6, brightness=0.4),
             render_seed=record.render_seed,
         )
-        assert brenner_gradient(render_image(dark)) < brenner_gradient(
-            render_image(record)
-        )
+        assert brenner_gradient(render_image(dark)) < brenner_gradient(render_image(record))
 
 
 class TestBrenner:

@@ -42,9 +42,7 @@ class TestDevices:
 
     def test_server_much_faster_than_edge(self):
         flops = 61.2e9
-        assert RTX3060_SERVER.inference_latency(flops) < JETSON_NANO.inference_latency(
-            flops
-        )
+        assert RTX3060_SERVER.inference_latency(flops) < JETSON_NANO.inference_latency(flops)
 
     def test_invalid_throughput_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -137,17 +135,18 @@ class TestExecutor:
 
     def test_deterministic_totals(self, helmet_mini):
         deployment = Deployment(
-            edge=JETSON_NANO, cloud=RTX3060_SERVER, link=WLAN,
-            small_model_flops=5.6e9, big_model_flops=61.2e9,
+            edge=JETSON_NANO,
+            cloud=RTX3060_SERVER,
+            link=WLAN,
+            small_model_flops=5.6e9,
+            big_model_flops=61.2e9,
         )
         a = EdgeCloudRuntime(deployment=deployment, seed=1).run_cloud_only(helmet_mini)
         b = EdgeCloudRuntime(deployment=deployment, seed=1).run_cloud_only(helmet_mini)
         assert a.latency.total == pytest.approx(b.latency.total)
 
     def test_empty_upload_equals_edge_plus_discriminator(self, runtime, helmet_mini):
-        none = runtime.run_collaborative(
-            helmet_mini, np.zeros(len(helmet_mini), dtype=bool)
-        )
+        none = runtime.run_collaborative(helmet_mini, np.zeros(len(helmet_mini), dtype=bool))
         edge = runtime.run_edge_only(helmet_mini)
         # Collaborative adds the (tiny) discriminator cost per image.
         assert none.latency.total >= edge.latency.total
@@ -156,6 +155,9 @@ class TestExecutor:
     def test_invalid_deployment_rejected(self):
         with pytest.raises(RuntimeModelError):
             Deployment(
-                edge=JETSON_NANO, cloud=RTX3060_SERVER, link=WLAN,
-                small_model_flops=0.0, big_model_flops=1.0,
+                edge=JETSON_NANO,
+                cloud=RTX3060_SERVER,
+                link=WLAN,
+                small_model_flops=0.0,
+                big_model_flops=1.0,
             )

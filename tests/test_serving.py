@@ -1,0 +1,322 @@
+"""Tests for the unified serving pipeline: schemes, policies, fleet, rolling.
+
+Exact equality with the pre-refactor per-scheme implementations lives in
+``test_serving_equivalence.py``; here we test the *new* surface — the
+offload-policy protocol, policy-driven scheme runs through both engines,
+the multi-camera fleet simulator, and the rolling online quality metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BlurUploadPolicy,
+    CloudOnlyPolicy,
+    ConfidenceUploadPolicy,
+    EdgeOnlyPolicy,
+    RandomUploadPolicy,
+)
+from repro.core.discriminator import DifficultCaseDiscriminator, DiscriminatorPolicy
+from repro.data import load_dataset
+from repro.detection import DetectionBatch
+from repro.errors import RuntimeModelError
+from repro.metrics import rolling_quality
+from repro.runtime import (
+    JETSON_NANO,
+    RTX3060_SERVER,
+    WLAN,
+    AlwaysOffload,
+    Deployment,
+    EdgeCloudRuntime,
+    NeverOffload,
+    OffloadPolicy,
+    StreamConfig,
+    StreamSimulator,
+    cloud_only_scheme,
+    collaborative_scheme,
+    edge_only_scheme,
+    paper_schemes,
+    simulate_fleet,
+    simulate_stream,
+)
+from repro.simulate import make_detector
+
+
+@pytest.fixture(scope="module")
+def helmet_mini():
+    return load_dataset("helmet", "test", fraction=0.08)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return Deployment(
+        edge=JETSON_NANO,
+        cloud=RTX3060_SERVER,
+        link=WLAN,
+        small_model_flops=5.6e9,
+        big_model_flops=61.2e9,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_batch(helmet_mini):
+    return DetectionBatch.coerce(make_detector("small1", "helmet").detect_split(helmet_mini))
+
+
+@pytest.fixture(scope="module")
+def big_batch(helmet_mini):
+    return DetectionBatch.coerce(make_detector("ssd", "helmet").detect_split(helmet_mini))
+
+
+@pytest.fixture(scope="module")
+def discriminator(helmet_mini):
+    train = load_dataset("helmet", "train", fraction=0.2)
+    small = make_detector("small1", "helmet").detect_split(train)
+    big = make_detector("ssd", "helmet").detect_split(train)
+    fitted, _ = DifficultCaseDiscriminator.fit(small, big, train.truths)
+    return fitted
+
+
+def all_policies(discriminator, seed=7):
+    return [
+        DiscriminatorPolicy(discriminator),
+        ConfidenceUploadPolicy(ratio=0.3),
+        RandomUploadPolicy(ratio=0.3, seed=seed),
+        BlurUploadPolicy(ratio=0.3),
+        NeverOffload(),
+        AlwaysOffload(),
+        EdgeOnlyPolicy(),
+        CloudOnlyPolicy(),
+    ]
+
+
+class TestOffloadProtocol:
+    def test_every_policy_satisfies_protocol(self, discriminator):
+        for policy in all_policies(discriminator):
+            assert isinstance(policy, OffloadPolicy), type(policy).__name__
+
+    def test_policy_masks_aligned(self, discriminator, helmet_mini, small_batch):
+        for policy in all_policies(discriminator):
+            mask = policy.select(helmet_mini, small_batch)
+            assert mask.dtype == bool and mask.shape == (len(helmet_mini),)
+
+    def test_degenerate_policies_need_no_detections(self, helmet_mini):
+        assert not NeverOffload().select(helmet_mini).any()
+        assert AlwaysOffload().select(helmet_mini).all()
+        assert not EdgeOnlyPolicy().select(helmet_mini).any()
+        assert CloudOnlyPolicy().select(helmet_mini).all()
+
+    def test_paper_schemes_shapes(self):
+        schemes = paper_schemes()
+        assert set(schemes) == {"edge", "cloud", "collaborative"}
+        assert schemes["edge"].edge_compute and not schemes["edge"].edge_discriminates
+        assert not schemes["cloud"].edge_compute
+        assert schemes["collaborative"].edge_compute
+        assert schemes["collaborative"].edge_discriminates
+
+    def test_policyless_scheme_requires_mask(self, deployment, helmet_mini):
+        runtime = EdgeCloudRuntime(deployment=deployment)
+        with pytest.raises(RuntimeModelError):
+            runtime.run_scheme(collaborative_scheme(), helmet_mini)
+
+    def test_detection_needing_policy_without_detections_is_diagnosable(self, deployment, helmet_mini, discriminator):
+        """Every policy that needs the small model's output raises the same
+        configuration error naming the missing input, not a bare TypeError."""
+        from repro.errors import ConfigurationError
+
+        runtime = EdgeCloudRuntime(deployment=deployment)
+        for policy in (
+            ConfidenceUploadPolicy(ratio=0.3),
+            RandomUploadPolicy(ratio=0.3),
+            BlurUploadPolicy(ratio=0.3),
+            DiscriminatorPolicy(discriminator),
+        ):
+            with pytest.raises(ConfigurationError, match="detections"):
+                runtime.run_scheme(collaborative_scheme(policy), helmet_mini)
+
+
+class TestPoliciesThroughBothEngines:
+    """All five policy families drive the static executor and the stream
+    simulator through the one shared protocol."""
+
+    def test_static_engine_accepts_every_policy(self, deployment, helmet_mini, small_batch, discriminator):
+        runtime = EdgeCloudRuntime(deployment=deployment, seed=3)
+        for policy in all_policies(discriminator):
+            scheme = collaborative_scheme(policy, name=policy.name)
+            cost = runtime.run_scheme(scheme, helmet_mini, small_detections=small_batch)
+            expected = policy.select(helmet_mini, small_batch)
+            assert cost.uploaded_images == int(expected.sum())
+            assert cost.total_images == len(helmet_mini)
+
+    def test_stream_engine_accepts_every_policy(self, deployment, helmet_mini, small_batch, discriminator):
+        simulator = StreamSimulator(deployment, helmet_mini, seed=3)
+        config = StreamConfig(fps=2.0, duration_s=10.0, poisson=False)
+        for policy in all_policies(discriminator):
+            scheme = collaborative_scheme(policy, name=policy.name)
+            report = simulator.run_scheme(scheme, config, small_detections=small_batch)
+            assert report.scheme == policy.name
+            assert report.frames_served == report.frames_offered  # light load
+            mask = policy.select(helmet_mini, small_batch)
+            if not mask.any():
+                assert report.frames_uploaded == 0
+            if mask.all():
+                assert report.frames_uploaded == report.frames_served
+
+    def test_policy_mask_equals_explicit_mask(self, deployment, helmet_mini, small_batch, discriminator):
+        """A policy-driven run is identical to supplying its mask explicitly."""
+        runtime = EdgeCloudRuntime(deployment=deployment, seed=11)
+        policy = DiscriminatorPolicy(discriminator)
+        scheme = collaborative_scheme(policy)
+        mask = policy.select(helmet_mini, small_batch)
+        by_policy = runtime.run_scheme(scheme, helmet_mini, small_detections=small_batch)
+        by_mask = runtime.run_collaborative(helmet_mini, mask)
+        assert by_policy == by_mask
+
+
+class TestFleetSimulator:
+    CONFIG = StreamConfig(fps=1.5, duration_s=20.0)
+
+    def test_deterministic_at_eight_cameras(self, deployment, helmet_mini, small_batch):
+        mask = np.zeros(len(helmet_mini), dtype=bool)
+        mask[::4] = True
+        runs = [
+            simulate_fleet(
+                collaborative_scheme(),
+                deployment,
+                helmet_mini,
+                self.CONFIG,
+                cameras=8,
+                mask=mask,
+                seed=5,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]  # dataclass equality covers every field
+        assert len(runs[0].cameras) == 8
+
+    def test_totals_sum_over_cameras(self, deployment, helmet_mini):
+        fleet = simulate_fleet(edge_only_scheme(), deployment, helmet_mini, self.CONFIG, cameras=8, seed=5)
+        for name in ("frames_offered", "frames_served", "frames_dropped", "frames_uploaded"):
+            assert getattr(fleet, name) == sum(getattr(c, name) for c in fleet.cameras)
+        assert fleet.latency.count == sum(c.latency.count for c in fleet.cameras)
+
+    def test_shared_uplink_contention(self, deployment, helmet_mini):
+        """Adding cameras saturates the shared uplink under cloud-only."""
+        single = simulate_fleet(cloud_only_scheme(), deployment, helmet_mini, self.CONFIG, cameras=1, seed=5)
+        fleet = simulate_fleet(cloud_only_scheme(), deployment, helmet_mini, self.CONFIG, cameras=8, seed=5)
+        assert fleet.uplink_utilization >= single.uplink_utilization
+        assert fleet.uplink_utilization > 0.95
+        assert fleet.drop_rate > 0.2 or fleet.latency.p50 > 1.0
+        # Shared-resource utilizations are reported identically per camera.
+        for camera in fleet.cameras:
+            assert camera.uplink_utilization == fleet.uplink_utilization
+            assert camera.cloud_utilization == fleet.cloud_utilization
+
+    def test_collaborative_fleet_outscales_cloud_only(
+        self,
+        deployment,
+        helmet_mini,
+        small_batch,
+        big_batch,
+        discriminator,
+    ):
+        # Long enough that cloud-only overruns even the per-camera buffers.
+        config = StreamConfig(fps=1.5, duration_s=90.0)
+        mask = discriminator.decide_split(small_batch)
+        collab = simulate_fleet(
+            collaborative_scheme(),
+            deployment,
+            helmet_mini,
+            config,
+            cameras=8,
+            mask=mask,
+            seed=5,
+        )
+        cloud = simulate_fleet(cloud_only_scheme(), deployment, helmet_mini, config, cameras=8, seed=5)
+        assert collab.drop_rate == 0.0
+        assert cloud.drop_rate > 0.1
+        assert collab.latency.p50 < cloud.latency.p50
+
+    def test_cameras_cover_different_records(self, deployment, helmet_mini, small_batch):
+        fleet = simulate_fleet(
+            edge_only_scheme(),
+            deployment,
+            helmet_mini,
+            StreamConfig(fps=1.0, duration_s=10.0, poisson=False),
+            cameras=4,
+            detections=small_batch,
+            seed=5,
+        )
+        starts = [int(camera.frame_records[0]) for camera in fleet.cameras]
+        assert len(set(starts)) == 4  # staggered offsets into the split
+
+    def test_invalid_camera_count_rejected(self, deployment, helmet_mini):
+        with pytest.raises(RuntimeModelError):
+            simulate_fleet(edge_only_scheme(), deployment, helmet_mini, self.CONFIG, cameras=0)
+
+
+class TestRollingQuality:
+    CONFIG = StreamConfig(fps=4.0, duration_s=24.0, poisson=False)
+
+    def _stream(self, deployment, dataset, batch, scheme, cameras=None, **kwargs):
+        if cameras is None:
+            return simulate_stream(scheme, deployment, dataset, self.CONFIG, detections=batch, seed=9, **kwargs)
+        return simulate_fleet(
+            scheme,
+            deployment,
+            dataset,
+            self.CONFIG,
+            cameras=cameras,
+            detections=batch,
+            seed=9,
+            **kwargs,
+        )
+
+    def test_windows_tile_the_horizon(self, deployment, helmet_mini, small_batch):
+        report = self._stream(deployment, helmet_mini, small_batch, edge_only_scheme())
+        windows = rolling_quality(report, helmet_mini, window_s=6.0, duration_s=24.0)
+        assert [w.t_start for w in windows] == [0.0, 6.0, 12.0, 18.0]
+        assert all(w.t_end - w.t_start == 6.0 for w in windows)
+        # arrival-keyed windows cover every offered frame exactly once
+        assert sum(w.frames for w in windows) == report.frames_offered
+        assert all(w.frames == w.served + w.dropped + w.stale for w in windows)
+
+    def test_quality_bounded_and_counts_consistent(self, deployment, helmet_mini, big_batch):
+        report = self._stream(deployment, helmet_mini, big_batch, cloud_only_scheme())
+        for window in rolling_quality(report, helmet_mini, window_s=8.0):
+            assert 0.0 <= window.map_percent <= 100.0
+            assert 0 <= window.detected_objects <= window.true_objects
+            assert 0.0 <= window.count_error_percent <= 100.0
+
+    def test_drops_degrade_measured_quality(self, deployment, helmet_mini, big_batch):
+        """The same scheme, saturated, must score worse — drops are quality."""
+        light = simulate_stream(
+            cloud_only_scheme(),
+            deployment,
+            helmet_mini,
+            StreamConfig(fps=1.0, duration_s=24.0, poisson=False),
+            detections=big_batch,
+            seed=9,
+        )
+        saturated = self._stream(deployment, helmet_mini, big_batch, cloud_only_scheme(), cameras=8)
+        assert saturated.drop_rate > light.drop_rate
+        light_map = np.mean([w.map_percent for w in rolling_quality(light, helmet_mini, window_s=24.0)])
+        saturated_map = np.mean([w.map_percent for w in rolling_quality(saturated, helmet_mini, window_s=24.0)])
+        assert saturated_map < light_map
+
+    def test_fleet_reports_merge_all_cameras(self, deployment, helmet_mini, small_batch):
+        fleet = self._stream(deployment, helmet_mini, small_batch, edge_only_scheme(), cameras=3)
+        windows = rolling_quality(fleet, helmet_mini, window_s=24.0, duration_s=24.0)
+        assert len(windows) == 1
+        assert windows[0].frames == sum(
+            int(((c.frame_times >= 0) & (c.frame_times < 24.0)).sum()) for c in fleet.cameras
+        )
+
+    def test_report_without_frame_log_rejected(self, deployment, helmet_mini):
+        from repro.errors import ConfigurationError
+
+        report = simulate_stream(edge_only_scheme(), deployment, helmet_mini, self.CONFIG, seed=9)
+        with pytest.raises(ConfigurationError):
+            rolling_quality(report, helmet_mini)

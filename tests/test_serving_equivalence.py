@@ -1,0 +1,320 @@
+"""Bit-for-bit equivalence of the unified serving pipeline.
+
+The three paper schemes used to be implemented twice — once as per-scheme
+loops in ``runtime/executor.py`` (static Table XI accounting) and once as a
+per-scheme event simulation in ``runtime/stream.py``.  Both now route
+through :mod:`repro.runtime.serving`.  This module keeps verbatim copies of
+the *pre-refactor* per-scheme implementations and asserts exact equality —
+every float, byte count and counter — against the shared-pipeline path, so
+the refactor can never drift from the published numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._rng import generator_for
+from repro.data import load_dataset
+from repro.metrics.latency import summarize_latencies
+from repro.runtime import (
+    JETSON_NANO,
+    RTX3060_SERVER,
+    WLAN,
+    Deployment,
+    EdgeCloudRuntime,
+    EventLoop,
+    FifoResource,
+    RunCost,
+    StreamConfig,
+    StreamSimulator,
+)
+from repro.runtime.codec import detections_payload_bytes
+from repro.runtime.executor import DISCRIMINATOR_FLOPS
+
+
+@pytest.fixture(scope="module")
+def helmet_mini():
+    return load_dataset("helmet", "test", fraction=0.08)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return Deployment(
+        edge=JETSON_NANO,
+        cloud=RTX3060_SERVER,
+        link=WLAN,
+        small_model_flops=5.6e9,
+        big_model_flops=61.2e9,
+    )
+
+
+@pytest.fixture(scope="module")
+def half_mask(helmet_mini):
+    mask = np.zeros(len(helmet_mini), dtype=bool)
+    mask[::3] = True
+    return mask
+
+
+# --------------------------------------------------------------------- #
+# reference implementations (verbatim pre-refactor executor.py)
+# --------------------------------------------------------------------- #
+class ReferenceRuntime:
+    """The deleted per-scheme static loops, kept as the equality oracle."""
+
+    def __init__(self, deployment: Deployment, seed: int) -> None:
+        self.deployment = deployment
+        self.seed = seed
+
+    def edge_latency(self, record) -> float:
+        device = self.deployment.edge
+        return device.inference_latency(
+            self.deployment.small_model_flops
+        ) + device.inference_latency(DISCRIMINATOR_FLOPS)
+
+    def cloud_round_trip(self, record, result_boxes: int = 8) -> float:
+        dep = self.deployment
+        rng = generator_for(self.seed, "net", record.image_id)
+        upload = dep.link.transfer_time(dep.codec.encoded_bytes(record), rng)
+        inference = dep.cloud.inference_latency(dep.big_model_flops)
+        download = dep.link.transfer_time(detections_payload_bytes(result_boxes), rng)
+        return upload + inference + download
+
+    def run_edge_only(self, dataset) -> RunCost:
+        latencies = [self.deployment.edge.inference_latency(self.deployment.small_model_flops) for _ in dataset.records]
+        return RunCost(
+            latency=summarize_latencies(latencies),
+            uploaded_images=0,
+            total_images=len(dataset),
+            uplink_bytes=0,
+            downlink_bytes=0,
+        )
+
+    def run_cloud_only(self, dataset) -> RunCost:
+        dep = self.deployment
+        latencies = [self.cloud_round_trip(record) for record in dataset.records]
+        uplink = sum(dep.codec.encoded_bytes(record) for record in dataset.records)
+        downlink = len(dataset) * detections_payload_bytes(8)
+        return RunCost(
+            latency=summarize_latencies(latencies),
+            uploaded_images=len(dataset),
+            total_images=len(dataset),
+            uplink_bytes=uplink,
+            downlink_bytes=downlink,
+        )
+
+    def run_collaborative(self, dataset, uploaded) -> RunCost:
+        mask = np.asarray(uploaded, dtype=bool).reshape(-1)
+        dep = self.deployment
+        latencies: list[float] = []
+        uplink = 0
+        for record, send in zip(dataset.records, mask):
+            latency = self.edge_latency(record)
+            if send:
+                latency += self.cloud_round_trip(record)
+                uplink += dep.codec.encoded_bytes(record)
+            latencies.append(latency)
+        downlink = int(mask.sum()) * detections_payload_bytes(8)
+        return RunCost(
+            latency=summarize_latencies(latencies),
+            uploaded_images=int(mask.sum()),
+            total_images=len(dataset),
+            uplink_bytes=uplink,
+            downlink_bytes=downlink,
+        )
+
+
+# --------------------------------------------------------------------- #
+# reference implementation (verbatim pre-refactor stream.py)
+# --------------------------------------------------------------------- #
+def reference_stream_run(deployment, dataset, seed, scheme, config, uploaded=None):
+    """The deleted per-scheme event-loop simulation, as the equality oracle."""
+
+    def _arrivals():
+        rng = generator_for(seed, "stream-arrivals", config.fps, config.poisson)
+        if config.poisson:
+            gaps = rng.exponential(1.0 / config.fps, size=int(config.fps * config.duration_s * 2))
+        else:
+            gaps = np.full(int(config.fps * config.duration_s * 2), 1.0 / config.fps)
+        times = np.cumsum(gaps)
+        return times[times < config.duration_s]
+
+    dep = deployment
+    if uploaded is not None:
+        uploaded = np.asarray(uploaded, dtype=bool).reshape(-1)
+
+    loop = EventLoop()
+    edge = FifoResource(loop, "edge")
+    uplink = FifoResource(loop, "uplink")
+    cloud = FifoResource(loop, "cloud")
+
+    latencies: list[float] = []
+    counters = {"served": 0, "dropped": 0, "uploads": 0}
+    arrivals = _arrivals()
+    records = dataset.records
+    num_records = len(records)
+    edge_service = dep.edge.inference_latency(dep.small_model_flops) + dep.edge.inference_latency(DISCRIMINATOR_FLOPS)
+    cloud_service = dep.cloud.inference_latency(dep.big_model_flops)
+    downlink_latency = dep.link.transfer_time(detections_payload_bytes(8))
+
+    def finish(start: float) -> None:
+        counters["served"] += 1
+        latencies.append(loop.now - start + downlink_latency)
+
+    def finish_local(start: float) -> None:
+        counters["served"] += 1
+        latencies.append(loop.now - start)
+
+    def cloud_path(record, start: float) -> None:
+        counters["uploads"] += 1
+        uplink.acquire(
+            dep.link.transfer_time(dep.codec.encoded_bytes(record)),
+            lambda _t: cloud.acquire(cloud_service, lambda _t2: finish(start)),
+        )
+
+    def on_frame(index: int, arrival: float) -> None:
+        record_index = index % num_records
+        record = records[record_index]
+        entry_queue = edge if scheme != "cloud" else uplink
+        if entry_queue.queue_depth >= config.max_edge_queue:
+            counters["dropped"] += 1
+            return
+        start = arrival
+        if scheme == "edge":
+            edge.acquire(edge_service, lambda _t: finish_local(start))
+        elif scheme == "cloud":
+            cloud_path(record, start)
+        else:
+            send = bool(uploaded[record_index])
+
+            def after_edge(_t: float, record=record, send=send) -> None:
+                if send:
+                    cloud_path(record, start)
+                else:
+                    finish_local(start)
+
+            edge.acquire(edge_service, after_edge)
+
+    for index, arrival in enumerate(arrivals):
+        loop.schedule(arrival, lambda i=index, a=arrival: on_frame(i, a))
+    elapsed = loop.run()
+
+    return {
+        "latency": summarize_latencies(latencies),
+        "frames_offered": int(arrivals.shape[0]),
+        "frames_served": counters["served"],
+        "frames_dropped": counters["dropped"],
+        "frames_uploaded": counters["uploads"],
+        "edge_utilization": edge.utilization(elapsed),
+        "uplink_utilization": uplink.utilization(elapsed),
+        "cloud_utilization": cloud.utilization(elapsed),
+    }
+
+
+def assert_run_costs_identical(ours: RunCost, reference: RunCost) -> None:
+    for name in ("total", "mean", "p50", "p90", "p99", "count"):
+        assert getattr(ours.latency, name) == getattr(reference.latency, name), name
+    assert ours.uploaded_images == reference.uploaded_images
+    assert ours.total_images == reference.total_images
+    assert ours.uplink_bytes == reference.uplink_bytes
+    assert ours.downlink_bytes == reference.downlink_bytes
+
+
+def assert_stream_reports_identical(report, reference: dict) -> None:
+    for name in ("total", "mean", "p50", "p90", "p99", "count"):
+        assert getattr(report.latency, name) == getattr(reference["latency"], name), name
+    for name in (
+        "frames_offered",
+        "frames_served",
+        "frames_dropped",
+        "frames_uploaded",
+        "edge_utilization",
+        "uplink_utilization",
+        "cloud_utilization",
+    ):
+        assert getattr(report, name) == reference[name], name
+
+
+# --------------------------------------------------------------------- #
+# static engine equivalence
+# --------------------------------------------------------------------- #
+class TestStaticEquivalence:
+    @pytest.mark.parametrize("seed", [0, 99, 20230701])
+    def test_edge_only_identical(self, deployment, helmet_mini, seed):
+        runtime = EdgeCloudRuntime(deployment=deployment, seed=seed)
+        reference = ReferenceRuntime(deployment, seed)
+        assert_run_costs_identical(runtime.run_edge_only(helmet_mini), reference.run_edge_only(helmet_mini))
+
+    @pytest.mark.parametrize("seed", [0, 99, 20230701])
+    def test_cloud_only_identical(self, deployment, helmet_mini, seed):
+        runtime = EdgeCloudRuntime(deployment=deployment, seed=seed)
+        reference = ReferenceRuntime(deployment, seed)
+        assert_run_costs_identical(runtime.run_cloud_only(helmet_mini), reference.run_cloud_only(helmet_mini))
+
+    @pytest.mark.parametrize("seed", [0, 99])
+    def test_collaborative_identical(self, deployment, helmet_mini, half_mask, seed):
+        runtime = EdgeCloudRuntime(deployment=deployment, seed=seed)
+        reference = ReferenceRuntime(deployment, seed)
+        assert_run_costs_identical(
+            runtime.run_collaborative(helmet_mini, half_mask),
+            reference.run_collaborative(helmet_mini, half_mask),
+        )
+
+    def test_collaborative_empty_and_full_masks(self, deployment, helmet_mini):
+        runtime = EdgeCloudRuntime(deployment=deployment, seed=7)
+        reference = ReferenceRuntime(deployment, 7)
+        for mask in (
+            np.zeros(len(helmet_mini), dtype=bool),
+            np.ones(len(helmet_mini), dtype=bool),
+        ):
+            assert_run_costs_identical(
+                runtime.run_collaborative(helmet_mini, mask),
+                reference.run_collaborative(helmet_mini, mask),
+            )
+
+
+# --------------------------------------------------------------------- #
+# streaming engine equivalence
+# --------------------------------------------------------------------- #
+class TestStreamEquivalence:
+    CONFIGS = [
+        StreamConfig(fps=2.0, duration_s=20.0, poisson=False),
+        StreamConfig(fps=6.0, duration_s=15.0),
+        StreamConfig(fps=14.0, duration_s=25.0, max_edge_queue=5),
+    ]
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=["light", "poisson", "saturating"])
+    def test_edge_identical(self, deployment, helmet_mini, config):
+        simulator = StreamSimulator(deployment, helmet_mini, seed=42)
+        report = simulator.run("edge", config)
+        reference = reference_stream_run(deployment, helmet_mini, 42, "edge", config)
+        assert_stream_reports_identical(report, reference)
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=["light", "poisson", "saturating"])
+    def test_cloud_identical(self, deployment, helmet_mini, config):
+        simulator = StreamSimulator(deployment, helmet_mini, seed=42)
+        report = simulator.run("cloud", config)
+        reference = reference_stream_run(deployment, helmet_mini, 42, "cloud", config)
+        assert_stream_reports_identical(report, reference)
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=["light", "poisson", "saturating"])
+    def test_collaborative_identical(self, deployment, helmet_mini, half_mask, config):
+        simulator = StreamSimulator(deployment, helmet_mini, seed=42)
+        report = simulator.run("collaborative", config, half_mask)
+        reference = reference_stream_run(deployment, helmet_mini, 42, "collaborative", config, half_mask)
+        assert_stream_reports_identical(report, reference)
+
+    def test_served_batch_unchanged_by_frame_log(self, deployment, helmet_mini, half_mask):
+        """The new per-frame log must not perturb the served accumulation."""
+        simulator = StreamSimulator(deployment, helmet_mini, seed=42)
+        config = StreamConfig(fps=5.0, duration_s=12.0)
+        from repro.simulate import make_detector
+
+        detections = make_detector("small1", "helmet").detect_split(helmet_mini)
+        report = simulator.run("collaborative", config, half_mask, detections=detections)
+        reference = reference_stream_run(deployment, helmet_mini, 42, "collaborative", config, half_mask)
+        assert_stream_reports_identical(report, reference)
+        assert report.served is not None
+        assert len(report.served) == report.frames_served
+        assert report.frame_times.shape[0] == report.frames_offered
+        assert int(report.frame_served.sum()) == report.frames_served

@@ -109,14 +109,10 @@ class TestSimulatedDetector:
 
     def test_different_profiles_differ(self, voc_mini):
         weak = SimulatedDetector(_profile(base_recall=0.2), 20, seed=11)
-        strong = SimulatedDetector(
-            DetectorProfile(name="other", base_recall=3.0), 20, seed=11
-        )
+        strong = SimulatedDetector(DetectorProfile(name="other", base_recall=3.0), 20, seed=11)
         record = voc_mini.records[0]
         weak_count = sum(weak.detect(r).count_above(0.5) for r in voc_mini.records[:40])
-        strong_count = sum(
-            strong.detect(r).count_above(0.5) for r in voc_mini.records[:40]
-        )
+        strong_count = sum(strong.detect(r).count_above(0.5) for r in voc_mini.records[:40])
         assert strong_count > weak_count
         assert record is not None
 

@@ -27,8 +27,11 @@ def helmet_mini():
 @pytest.fixture(scope="module")
 def simulator(helmet_mini):
     deployment = Deployment(
-        edge=JETSON_NANO, cloud=RTX3060_SERVER, link=WLAN,
-        small_model_flops=5.5e9, big_model_flops=60e9,
+        edge=JETSON_NANO,
+        cloud=RTX3060_SERVER,
+        link=WLAN,
+        small_model_flops=5.5e9,
+        big_model_flops=60e9,
     )
     return StreamSimulator(deployment, helmet_mini, seed=42)
 
@@ -163,8 +166,11 @@ class TestStreamSimulator:
 
     def test_empty_dataset_rejected(self, helmet_mini):
         deployment = Deployment(
-            edge=JETSON_NANO, cloud=RTX3060_SERVER, link=WLAN,
-            small_model_flops=1e9, big_model_flops=1e9,
+            edge=JETSON_NANO,
+            cloud=RTX3060_SERVER,
+            link=WLAN,
+            small_model_flops=1e9,
+            big_model_flops=1e9,
         )
         empty = helmet_mini.subset(0)
         with pytest.raises(RuntimeModelError):

@@ -40,7 +40,9 @@ class TestSystemProperties:
         rng = np.random.default_rng(seed)
         mask = rng.uniform(size=len(dataset)) < rng.uniform(0.0, 1.0)
         run = system.run(
-            dataset, small_detections=small_dets, big_detections=big_dets,
+            dataset,
+            small_detections=small_dets,
+            big_detections=big_dets,
             uploaded=mask,
         )
         for i, final in enumerate(run.final_detections):
@@ -54,7 +56,9 @@ class TestSystemProperties:
         rng = np.random.default_rng(seed)
         mask = rng.uniform(size=len(dataset)) < 0.4
         run = system.run(
-            dataset, small_detections=small_dets, big_detections=big_dets,
+            dataset,
+            small_detections=small_dets,
+            big_detections=big_dets,
             uploaded=mask,
         )
         assert run.upload_ratio == pytest.approx(float(np.mean(mask)))
@@ -72,16 +76,14 @@ class TestSystemProperties:
         rng = np.random.default_rng(seed)
         mask = rng.uniform(size=len(dataset)) < rng.uniform(0.0, 1.0)
         run = system.run(
-            dataset, small_detections=small_dets, big_detections=big_dets,
+            dataset,
+            small_detections=small_dets,
+            big_detections=big_dets,
             uploaded=mask,
         )
         e2e = run.end_to_end_counts().detected
-        small_tp = np.array(
-            [true_positive_count(d, t) for d, t in zip(small_dets, dataset.truths)]
-        )
-        big_tp = np.array(
-            [true_positive_count(d, t) for d, t in zip(big_dets, dataset.truths)]
-        )
+        small_tp = np.array([true_positive_count(d, t) for d, t in zip(small_dets, dataset.truths)])
+        big_tp = np.array([true_positive_count(d, t) for d, t in zip(big_dets, dataset.truths)])
         assert np.minimum(small_tp, big_tp).sum() <= e2e
         assert e2e <= np.maximum(small_tp, big_tp).sum()
 
@@ -89,12 +91,7 @@ class TestSystemProperties:
         """Uploading the images where the big model actually finds more
         objects must beat uploading the same number of random images."""
         system, dataset, small_dets, big_dets = context
-        gains = np.array(
-            [
-                big.count_above(0.5) - small.count_above(0.5)
-                for small, big in zip(small_dets, big_dets)
-            ]
-        )
+        gains = np.array([big.count_above(0.5) - small.count_above(0.5) for small, big in zip(small_dets, big_dets)])
         budget = int(0.4 * len(dataset))
         informed = np.zeros(len(dataset), dtype=bool)
         informed[np.argsort(-gains)[:budget]] = True
@@ -103,41 +100,38 @@ class TestSystemProperties:
         random_mask[rng.choice(len(dataset), size=budget, replace=False)] = True
 
         informed_run = system.run(
-            dataset, small_detections=small_dets, big_detections=big_dets,
+            dataset,
+            small_detections=small_dets,
+            big_detections=big_dets,
             uploaded=informed,
         )
         random_run = system.run(
-            dataset, small_detections=small_dets, big_detections=big_dets,
+            dataset,
+            small_detections=small_dets,
+            big_detections=big_dets,
             uploaded=random_mask,
         )
-        assert (
-            informed_run.end_to_end_counts().detected
-            >= random_run.end_to_end_counts().detected
-        )
+        assert (informed_run.end_to_end_counts().detected >= random_run.end_to_end_counts().detected)
 
     def test_flipping_one_correct_upload_never_helps(self, context):
         """Un-uploading a difficult image can only reduce detected objects."""
         system, dataset, small_dets, big_dets = context
-        gains = np.array(
-            [
-                big.count_above(0.5) - small.count_above(0.5)
-                for small, big in zip(small_dets, big_dets)
-            ]
-        )
+        gains = np.array([big.count_above(0.5) - small.count_above(0.5) for small, big in zip(small_dets, big_dets)])
         target = int(np.argmax(gains))
         assert gains[target] >= 1
         mask = np.ones(len(dataset), dtype=bool)
         with_upload = system.run(
-            dataset, small_detections=small_dets, big_detections=big_dets,
+            dataset,
+            small_detections=small_dets,
+            big_detections=big_dets,
             uploaded=mask,
         )
         mask2 = mask.copy()
         mask2[target] = False
         without_upload = system.run(
-            dataset, small_detections=small_dets, big_detections=big_dets,
+            dataset,
+            small_detections=small_dets,
+            big_detections=big_dets,
             uploaded=mask2,
         )
-        assert (
-            without_upload.end_to_end_counts().detected
-            <= with_upload.end_to_end_counts().detected
-        )
+        assert (without_upload.end_to_end_counts().detected <= with_upload.end_to_end_counts().detected)

@@ -60,17 +60,13 @@ class TestDetections:
         assert len(dets) == 0 and dets.top_score() == 0.0
 
     def test_above_threshold(self):
-        dets = _dets(
-            [[0.1, 0.1, 0.2, 0.2], [0.3, 0.3, 0.4, 0.4]], [0.8, 0.3], [0, 0]
-        )
+        dets = _dets([[0.1, 0.1, 0.2, 0.2], [0.3, 0.3, 0.4, 0.4]], [0.8, 0.3], [0, 0])
         assert len(dets.above(0.5)) == 1
         assert dets.count_above(0.5) == 1
         assert dets.count_above(0.2) == 2
 
     def test_min_area_above(self):
-        dets = _dets(
-            [[0.0, 0.0, 0.5, 0.5], [0.0, 0.0, 0.1, 0.1]], [0.9, 0.6], [0, 0]
-        )
+        dets = _dets([[0.0, 0.0, 0.5, 0.5], [0.0, 0.0, 0.1, 0.1]], [0.9, 0.6], [0, 0])
         assert dets.min_area_above(0.5) == pytest.approx(0.01)
         assert dets.min_area_above(0.7) == pytest.approx(0.25)
 
@@ -79,9 +75,7 @@ class TestDetections:
         assert dets.min_area_above(0.5) == 1.0
 
     def test_for_class(self):
-        dets = _dets(
-            [[0.1, 0.1, 0.2, 0.2], [0.3, 0.3, 0.4, 0.4]], [0.8, 0.7], [2, 5]
-        )
+        dets = _dets([[0.1, 0.1, 0.2, 0.2], [0.3, 0.3, 0.4, 0.4]], [0.8, 0.7], [2, 5])
         only = dets.for_class(5)
         assert len(only) == 1 and only.labels[0] == 5
 
@@ -94,7 +88,5 @@ class TestDetections:
             _dets([[0.1, 0.1, 0.2, 0.2]], [0.5, 0.6], [0])
 
     def test_top_score(self):
-        dets = _dets(
-            [[0.1, 0.1, 0.2, 0.2], [0.3, 0.3, 0.4, 0.4]], [0.4, 0.85], [0, 0]
-        )
+        dets = _dets([[0.1, 0.1, 0.2, 0.2], [0.3, 0.3, 0.4, 0.4]], [0.4, 0.85], [0, 0])
         assert dets.top_score() == pytest.approx(0.85)

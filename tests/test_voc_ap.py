@@ -22,8 +22,7 @@ def _gt(boxes, labels, image_id="img0"):
 
 
 def _dets(boxes, scores, labels, image_id="img0"):
-    return Detections(image_id, np.asarray(boxes, float), np.asarray(scores, float),
-                      np.asarray(labels), detector="t")
+    return Detections(image_id, np.asarray(boxes, float), np.asarray(scores, float), np.asarray(labels), detector="t")
 
 
 class TestVocApFromPr:
@@ -75,11 +74,7 @@ class TestPrecisionRecallCurve:
 
     def test_false_positive_lowers_precision(self):
         gts = [_gt([[0.1, 0.1, 0.4, 0.4]], [0])]
-        dets = [
-            _dets(
-                [[0.1, 0.1, 0.4, 0.4], [0.6, 0.6, 0.9, 0.9]], [0.9, 0.8], [0, 0]
-            )
-        ]
+        dets = [_dets([[0.1, 0.1, 0.4, 0.4], [0.6, 0.6, 0.9, 0.9]], [0.9, 0.8], [0, 0])]
         curve = precision_recall_curve(dets, gts, label=0)
         assert curve.precision[-1] == pytest.approx(0.5)
         assert curve.recall[-1] == pytest.approx(1.0)
@@ -161,8 +156,6 @@ class TestEvaluateDetections:
             dmins = rng.uniform(0, 0.6, (m, 2))
             dsizes = rng.uniform(0.05, 0.3, (m, 2))
             dboxes = np.concatenate([dmins, np.minimum(dmins + dsizes, 1.0)], 1)
-            dets.append(
-                _dets(dboxes, rng.uniform(0.1, 1.0, m), rng.integers(0, 3, m), f"im{i}")
-            )
+            dets.append(_dets(dboxes, rng.uniform(0.1, 1.0, m), rng.integers(0, 3, m), f"im{i}"))
         value = mean_average_precision(dets, gts, 3)
         assert 0.0 <= value <= 100.0

@@ -176,7 +176,12 @@ class TestYoloBudgets:
 class TestRegistry:
     def test_all_models_listed(self):
         assert set(list_models()) == {
-            "ssd", "small1", "small2", "small3", "yolov4", "small-yolo",
+            "ssd",
+            "small1",
+            "small2",
+            "small3",
+            "yolov4",
+            "small-yolo",
             "faster-rcnn",
         }
 

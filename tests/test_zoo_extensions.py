@@ -75,9 +75,7 @@ class TestPredictProfile:
     def test_reference_predicts_itself(self):
         reference_spec = build_small_model_1()
         reference_profile = SHAPE_PRESETS["small1"]
-        predicted = predict_profile(
-            reference_spec, reference_profile, reference_spec=reference_spec
-        )
+        predicted = predict_profile(reference_spec, reference_profile, reference_spec=reference_spec)
         assert predicted.area_half == pytest.approx(reference_profile.area_half)
         assert predicted.crowd_half == pytest.approx(reference_profile.crowd_half)
 
