@@ -16,12 +16,16 @@ from repro.runtime import (
     JETSON_NANO,
     RTX3060_SERVER,
     WLAN,
+    CameraSpec,
+    DeadlineAware,
     Deployment,
+    DropOldest,
     EventLoop,
     FifoResource,
     StreamConfig,
     cloud_only_scheme,
     collaborative_scheme,
+    edge_only_scheme,
     simulate_fleet,
     simulate_stream,
 )
@@ -121,3 +125,58 @@ def test_micro_fleet_8_cameras(benchmark, deployment, helmet_slice):
     report = benchmark(run)
     assert len(report.cameras) == 8
     assert report.frames_offered == 8 * 100
+
+
+def test_micro_fleet_8_cameras_deadline_aware(benchmark, deployment, helmet_slice):
+    """Admission-control hot path: deadline sheds on the saturated fleet.
+
+    Same workload as the plain fleet case, but every arrival runs the
+    deadline-aware shed scan (queued-wait bounds + cancellations) — the
+    admission layer's worst case.
+    """
+    config = StreamConfig(fps=5.0, duration_s=20.0, poisson=False, max_edge_queue=30)
+
+    def run():
+        return simulate_fleet(
+            cloud_only_scheme(),
+            deployment,
+            helmet_slice,
+            config,
+            cameras=8,
+            admission=DeadlineAware(freshness_s=2.0),
+            seed=1,
+        )
+
+    report = benchmark(run)
+    assert report.frames_offered == 8 * 100
+    assert report.frames_shed > 0
+    assert report.frames_served + report.frames_dropped == report.frames_offered
+
+
+def test_micro_fleet_heterogeneous(benchmark, deployment, helmet_slice, half_mask):
+    """Per-camera specs: mixed rates, schemes and admission on one loop."""
+    base = StreamConfig(fps=5.0, duration_s=20.0, poisson=False, max_edge_queue=30)
+    specs = [
+        CameraSpec(),
+        CameraSpec(config=StreamConfig(fps=10.0, duration_s=20.0, poisson=False, max_edge_queue=30)),
+        CameraSpec(scheme=edge_only_scheme()),
+        CameraSpec(scheme=cloud_only_scheme(), admission=DropOldest()),
+    ]
+
+    def run():
+        return simulate_fleet(
+            collaborative_scheme(),
+            deployment,
+            helmet_slice,
+            base,
+            cameras=specs,
+            mask=half_mask,
+            seed=1,
+        )
+
+    report = benchmark(run)
+    assert report.scheme == "mixed"
+    # the 10 fps camera's 200th periodic arrival rounds just past the
+    # 20 s horizon, hence 199 rather than 200
+    assert report.frames_offered == (100 + 199 + 100 + 100)
+    assert report.cameras[2].frames_uploaded == 0

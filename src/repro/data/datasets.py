@@ -122,6 +122,35 @@ class Dataset:
             records=self.records[:count],
         )
 
+    def with_degradation(
+        self,
+        model: DegradationModel,
+        *,
+        seed: int = DEFAULT_SEED,
+        scope: str = "drift",
+    ) -> "Dataset":
+        """The same annotated scenes under a different degradation mix.
+
+        Re-samples every record's degradation (and render seed) from
+        ``model`` while keeping the annotations untouched — a night
+        camera's low-light imagery, a smoky site — so per-camera quality
+        drift can ride the same split: record order, image ids and ground
+        truth stay aligned with the original, which is what heterogeneous
+        fleet runs and rolling-quality evaluation assume.  Deterministic in
+        ``(seed, scope, record index)``.
+        """
+        records: list[ImageRecord] = []
+        for index, record in enumerate(self.records):
+            rng = generator_for(seed, "degradation-drift", scope, self.name, self.split, index)
+            records.append(
+                ImageRecord(
+                    truth=record.truth,
+                    degradation=model.sample(rng),
+                    render_seed=int(rng.integers(0, 2**31 - 1)),
+                )
+            )
+        return Dataset(name=self.name, split=self.split, classes=self.classes, records=records)
+
 
 @dataclass(frozen=True)
 class DatasetSetting:

@@ -19,6 +19,7 @@ __all__ = [
     "figure_08_map_vs_upload",
     "figure_09_counts_vs_upload",
     "figure_10_fleet_quality",
+    "figure_11_staleness_tradeoff",
     "all_figures",
 ]
 
@@ -31,10 +32,10 @@ def detection_artifacts() -> tuple[tuple[str, str, str], ...]:
 
     Figures 4 and 7 read the small1/SSD train-split detections on VOC07+12;
     Figures 8-9 additionally sweep the test split through the same pair, and
-    Figure 10's fleet runs consume the helmet pair (both splits: the test
-    detections feed the policies, the train split fits the discriminator).
-    (All are a subset of the table suite's artifacts; the suite scheduler
-    deduplicates across both lists.)
+    the fleet runs of Figures 10-11 consume the helmet pair (both splits:
+    the test detections feed the policies, the train split fits the
+    discriminator).  (All are a subset of the table suite's artifacts; the
+    suite scheduler deduplicates across both lists.)
     """
     return (
         ("small1", "voc07+12", "train"),
@@ -224,6 +225,37 @@ def figure_10_fleet_quality(harness: Harness) -> FigureResult:
     )
 
 
+def figure_11_staleness_tradeoff(harness: Harness) -> FigureResult:
+    """Figure 11 (extension): the staleness / online-mAP trade-off.
+
+    One point per (serving scheme, admission policy) fleet run of Table
+    XIX: x is the mean result age of the frames the run actually served,
+    the series give the rolling online mAP and the fresh-serve rate at the
+    deadline.  Buffers that hold stale frames (drop-newest/drop-oldest
+    under saturation) sit far right at near-zero quality; the
+    deadline-aware buffer trades a higher shed count for points in the
+    fresh, high-mAP corner.
+    """
+    from repro.experiments.fleet import FLEET_FRESHNESS_S, admission_policy_outcomes
+
+    outcomes = admission_policy_outcomes(harness)
+    labels = [f"{outcome.scheme}/{outcome.admission}" for outcome in outcomes]
+    return FigureResult(
+        figure_id="11",
+        title="Served-frame staleness vs rolling online mAP for each "
+        "(serving scheme, admission policy) fleet run",
+        x_label="mean served result age (s)",
+        x_values=[round(outcome.mean_staleness_s, 3) for outcome in outcomes],
+        series={
+            "rolling_map": [round(outcome.mean_map, 2) for outcome in outcomes],
+            "fresh_percent": [round(outcome.fresh_percent, 2) for outcome in outcomes],
+        },
+        notes="Points in x order: " + ", ".join(labels) + ".  Scored at the "
+        f"{FLEET_FRESHNESS_S:g} s freshness deadline; a buffer that serves "
+        "stale frames spends pipeline time on results that no longer count.",
+    )
+
+
 def all_figures(harness: Harness) -> list[FigureResult]:
     """Run every figure in paper order (extensions last)."""
     return [
@@ -232,4 +264,5 @@ def all_figures(harness: Harness) -> list[FigureResult]:
         figure_08_map_vs_upload(harness),
         figure_09_counts_vs_upload(harness),
         figure_10_fleet_quality(harness),
+        figure_11_staleness_tradeoff(harness),
     ]

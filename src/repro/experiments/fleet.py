@@ -9,6 +9,15 @@ and the served streams are scored online with
 :func:`repro.metrics.rolling.rolling_quality`.  Saturation of the shared
 WLAN uplink therefore shows up where it matters: as measured rolling mAP
 and object-count loss, not just as latency percentiles.
+
+Table XIX and Figure 11 extend the same fleet along the *admission* axis:
+each serving scheme runs under every camera-buffer admission policy
+(:class:`~repro.runtime.serving.DropNewest` /
+:class:`~repro.runtime.serving.DropOldest` /
+:class:`~repro.runtime.serving.DeadlineAware`), and the rolling evaluation
+at the freshness deadline shows what shedding policy the buffer should run:
+under saturation, *which* frames a camera keeps decides whether served
+results are fresh enough to count at all.
 """
 
 from __future__ import annotations
@@ -27,7 +36,11 @@ from repro.metrics.rolling import RollingWindow, rolling_quality
 from repro.runtime.devices import JETSON_NANO, RTX3060_SERVER
 from repro.runtime.network import WLAN
 from repro.runtime.serving import (
+    AdmissionPolicy,
+    DeadlineAware,
     Deployment,
+    DropNewest,
+    DropOldest,
     FleetReport,
     StreamConfig,
     cloud_only_scheme,
@@ -42,7 +55,11 @@ __all__ = [
     "FLEET_FRESHNESS_S",
     "FLEET_SETTING",
     "FLEET_WINDOW_S",
+    "AdmissionOutcome",
     "FleetOutcome",
+    "admission_policies",
+    "admission_policy_outcomes",
+    "compute_admission_outcomes",
     "compute_fleet_outcomes",
     "fleet_config",
     "fleet_deployment",
@@ -191,4 +208,145 @@ def compute_fleet_outcomes(
             freshness_s=FLEET_FRESHNESS_S,
         )
         outcomes.append(FleetOutcome(policy=label, report=report, windows=windows))
+    return tuple(outcomes)
+
+
+# --------------------------------------------------------------------- #
+# Table XIX / Figure 11: admission policy x serving scheme
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AdmissionOutcome:
+    """One (serving scheme, admission policy) fleet run, scored online."""
+
+    scheme: str
+    admission: str
+    report: FleetReport
+    windows: list[RollingWindow]
+
+    @property
+    def mean_map(self) -> float:
+        """Mean rolling mAP over windows that saw frames."""
+        values = [w.map_percent for w in self.windows if w.frames]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def mean_count_error(self) -> float:
+        """Mean rolling count-error percent over windows that saw frames."""
+        values = [w.count_error_percent for w in self.windows if w.frames]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def staleness(self) -> np.ndarray:
+        """Result age (completion minus arrival, s) of every served frame."""
+        ages = [
+            (camera.frame_times - camera.frame_arrivals)[camera.frame_served]
+            for camera in self.report.cameras
+        ]
+        return np.concatenate(ages) if ages else np.zeros(0)
+
+    @property
+    def mean_staleness_s(self) -> float:
+        """Mean served-frame result age in seconds."""
+        ages = self.staleness
+        return float(ages.mean()) if ages.size else 0.0
+
+    @property
+    def fresh_percent(self) -> float:
+        """Percent of *offered* frames served within the freshness deadline."""
+        served = sum(w.served for w in self.windows)
+        offered = sum(w.frames for w in self.windows)
+        return 100.0 * served / offered if offered else 0.0
+
+
+def admission_policies(freshness_s: float = FLEET_FRESHNESS_S) -> tuple[tuple[str, AdmissionPolicy], ...]:
+    """The camera-buffer admission policies Table XIX compares."""
+    return (
+        ("drop-newest", DropNewest()),
+        ("drop-oldest", DropOldest()),
+        ("deadline-aware", DeadlineAware(freshness_s=freshness_s)),
+    )
+
+
+def admission_policy_outcomes(
+    harness: Harness,
+    *,
+    cameras: int = FLEET_CAMERAS,
+    config: StreamConfig | None = None,
+    window_s: float = FLEET_WINDOW_S,
+) -> tuple[AdmissionOutcome, ...]:
+    """Admission-control comparison outcomes, memoised by the harness.
+
+    Convenience front door over :meth:`Harness.admission_outcomes` (the
+    cache owner), which delegates the actual runs to
+    :func:`compute_admission_outcomes`.
+    """
+    return harness.admission_outcomes(cameras=cameras, config=config, window_s=window_s)
+
+
+def compute_admission_outcomes(
+    harness: Harness,
+    *,
+    cameras: int = FLEET_CAMERAS,
+    config: StreamConfig | None = None,
+    window_s: float = FLEET_WINDOW_S,
+) -> tuple[AdmissionOutcome, ...]:
+    """Run the fleet under every admission policy x serving scheme.
+
+    Two schemes span the interesting regimes: ``cloud-only`` saturates the
+    shared uplink (every admission decision matters) and the
+    discriminator-driven ``collaborative`` scheme runs within budget (a
+    control: admission must not perturb an unsaturated fleet).  Each pair
+    shares the per-camera arrival processes, so rows differ only in what
+    the camera buffer sheds; rolling quality is scored at the
+    :data:`FLEET_FRESHNESS_S` deadline.
+
+    Uncached — go through :meth:`Harness.admission_outcomes` (or the
+    :func:`admission_policy_outcomes` front door) so Table XIX and
+    Figure 11 consume the same runs.
+    """
+    if config is None:
+        config = fleet_config()
+    dataset = harness.dataset(FLEET_SETTING, "test")
+    small = harness.detections("small1", FLEET_SETTING, "test")
+    big = harness.detections("ssd", FLEET_SETTING, "test")
+    discriminator, _ = harness.discriminator("small1", "ssd", FLEET_SETTING)
+    policy = DiscriminatorPolicy(discriminator)
+    mask = policy.select(dataset, small)
+    served = DetectionBatch.where(mask, big, small)
+    zeros = np.zeros(len(dataset), dtype=bool)
+    schemes = [
+        ("cloud-only", cloud_only_scheme(), ~zeros, big),
+        ("discriminator", collaborative_scheme(policy, name="discriminator"), mask, served),
+    ]
+    deployment = fleet_deployment(dataset.num_classes)
+    seed = harness.config.seed
+    outcomes = []
+    for scheme_label, scheme, scheme_mask, scheme_served in schemes:
+        for admission_label, admission in admission_policies():
+            report = simulate_fleet(
+                scheme,
+                deployment,
+                dataset,
+                config,
+                cameras=cameras,
+                mask=scheme_mask,
+                detections=scheme_served,
+                admission=admission,
+                seed=seed,
+            )
+            windows = rolling_quality(
+                report,
+                dataset,
+                window_s=window_s,
+                duration_s=config.duration_s,
+                freshness_s=FLEET_FRESHNESS_S,
+            )
+            outcomes.append(
+                AdmissionOutcome(
+                    scheme=scheme_label,
+                    admission=admission_label,
+                    report=report,
+                    windows=windows,
+                )
+            )
     return tuple(outcomes)

@@ -272,6 +272,26 @@ class Harness:
             self._fleet[key] = _fleet.compute_fleet_outcomes(self, cameras=cameras, config=config, window_s=window_s)
         return self._fleet[key]
 
+    def admission_outcomes(self, *, cameras=None, config=None, window_s=None) -> tuple:
+        """Admission-policy comparison (Table XIX / Figure 11), memoised.
+
+        Cache owner over
+        :func:`repro.experiments.fleet.compute_admission_outcomes`, exactly
+        as :meth:`fleet_outcomes` is for the policy comparison — the table
+        and the figure consume identical runs.
+        """
+        from repro.experiments import fleet as _fleet
+
+        cameras = _fleet.FLEET_CAMERAS if cameras is None else cameras
+        config = _fleet.fleet_config() if config is None else config
+        window_s = _fleet.FLEET_WINDOW_S if window_s is None else window_s
+        key = ("admission", cameras, config, window_s)
+        if key not in self._fleet:
+            self._fleet[key] = _fleet.compute_admission_outcomes(
+                self, cameras=cameras, config=config, window_s=window_s
+            )
+        return self._fleet[key]
+
     # ------------------------------------------------------------------ #
     # detection production (sharded disk cache + parallel runner)
     # ------------------------------------------------------------------ #

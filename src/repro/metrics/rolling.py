@@ -134,11 +134,16 @@ def rolling_quality(
     logs = []
     for report in reports:
         logs.extend(_frame_logs(report))
+    if not logs:
+        # An empty sequence would otherwise sail past the per-report guard
+        # and yield a single degenerate all-zero window — a score of
+        # "nothing" that reads like a measurement.
+        raise ConfigurationError("no stream reports to evaluate")
 
-    arrivals = np.concatenate([log[1] for log in logs]) if logs else np.zeros(0)
-    times = np.concatenate([log[2] for log in logs]) if logs else np.zeros(0)
-    records = np.concatenate([log[3] for log in logs]) if logs else np.zeros(0, dtype=np.int64)
-    served_flags = np.concatenate([log[4] for log in logs]) if logs else np.zeros(0, dtype=bool)
+    arrivals = np.concatenate([log[1] for log in logs])
+    times = np.concatenate([log[2] for log in logs])
+    records = np.concatenate([log[3] for log in logs])
+    served_flags = np.concatenate([log[4] for log in logs])
     batch = DetectionBatch.concat([log[0] for log in logs])
     # Map each offered frame to its segment in the concatenated served batch
     # (-1 for drops): camera logs and their served segments share one order.

@@ -70,6 +70,11 @@ class FifoResource:
     ``acquire`` enqueues a job with a known service time and a completion
     callback; jobs are served one at a time in arrival order.  Utilisation
     and queueing statistics are tracked for the stream report.
+
+    ``acquire`` returns an opaque job handle; :meth:`cancel` removes a job
+    that is *still waiting* (admission policies shed queued frames this
+    way).  A job already in service — or already served — can no longer be
+    cancelled.
     """
 
     def __init__(self, loop: EventLoop, name: str) -> None:
@@ -79,6 +84,7 @@ class FifoResource:
         self._busy = False
         self.busy_time = 0.0
         self.jobs_served = 0
+        self.jobs_cancelled = 0
         self.max_queue_depth = 0
 
     @property
@@ -86,14 +92,49 @@ class FifoResource:
         """Jobs currently waiting (not including the one in service)."""
         return len(self._queue)
 
-    def acquire(self, service_time: float, on_done: Callable[[float], None]) -> None:
-        """Enqueue a job; ``on_done(completion_time)`` fires when served."""
+    def acquire(self, service_time: float, on_done: Callable[[float], None]) -> object:
+        """Enqueue a job; ``on_done(completion_time)`` fires when served.
+
+        Returns a handle accepted by :meth:`cancel`.
+        """
         if service_time < 0.0:
             raise RuntimeModelError(f"negative service time: {service_time}")
-        self._queue.append((service_time, on_done))
+        job = (service_time, on_done)
+        self._queue.append(job)
         self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
         if not self._busy:
             self._start_next()
+        return job
+
+    def queued_waits(self) -> list[tuple[object, float]]:
+        """``(handle, wait bound)`` for each waiting job, in queue order.
+
+        The bound sums the known service times of the waiting jobs ahead;
+        the in-service job's *remaining* time is unknown and excluded, so
+        each value is a lower bound on that job's actual wait.
+        """
+        waits: list[tuple[object, float]] = []
+        ahead = 0.0
+        for job in self._queue:
+            waits.append((job, ahead))
+            ahead += job[0]
+        return waits
+
+    def cancel(self, handle: object) -> float | None:
+        """Remove a still-waiting job from the queue.
+
+        Returns the cancelled job's service time (the wait it frees for
+        everything queued behind it) when the job was waiting and has been
+        removed; its ``on_done`` will never fire.  Returns ``None`` when
+        the job already entered service (or finished) — cancellation cannot
+        claw back work the server has started.
+        """
+        for index, job in enumerate(self._queue):
+            if job is handle:
+                del self._queue[index]
+                self.jobs_cancelled += 1
+                return job[0]
+        return None
 
     def _start_next(self) -> None:
         if not self._queue:

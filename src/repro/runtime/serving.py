@@ -34,8 +34,9 @@ takes ``online`` to select between the two readings.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Protocol, runtime_checkable
+from typing import Callable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -53,8 +54,13 @@ from repro.runtime.network import NetworkLink
 __all__ = [
     "DISCRIMINATOR_FLOPS",
     "RESULT_BOXES",
+    "AdmissionPolicy",
     "AlwaysOffload",
+    "CameraSpec",
+    "DeadlineAware",
     "Deployment",
+    "DropNewest",
+    "DropOldest",
     "FleetReport",
     "NeverOffload",
     "OffloadPolicy",
@@ -119,9 +125,15 @@ class RunCost:
         return self.uploaded_images / self.total_images
 
     def bandwidth_saving_over(self, other: "RunCost") -> float:
-        """Fractional uplink bytes saved relative to ``other``."""
+        """Fractional uplink bytes saved relative to ``other``.
+
+        Undefined when ``other`` uploaded zero bytes — there is no saving
+        "over" a free baseline (and claiming ``0.0`` would paint a run that
+        uploaded plenty as break-even) — so the degenerate case returns
+        ``nan``, which propagates instead of masquerading as a result.
+        """
         if other.uplink_bytes == 0:
-            return 0.0
+            return float("nan")
         return 1.0 - self.uplink_bytes / other.uplink_bytes
 
 
@@ -200,6 +212,92 @@ class AlwaysOffload:
 
     def select(self, dataset: Dataset, small_detections: DetectionBatch | list[Detections] | None = None) -> np.ndarray:
         return np.ones(len(dataset), dtype=bool)
+
+
+# --------------------------------------------------------------------- #
+# camera-buffer admission control
+# --------------------------------------------------------------------- #
+@runtime_checkable
+class AdmissionPolicy(Protocol):
+    """Decides what a full (or stale) camera buffer sheds.
+
+    Called once per arriving frame *before* the frame enters the pipeline.
+    ``admit`` may first shed already-queued frames through the camera's
+    helpers — :meth:`_CameraStream.buffer_has_room`,
+    :meth:`_CameraStream.shed_oldest` and
+    :meth:`_CameraStream.shed_expired` — then returns whether the arriving
+    frame is admitted.  Shed frames are logged as drops at the *shed* time
+    (they sat in the buffer until then), while a refused arrival is logged
+    at its arrival time.
+
+    Structural: anything exposing ``name`` and ``admit`` qualifies.
+    """
+
+    @property
+    def name(self) -> str:  # pragma: no cover - protocol signature
+        ...
+
+    def admit(self, camera: "_CameraStream", arrival: float) -> bool:  # pragma: no cover - protocol signature
+        ...
+
+
+@dataclass(frozen=True)
+class DropNewest:
+    """Refuse the arriving frame when the buffer is full (the default).
+
+    Exactly the historical camera-buffer behaviour: queued frames are never
+    touched, so under saturation the buffer holds ever-staler frames and
+    every served result trails the stream — the pathology the alternatives
+    below exist to measure against.
+    """
+
+    name: str = "drop-newest"
+
+    def admit(self, camera: "_CameraStream", arrival: float) -> bool:
+        return camera.buffer_has_room()
+
+
+@dataclass(frozen=True)
+class DropOldest:
+    """Shed the oldest queued frame to make room for the arriving one.
+
+    Trades completeness for freshness: the camera always buffers its most
+    recent frames, so served results track the live stream even when the
+    pipeline cannot keep up.
+    """
+
+    name: str = "drop-oldest"
+
+    def admit(self, camera: "_CameraStream", arrival: float) -> bool:
+        if camera.buffer_has_room():
+            return True
+        camera.shed_oldest()
+        return camera.buffer_has_room()
+
+
+@dataclass(frozen=True)
+class DeadlineAware:
+    """Shed queued frames that can no longer meet a freshness deadline.
+
+    A queued frame whose *earliest possible* completion — immediate service,
+    no queueing ahead of it — already lands past ``arrival + freshness_s``
+    will be served stale whatever happens next; spending pipeline time on it
+    only delays frames that could still be fresh.  Every arrival sheds all
+    such provably-doomed frames from this camera's buffer, then admits the
+    newcomer if the buffer has room (a full buffer of still-viable frames
+    refuses the arrival, as :class:`DropNewest` would).
+    """
+
+    freshness_s: float = 2.0
+    name: str = "deadline-aware"
+
+    def __post_init__(self) -> None:
+        if self.freshness_s <= 0.0:
+            raise RuntimeModelError(f"freshness_s must be positive, got {self.freshness_s}")
+
+    def admit(self, camera: "_CameraStream", arrival: float) -> bool:
+        camera.shed_expired(self.freshness_s)
+        return camera.buffer_has_room()
 
 
 # --------------------------------------------------------------------- #
@@ -406,6 +504,9 @@ class StreamReport:
     edge_utilization: float
     uplink_utilization: float
     cloud_utilization: float
+    #: Frames dropped *from the queue* by the admission policy (a subset of
+    #: ``frames_dropped``, which also counts frames refused at arrival).
+    frames_shed: int = 0
     served: DetectionBatch | None = field(default=None, repr=False)
     frame_arrivals: np.ndarray | None = field(default=None, repr=False)
     frame_times: np.ndarray | None = field(default=None, repr=False)
@@ -442,6 +543,7 @@ class StreamReport:
             "frames_served",
             "frames_dropped",
             "frames_uploaded",
+            "frames_shed",
             "edge_utilization",
             "uplink_utilization",
             "cloud_utilization",
@@ -479,6 +581,7 @@ class FleetReport:
     edge_utilization: float
     uplink_utilization: float
     cloud_utilization: float
+    frames_shed: int = 0
 
     @property
     def drop_rate(self) -> float:
@@ -525,6 +628,12 @@ class _CameraStream:
     Owns its edge accelerator; the uplink and cloud resources may be shared
     with other cameras (the fleet case).  All stage service times except the
     per-record uplink serialisation are precomputed once per run.
+
+    Frames waiting in the camera's *entry* stage — the edge queue for
+    edge-compute schemes, this camera's slice of the (possibly shared)
+    uplink queue otherwise — are the admission policy's domain: the policy
+    runs at every arrival and may shed them through :meth:`shed_oldest` /
+    :meth:`shed_expired` before deciding on the newcomer.
     """
 
     def __init__(
@@ -541,6 +650,7 @@ class _CameraStream:
         uplink: FifoResource,
         cloud: FifoResource,
         record_for: Callable[[int], int],
+        admission: AdmissionPolicy | None = None,
     ) -> None:
         self.scheme = scheme
         self.deployment = deployment
@@ -553,15 +663,20 @@ class _CameraStream:
         self.uplink = uplink
         self.cloud = cloud
         self.record_for = record_for
+        self.admission: AdmissionPolicy = DropNewest() if admission is None else admission
         self.edge_service = scheme.edge_latency(deployment, online=True)
         self.cloud_service = deployment.cloud.inference_latency(deployment.big_model_flops)
         self.downlink_latency = deployment.link.transfer_time(detections_payload_bytes(RESULT_BOXES))
         self.latencies: list[float] = []
-        self.served = self.dropped = self.uploads = 0
+        self.served = self.dropped = self.shed = self.uploads = 0
         # This camera's frames inside the uplink stage (waiting or being
         # transmitted) — the admission bound for schemes with no edge stage,
         # so each camera gets its own buffer even on the shared fleet link.
         self.in_uplink = 0
+        # (job handle, arrival, record index) of this camera's frames in its
+        # entry stage, oldest first; entries leave on completion or shed.
+        self._waiting: deque[tuple[object, float, int]] = deque()
+        self._min_remaining_cache: dict[int, float] = {}
         self.builder: DetectionBatchBuilder | None = None
         if detections is not None:
             self.builder = DetectionBatchBuilder(detector=detections.detector)
@@ -616,15 +731,23 @@ class _CameraStream:
         self.uploads += 1
         self.in_uplink += 1
         dep = self.deployment
+        entry_stage = not self.scheme.edge_compute
 
         def after_uplink(_t: float) -> None:
+            if entry_stage:
+                self._leave_waiting()
             self.in_uplink -= 1
             self.cloud.acquire(self.cloud_service, lambda _t2: self._finish(start, record_index))
 
-        self.uplink.acquire(dep.link.transfer_time(dep.codec.encoded_bytes(record)), after_uplink)
+        handle = self.uplink.acquire(dep.link.transfer_time(dep.codec.encoded_bytes(record)), after_uplink)
+        if entry_stage:
+            self._waiting.append((handle, start, record_index))
 
-    def _admits(self) -> bool:
-        """Camera-buffer admission control for one arriving frame.
+    # ------------------------------------------------------------------ #
+    # admission-policy surface
+    # ------------------------------------------------------------------ #
+    def buffer_has_room(self) -> bool:
+        """Whether the camera buffer can take one more frame right now.
 
         Edge schemes bound the camera's own edge queue.  No-edge schemes
         bound this camera's frames inside the (possibly shared) uplink
@@ -637,9 +760,103 @@ class _CameraStream:
             return self.edge.queue_depth < self.config.max_edge_queue
         return self.in_uplink < self.config.max_edge_queue + 1
 
+    def shed_oldest(self) -> bool:
+        """Shed this camera's oldest frame still *waiting* in its entry stage.
+
+        The frame is logged as dropped at the current (shed) time — it sat
+        in the buffer until now, not until its arrival.  Returns whether a
+        frame was shed (the only frame in the stage may be mid-service,
+        which cancellation cannot claw back).
+        """
+        stage = self.edge if self.scheme.edge_compute else self.uplink
+        for position, (handle, arrival, record_index) in enumerate(self._waiting):
+            if stage.cancel(handle) is not None:
+                del self._waiting[position]
+                self._drop_shed(arrival, record_index)
+                return True
+        return False
+
+    def shed_expired(self, freshness_s: float) -> int:
+        """Shed every waiting frame that can no longer meet the deadline.
+
+        A frame is doomed once ``now + wait bound + minimal remaining
+        pipeline time`` exceeds ``arrival + freshness_s``.  The wait bound
+        sums the service times of the jobs already queued ahead in the
+        entry stage (every one of which will be served first — future
+        arrivals only queue behind, cancellations only shorten the wait)
+        and the pipeline time uses exact stage service times with zero
+        downstream queueing, so only provably-stale frames go: a shed
+        shortens the wait of everything queued behind it, so the bound is
+        re-credited with each cancelled job's service time before the next
+        entry is judged.  Returns the number shed.
+        """
+        stage = self.edge if self.scheme.edge_compute else self.uplink
+        wait_bounds = {id(handle): wait for handle, wait in stage.queued_waits()}
+        now = self.loop.now
+        count = 0
+        freed = 0.0  # service time this pass removed ahead of later entries
+        position = 0
+        while position < len(self._waiting):
+            handle, arrival, record_index = self._waiting[position]
+            wait = wait_bounds.get(id(handle))
+            if wait is None:  # already in service: beyond shedding
+                position += 1
+                continue
+            wait -= freed
+            if now + wait + self._min_remaining(record_index) > arrival + freshness_s:
+                # the snapshot listed this job as waiting and only this pass
+                # cancels, so the cancellation cannot miss; its returned
+                # service time is exactly the wait freed behind it
+                freed += stage.cancel(handle) or 0.0
+                del self._waiting[position]
+                self._drop_shed(arrival, record_index)
+                count += 1
+            else:
+                position += 1
+        return count
+
+    def _min_remaining(self, record_index: int) -> float:
+        """Lower bound on one queued frame's remaining pipeline time.
+
+        Exact stage service times (the stream engine's transfers are
+        jitter-free), zero queueing: the earliest this frame could possibly
+        finish if it entered service right now.
+        """
+        cached = self._min_remaining_cache.get(record_index)
+        if cached is not None:
+            return cached
+        remaining = 0.0
+        if self.scheme.edge_compute:
+            remaining += self.edge_service
+        if not self.scheme.edge_compute or bool(self.mask[record_index]):
+            dep = self.deployment
+            remaining += (
+                dep.link.transfer_time(dep.codec.encoded_bytes(self.records[record_index]))
+                + self.cloud_service
+                + self.downlink_latency
+            )
+        self._min_remaining_cache[record_index] = remaining
+        return remaining
+
+    def _drop_shed(self, arrival: float, record_index: int) -> None:
+        self.dropped += 1
+        self.shed += 1
+        if not self.scheme.edge_compute:
+            # the frame was queued for the uplink but never transmitted
+            self.in_uplink -= 1
+            self.uploads -= 1
+        self._log(arrival, self.loop.now, record_index, False)
+
+    def _leave_waiting(self) -> None:
+        """Forget the entry-stage job that just completed (always the
+        oldest surviving entry: the stage serves this camera FIFO)."""
+        if self._waiting:
+            self._waiting.popleft()
+
+    # ------------------------------------------------------------------ #
     def _on_frame(self, index: int, arrival: float) -> None:
         record_index = self.record_for(index)
-        if not self._admits():
+        if not self.admission.admit(self, arrival):
             self.dropped += 1
             self._log(arrival, arrival, record_index, False)
             return
@@ -651,12 +868,14 @@ class _CameraStream:
         send = bool(self.mask[record_index])
 
         def after_edge(_t: float) -> None:
+            self._leave_waiting()
             if send:
                 self._cloud_path(record, start, record_index)
             else:
                 self._finish_local(start, record_index)
 
-        self.edge.acquire(self.edge_service, after_edge)
+        handle = self.edge.acquire(self.edge_service, after_edge)
+        self._waiting.append((handle, arrival, record_index))
 
     # ------------------------------------------------------------------ #
     def report(self, elapsed: float) -> StreamReport:
@@ -669,6 +888,7 @@ class _CameraStream:
             frames_served=self.served,
             frames_dropped=self.dropped,
             frames_uploaded=self.uploads,
+            frames_shed=self.shed,
             edge_utilization=self.edge.utilization(elapsed),
             uplink_utilization=self.uplink.utilization(elapsed),
             cloud_utilization=self.cloud.utilization(elapsed),
@@ -702,6 +922,7 @@ def simulate_stream(
     mask: np.ndarray | None = None,
     small_detections: DetectionBatch | list[Detections] | None = None,
     detections: DetectionBatch | None = None,
+    admission: AdmissionPolicy | None = None,
     seed: int = DEFAULT_SEED,
 ) -> StreamReport:
     """Serve one frame stream through ``scheme`` on a fresh event loop.
@@ -710,7 +931,9 @@ def simulate_stream(
     from ``mask`` when given, else from the scheme's policy (fed
     ``small_detections``).  When ``detections`` holds the per-record served
     outputs, the report carries the served stream and the per-frame log the
-    online quality evaluation consumes.
+    online quality evaluation consumes.  ``admission`` selects the camera
+    buffer's shedding behaviour (:class:`DropNewest` when omitted — the
+    historical drop-at-arrival rule, bit for bit).
     """
     detections = _check_stream_inputs(dataset, detections)
     mask = scheme.offload_mask(dataset, small_detections, mask)
@@ -728,10 +951,37 @@ def simulate_stream(
         uplink=FifoResource(loop, "uplink"),
         cloud=FifoResource(loop, "cloud"),
         record_for=lambda index: index % num_records,
+        admission=admission,
     )
     camera.schedule(_arrival_times(config, seed, "stream-arrivals"))
     elapsed = loop.run()
     return camera.report(elapsed)
+
+
+@dataclass(frozen=True)
+class CameraSpec:
+    """Per-camera overrides for one :func:`simulate_fleet` camera.
+
+    Every field defaults to "inherit the fleet-level argument", so
+    ``CameraSpec()`` describes a camera identical to the homogeneous case.
+    A heterogeneous fleet mixes frame rates (per-camera ``config``),
+    serving schemes/offload policies (``scheme``), admission control
+    (``admission``) and imagery (``dataset`` — e.g. a night camera's
+    degraded records via :meth:`repro.data.datasets.Dataset.with_degradation`
+    — with the served ``detections``/``small_detections`` that match it).
+
+    A camera that overrides ``dataset`` must bring its own ``detections``
+    (and ``small_detections`` / ``mask`` when its scheme needs them): the
+    fleet-level ones describe the fleet-level records.
+    """
+
+    scheme: ServingScheme | None = None
+    config: StreamConfig | None = None
+    admission: AdmissionPolicy | None = None
+    dataset: Dataset | None = None
+    mask: np.ndarray | None = None
+    small_detections: DetectionBatch | list[Detections] | None = None
+    detections: DetectionBatch | None = None
 
 
 def simulate_fleet(
@@ -740,59 +990,113 @@ def simulate_fleet(
     dataset: Dataset,
     config: StreamConfig,
     *,
-    cameras: int,
+    cameras: int | Sequence[CameraSpec],
     mask: np.ndarray | None = None,
     small_detections: DetectionBatch | list[Detections] | None = None,
     detections: DetectionBatch | None = None,
+    admission: AdmissionPolicy | None = None,
     seed: int = DEFAULT_SEED,
 ) -> FleetReport:
-    """Serve ``cameras`` concurrent streams contending for one deployment.
+    """Serve a camera fleet contending for one deployment.
 
     Each camera owns an edge accelerator (cameras are independent devices)
     but every upload serialises through the *single* shared uplink and the
     *single* shared cloud GPU — the contention that decides whether a scheme
     scales to a fleet.  Camera ``c`` starts its cycle through the records at
-    offset ``c * len(dataset) // cameras`` so the fleet covers the split
+    offset ``c * len(records) // cameras`` so the fleet covers the split
     rather than synchronising on the same frames; arrivals are seeded per
     camera, so runs are deterministic for any camera count.
+
+    ``cameras`` is either a count (a homogeneous fleet of identical
+    cameras) or a sequence of :class:`CameraSpec`, one per camera, whose
+    unset fields inherit the fleet-level arguments — mixed frame rates,
+    per-camera schemes/offload policies, admission policies and per-camera
+    (e.g. quality-drifted) records all run over the same shared uplink and
+    cloud GPU.
     """
-    if cameras < 1:
-        raise RuntimeModelError(f"a fleet needs at least one camera, got {cameras}")
+    if isinstance(cameras, int):
+        if cameras < 1:
+            raise RuntimeModelError(f"a fleet needs at least one camera, got {cameras}")
+        specs: Sequence[CameraSpec] = (CameraSpec(),) * cameras
+    else:
+        specs = tuple(cameras)
+        if not specs:
+            raise RuntimeModelError("a fleet needs at least one camera, got an empty spec list")
     detections = _check_stream_inputs(dataset, detections)
-    mask = scheme.offload_mask(dataset, small_detections, mask)
+    # The fleet-level mask is resolved once and shared by every camera that
+    # inherits it, so expensive policies run select() exactly once.
+    shared_mask: np.ndarray | None = None
+
+    def fleet_mask() -> np.ndarray:
+        nonlocal shared_mask
+        if shared_mask is None:
+            shared_mask = scheme.offload_mask(dataset, small_detections, mask)
+        return shared_mask
+
     loop = EventLoop()
     uplink = FifoResource(loop, "uplink")
     cloud = FifoResource(loop, "cloud")
-    num_records = len(dataset)
     runs: list[_CameraStream] = []
-    for camera in range(cameras):
-        start = (camera * num_records) // cameras
+    for camera, spec in enumerate(specs):
+        cam_scheme = scheme if spec.scheme is None else spec.scheme
+        cam_config = config if spec.config is None else spec.config
+        cam_admission = admission if spec.admission is None else spec.admission
+        if spec.dataset is None:
+            cam_dataset = dataset
+            cam_detections = detections if spec.detections is None else _check_stream_inputs(dataset, spec.detections)
+        else:
+            cam_dataset = spec.dataset
+            if spec.detections is None and detections is not None:
+                raise RuntimeModelError(
+                    f"camera {camera} overrides the dataset; supply its own detections "
+                    "(the fleet-level ones describe the fleet-level records)"
+                )
+            cam_detections = _check_stream_inputs(cam_dataset, spec.detections)
+        if spec.scheme is None and spec.dataset is None and spec.mask is None and spec.small_detections is None:
+            cam_mask = fleet_mask()
+        else:
+            # The fleet-level mask/small-detections describe the fleet-level
+            # scheme over the fleet-level records; a camera that overrides
+            # either resolves its own (its scheme's policy decides unless
+            # the spec pins a mask).
+            cam_small = spec.small_detections
+            if cam_small is None and spec.dataset is None:
+                cam_small = small_detections
+            cam_mask_input = spec.mask
+            if cam_mask_input is None and spec.scheme is None and spec.dataset is None:
+                cam_mask_input = mask
+            cam_mask = cam_scheme.offload_mask(cam_dataset, cam_small, cam_mask_input)
+        num_records = len(cam_dataset)
+        start = (camera * num_records) // len(specs)
         stream = _CameraStream(
-            scheme,
+            cam_scheme,
             deployment,
-            dataset,
-            config,
-            mask,
-            detections,
+            cam_dataset,
+            cam_config,
+            cam_mask,
+            cam_detections,
             loop=loop,
             edge=FifoResource(loop, f"edge-{camera}"),
             uplink=uplink,
             cloud=cloud,
-            record_for=lambda index, start=start: (start + index) % num_records,
+            record_for=lambda index, start=start, count=num_records: (start + index) % count,
+            admission=cam_admission,
         )
-        stream.schedule(_arrival_times(config, seed, "fleet-arrivals", camera))
+        stream.schedule(_arrival_times(cam_config, seed, "fleet-arrivals", camera))
         runs.append(stream)
     elapsed = loop.run()
     reports = tuple(stream.report(elapsed) for stream in runs)
     all_latencies = [latency for stream in runs for latency in stream.latencies]
+    names = {report.scheme for report in reports}
     return FleetReport(
-        scheme=scheme.name,
+        scheme=names.pop() if len(names) == 1 else "mixed",
         cameras=reports,
         latency=summarize_latencies(all_latencies),
         frames_offered=sum(report.frames_offered for report in reports),
         frames_served=sum(report.frames_served for report in reports),
         frames_dropped=sum(report.frames_dropped for report in reports),
         frames_uploaded=sum(report.frames_uploaded for report in reports),
+        frames_shed=sum(report.frames_shed for report in reports),
         edge_utilization=float(np.mean([report.edge_utilization for report in reports])),
         uplink_utilization=uplink.utilization(elapsed),
         cloud_utilization=cloud.utilization(elapsed),

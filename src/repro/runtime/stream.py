@@ -30,6 +30,7 @@ from repro.detection.batch import DetectionBatch
 from repro.detection.types import Detections
 from repro.errors import RuntimeModelError
 from repro.runtime.serving import (
+    AdmissionPolicy,
     Deployment,
     ServingScheme,
     StreamConfig,
@@ -71,6 +72,7 @@ class StreamSimulator:
         uploaded: np.ndarray | None = None,
         *,
         detections: DetectionBatch | None = None,
+        admission: AdmissionPolicy | None = None,
     ) -> StreamReport:
         """Simulate one named paper scheme over the configured stream.
 
@@ -86,12 +88,15 @@ class StreamSimulator:
             (e.g. a :class:`SystemRun`'s final batch).  When given, the
             report carries the served stream plus the per-frame log that
             online quality evaluation consumes.
+        admission:
+            Camera-buffer admission policy
+            (:class:`~repro.runtime.serving.DropNewest` when omitted).
         """
         schemes = paper_schemes()
         if scheme not in schemes:
             raise RuntimeModelError(f"unknown scheme {scheme!r}")
         mask = uploaded if scheme == "collaborative" else None
-        return self.run_scheme(schemes[scheme], config, mask=mask, detections=detections)
+        return self.run_scheme(schemes[scheme], config, mask=mask, detections=detections, admission=admission)
 
     def run_scheme(
         self,
@@ -101,6 +106,7 @@ class StreamSimulator:
         mask: np.ndarray | None = None,
         small_detections: DetectionBatch | list[Detections] | None = None,
         detections: DetectionBatch | None = None,
+        admission: AdmissionPolicy | None = None,
     ) -> StreamReport:
         """Simulate any serving scheme (policy- or mask-driven)."""
         return simulate_stream(
@@ -111,6 +117,7 @@ class StreamSimulator:
             mask=mask,
             small_detections=small_detections,
             detections=detections,
+            admission=admission,
             seed=self.seed,
         )
 

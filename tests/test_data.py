@@ -173,6 +173,31 @@ class TestDatasets:
         assert min(qualities) < 1.0
         assert sum(q < 1.0 for q in qualities) / len(qualities) == pytest.approx(0.4, abs=0.12)
 
+    def test_with_degradation_keeps_annotations_aligned(self):
+        """Quality drift re-samples degradations but never touches truth —
+        per-camera (day/night) variants stay record-aligned with the base."""
+        ds = load_dataset("helmet", "test", fraction=0.1)
+        night = ds.with_degradation(
+            DegradationModel(degraded_fraction=1.0, min_quality=0.45, max_quality=0.7),
+            scope="night",
+        )
+        assert len(night) == len(ds)
+        assert night.image_ids == ds.image_ids
+        for base, drifted in zip(ds.records, night.records):
+            assert drifted.truth is base.truth
+            assert drifted.quality <= 0.7
+        # deterministic in (seed, scope); a different scope drifts differently
+        again = ds.with_degradation(
+            DegradationModel(degraded_fraction=1.0, min_quality=0.45, max_quality=0.7),
+            scope="night",
+        )
+        assert [r.degradation for r in again.records] == [r.degradation for r in night.records]
+        other = ds.with_degradation(
+            DegradationModel(degraded_fraction=1.0, min_quality=0.45, max_quality=0.7),
+            scope="dawn",
+        )
+        assert [r.degradation for r in other.records] != [r.degradation for r in night.records]
+
 
 class TestStats:
     def test_per_image_features_alignment(self):

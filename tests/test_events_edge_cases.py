@@ -8,7 +8,6 @@ the bounded-buffer backpressure that drops frames arriving at a full queue.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.data import load_dataset
@@ -162,6 +161,41 @@ class TestBoundedBufferBackpressure:
         resource = FifoResource(loop, "dev")
         with pytest.raises(RuntimeModelError):
             resource.acquire(-1.0, lambda _t: None)
+
+    def test_cancel_removes_waiting_job_only(self):
+        """A waiting job cancels (its callback never fires, its service
+        time is returned); the in-service job refuses — cancellation cannot
+        claw back started work."""
+        loop = EventLoop()
+        resource = FifoResource(loop, "dev")
+        completions: list[str] = []
+        serving = resource.acquire(1.0, lambda _t: completions.append("serving"))
+        waiting = resource.acquire(1.5, lambda _t: completions.append("waiting"))
+        last = resource.acquire(1.0, lambda _t: completions.append("last"))
+        assert resource.cancel(waiting) == 1.5  # the wait it frees behind it
+        assert resource.cancel(waiting) is None  # idempotent: already gone
+        assert resource.cancel(serving) is None  # in service
+        assert resource.jobs_cancelled == 1
+        elapsed = loop.run()
+        assert completions == ["serving", "last"]
+        assert elapsed == 2.0  # the cancelled second job never served
+        assert resource.cancel(last) is None  # completed long ago
+
+    def test_queued_waits_bound_queue_order(self):
+        """queued_waits sums the service times ahead of each waiting job and
+        excludes the in-service job entirely."""
+        loop = EventLoop()
+        resource = FifoResource(loop, "dev")
+        resource.acquire(5.0, lambda _t: None)  # enters service immediately
+        a = resource.acquire(1.0, lambda _t: None)
+        b = resource.acquire(2.0, lambda _t: None)
+        c = resource.acquire(4.0, lambda _t: None)
+        waits = resource.queued_waits()
+        assert [handle for handle, _ in waits] == [a, b, c]
+        assert [wait for _, wait in waits] == [0.0, 1.0, 3.0]
+        resource.cancel(b)
+        assert [wait for _, wait in resource.queued_waits()] == [0.0, 1.0]
+        loop.run()
 
     def test_burst_into_shared_uplink_cloud_scheme(self, deployment, helmet_mini):
         """Cloud-only admission control guards the uplink queue, not the

@@ -27,6 +27,7 @@ def test_expected_examples_present():
         "upload_ratio_sweep.py",
         "video_stream.py",
         "stream_fleet.py",
+        "admission_control.py",
         "auto_compression.py",
     } <= names
 

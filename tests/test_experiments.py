@@ -151,6 +151,47 @@ class TestFigureShapes:
         assert priority[0] > priority[1]
 
 
+class TestAdmissionExperiment:
+    """Table XIX / Figure 11: admission policy x scheme on the fleet."""
+
+    def test_outcomes_memoised_and_shared(self, harness):
+        first = harness.admission_outcomes()
+        assert harness.admission_outcomes() is first
+        assert len(first) == 6  # 2 schemes x 3 admission policies
+
+    def test_table19_deadline_aware_wins_saturated(self, harness):
+        from repro.experiments import table_19_admission_policies
+
+        result = table_19_admission_policies(harness)
+        assert len(result.rows) == 6
+        by_key = {(row["scheme"], row["admission"]): row for row in result.rows}
+        newest = by_key[("cloud-only", "drop-newest")]
+        deadline = by_key[("cloud-only", "deadline-aware")]
+        # The acceptance gap: deadline-aware admission measurably beats the
+        # historical drop-newest buffer on rolling mAP at the deadline.
+        assert deadline["rolling_map"] > 2.0 * newest["rolling_map"]
+        assert deadline["fresh_percent"] > newest["fresh_percent"]
+        assert deadline["shed_percent"] > 0.0
+        assert newest["shed_percent"] == 0.0
+        # Control: the unsaturated discriminator fleet is admission-invariant.
+        discriminator_rows = [row for (scheme, _), row in by_key.items() if scheme == "discriminator"]
+        assert len({row["rolling_map"] for row in discriminator_rows}) == 1
+        assert all(row["drop_percent"] == 0.0 for row in discriminator_rows)
+
+    def test_figure11_tradeoff_consistent_with_table(self, harness):
+        from repro.experiments import figure_11_staleness_tradeoff
+
+        figure = figure_11_staleness_tradeoff(harness)
+        assert len(figure.x_values) == 6
+        assert len(figure.series["rolling_map"]) == 6
+        assert len(figure.series["fresh_percent"]) == 6
+        # Staler served streams never score better than fresh ones at the
+        # two extremes of the trade-off.
+        stalest = figure.x_values.index(max(figure.x_values))
+        freshest = figure.x_values.index(min(figure.x_values))
+        assert figure.series["rolling_map"][freshest] >= figure.series["rolling_map"][stalest]
+
+
 class TestFormatting:
     def test_text_table_contains_rows(self, harness):
         text = format_table(table_02_model_zoo(harness))

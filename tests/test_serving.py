@@ -8,6 +8,8 @@ the multi-camera fleet simulator, and the rolling online quality metric.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
@@ -27,11 +29,17 @@ from repro.runtime import (
     JETSON_NANO,
     RTX3060_SERVER,
     WLAN,
+    AdmissionPolicy,
     AlwaysOffload,
+    CameraSpec,
+    DeadlineAware,
     Deployment,
+    DropNewest,
+    DropOldest,
     EdgeCloudRuntime,
     NeverOffload,
     OffloadPolicy,
+    RunCost,
     StreamConfig,
     StreamSimulator,
     cloud_only_scheme,
@@ -320,3 +328,372 @@ class TestRollingQuality:
         report = simulate_stream(edge_only_scheme(), deployment, helmet_mini, self.CONFIG, seed=9)
         with pytest.raises(ConfigurationError):
             rolling_quality(report, helmet_mini)
+
+    def test_empty_reports_sequence_rejected(self, helmet_mini):
+        """An empty sequence must error, not score a degenerate zero window."""
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="no stream reports"):
+            rolling_quality([], helmet_mini)
+        with pytest.raises(ConfigurationError, match="no stream reports"):
+            rolling_quality((), helmet_mini)
+
+
+# --------------------------------------------------------------------- #
+# camera-buffer admission control
+# --------------------------------------------------------------------- #
+class TestAdmissionPolicies:
+    #: 8 cloud-only cameras over one WLAN uplink: heavily saturated.
+    SATURATED = StreamConfig(fps=1.5, duration_s=40.0)
+    FRESHNESS = 2.0
+
+    def _fleet(self, deployment, dataset, batch, admission, cameras=8):
+        return simulate_fleet(
+            cloud_only_scheme(),
+            deployment,
+            dataset,
+            self.SATURATED,
+            cameras=cameras,
+            detections=batch,
+            admission=admission,
+            seed=5,
+        )
+
+    def test_policies_satisfy_protocol(self):
+        for policy in (DropNewest(), DropOldest(), DeadlineAware(freshness_s=2.0)):
+            assert isinstance(policy, AdmissionPolicy), type(policy).__name__
+
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(RuntimeModelError):
+            DeadlineAware(freshness_s=0.0)
+        with pytest.raises(RuntimeModelError):
+            DeadlineAware(freshness_s=-1.0)
+
+    @pytest.mark.parametrize(
+        "admission",
+        [DropNewest(), DropOldest(), DeadlineAware(freshness_s=2.0)],
+        ids=lambda policy: policy.name,
+    )
+    def test_frame_accounting_invariants(self, deployment, helmet_mini, big_batch, admission):
+        fleet = self._fleet(deployment, helmet_mini, big_batch, admission)
+        assert fleet.frames_served + fleet.frames_dropped == fleet.frames_offered
+        assert 0 <= fleet.frames_shed <= fleet.frames_dropped
+        for camera in fleet.cameras:
+            assert camera.frames_served + camera.frames_dropped == camera.frames_offered
+            assert 0 <= camera.frames_shed <= camera.frames_dropped
+            # every offered frame appears in the per-frame log exactly once
+            assert camera.frame_served.shape[0] == camera.frames_offered
+            assert int(camera.frame_served.sum()) == camera.frames_served
+
+    @pytest.mark.parametrize(
+        "admission",
+        [DropOldest(), DeadlineAware(freshness_s=2.0)],
+        ids=lambda policy: policy.name,
+    )
+    def test_deterministic_in_the_seed(self, deployment, helmet_mini, big_batch, admission):
+        runs = [self._fleet(deployment, helmet_mini, big_batch, admission) for _ in range(2)]
+        assert runs[0] == runs[1]
+
+    def test_shed_frames_logged_at_shed_time(self, deployment, helmet_mini, big_batch):
+        """A shed frame's drop time is when it left the buffer, not its
+        arrival; a frame refused at arrival keeps drop time == arrival."""
+        fleet = self._fleet(deployment, helmet_mini, big_batch, DeadlineAware(freshness_s=self.FRESHNESS))
+        assert fleet.frames_shed > 0
+        shed_total = refused_total = 0
+        for camera in fleet.cameras:
+            lost = ~camera.frame_served
+            shed = lost & (camera.frame_times > camera.frame_arrivals)
+            refused = lost & (camera.frame_times == camera.frame_arrivals)
+            shed_total += int(shed.sum())
+            refused_total += int(refused.sum())
+            assert int(shed.sum()) == camera.frames_shed
+        assert shed_total == fleet.frames_shed
+        assert refused_total == fleet.frames_dropped - fleet.frames_shed
+
+    def test_drop_oldest_sheds_on_a_saturated_edge_queue(self, deployment, helmet_mini, small_batch):
+        """Edge-compute schemes shed from the camera's own edge buffer."""
+        config = StreamConfig(fps=40.0, duration_s=20.0, poisson=False, max_edge_queue=4)
+        report = simulate_stream(
+            edge_only_scheme(),
+            deployment,
+            helmet_mini,
+            config,
+            detections=small_batch,
+            admission=DropOldest(),
+            seed=5,
+        )
+        baseline = simulate_stream(
+            edge_only_scheme(),
+            deployment,
+            helmet_mini,
+            config,
+            detections=small_batch,
+            admission=DropNewest(),
+            seed=5,
+        )
+        assert report.frames_shed > 0
+        assert baseline.frames_shed == 0
+        assert report.frames_served + report.frames_dropped == report.frames_offered
+        # drop-oldest keeps the newest frames: the served stream is fresher
+        assert report.latency.mean < baseline.latency.mean
+
+    def test_deadline_aware_beats_drop_newest_at_the_deadline(self, deployment, helmet_mini, big_batch):
+        """The acceptance scenario: on a saturated cloud-only 8-camera
+        fleet, deadline-aware admission wins on rolling mAP at the 2 s
+        freshness deadline — the served stream stays fresh enough to count,
+        where drop-newest serves only stale results."""
+        newest = self._fleet(deployment, helmet_mini, big_batch, DropNewest())
+        deadline = self._fleet(deployment, helmet_mini, big_batch, DeadlineAware(freshness_s=self.FRESHNESS))
+        kwargs = dict(window_s=8.0, duration_s=self.SATURATED.duration_s, freshness_s=self.FRESHNESS)
+        newest_map = np.mean([w.map_percent for w in rolling_quality(newest, helmet_mini, **kwargs) if w.frames])
+        deadline_map = np.mean(
+            [w.map_percent for w in rolling_quality(deadline, helmet_mini, **kwargs) if w.frames]
+        )
+        assert newest.uplink_utilization > 0.9  # genuinely saturated
+        assert deadline_map > 2.0 * newest_map
+        # the mechanism: deadline-aware serves fresh, drop-newest stale
+        assert deadline.latency.p50 < self.FRESHNESS + 1.0
+        assert newest.latency.p50 > self.FRESHNESS
+
+    def test_shed_expired_recredits_freed_wait(self, deployment, helmet_mini):
+        """Shedding a doomed frame shortens the wait of frames behind it;
+        the same pass must re-judge them against the shortened bound and
+        keep a frame the shed just made viable (only provably-stale frames
+        go)."""
+        from repro.runtime import EventLoop, FifoResource
+        from repro.runtime.serving import _CameraStream
+
+        loop = EventLoop()
+        camera = _CameraStream(
+            cloud_only_scheme(),
+            deployment,
+            helmet_mini,
+            StreamConfig(fps=1.0, duration_s=10.0, max_edge_queue=30),
+            np.ones(len(helmet_mini), dtype=bool),
+            None,
+            loop=loop,
+            edge=FifoResource(loop, "edge"),
+            uplink=(uplink := FifoResource(loop, "uplink")),
+            cloud=FifoResource(loop, "cloud"),
+            record_for=lambda index: index % len(helmet_mini),
+        )
+        deadline = 2.0
+        # a foreign long job holds the uplink, so neither frame starts service
+        uplink.acquire(100.0, lambda _t: None)
+        # frame A: arrived far in the past -> provably doomed at now = 0
+        camera._on_frame(0, -10.0)
+        # frame B: doomed only while A's service time sits ahead of it
+        entry_a = deployment.link.transfer_time(deployment.codec.encoded_bytes(helmet_mini.records[0]))
+        viable_arrival = camera._min_remaining(1) - deadline + 0.5 * entry_a
+        camera._on_frame(1, viable_arrival)
+        assert camera.shed_expired(deadline) == 1
+        assert camera.shed == 1
+        assert [entry[2] for entry in camera._waiting] == [1]  # B survives
+
+    def test_unsaturated_stream_unaffected_by_admission(self, deployment, helmet_mini, small_batch):
+        """With no buffer pressure every admission policy is a no-op."""
+        config = StreamConfig(fps=2.0, duration_s=15.0, poisson=False)
+        reports = [
+            simulate_stream(
+                edge_only_scheme(),
+                deployment,
+                helmet_mini,
+                config,
+                detections=small_batch,
+                admission=admission,
+                seed=5,
+            )
+            for admission in (DropNewest(), DropOldest(), DeadlineAware(freshness_s=5.0))
+        ]
+        assert reports[0] == reports[1] == reports[2]
+        assert reports[0].frames_dropped == 0
+
+
+# --------------------------------------------------------------------- #
+# heterogeneous fleets (per-camera specs)
+# --------------------------------------------------------------------- #
+class TestHeterogeneousFleet:
+    BASE = StreamConfig(fps=1.5, duration_s=20.0)
+
+    def _specs(self, small_batch, big_batch):
+        return [
+            CameraSpec(),
+            CameraSpec(config=StreamConfig(fps=4.0, duration_s=20.0)),
+            CameraSpec(scheme=edge_only_scheme(), detections=small_batch),
+            CameraSpec(
+                scheme=cloud_only_scheme(),
+                detections=big_batch,
+                admission=DeadlineAware(freshness_s=2.0),
+            ),
+        ]
+
+    def _mask(self, helmet_mini):
+        mask = np.zeros(len(helmet_mini), dtype=bool)
+        mask[::3] = True
+        return mask
+
+    def _run(self, deployment, helmet_mini, small_batch, big_batch):
+        mask = self._mask(helmet_mini)
+        served = DetectionBatch.where(mask, big_batch, small_batch)
+        return simulate_fleet(
+            collaborative_scheme(),
+            deployment,
+            helmet_mini,
+            self.BASE,
+            cameras=self._specs(small_batch, big_batch),
+            mask=mask,
+            detections=served,
+            seed=5,
+        )
+
+    def test_mixed_fleet_deterministic(self, deployment, helmet_mini, small_batch, big_batch):
+        runs = [self._run(deployment, helmet_mini, small_batch, big_batch) for _ in range(2)]
+        assert runs[0] == runs[1]
+        assert len(runs[0].cameras) == 4
+
+    def test_per_camera_schemes_and_rates_honored(self, deployment, helmet_mini, small_batch, big_batch):
+        fleet = self._run(deployment, helmet_mini, small_batch, big_batch)
+        assert fleet.scheme == "mixed"
+        default, fast, edge, cloud = fleet.cameras
+        assert default.scheme == "collaborative" and edge.scheme == "edge" and cloud.scheme == "cloud"
+        # the 4 fps camera offers ~2.7x the frames of the 1.5 fps default
+        assert fast.frames_offered > 2 * default.frames_offered
+        # the fleet-level mask must not leak into cameras with their own scheme
+        assert edge.frames_uploaded == 0
+        assert cloud.frames_uploaded == cloud.frames_served
+        assert 0 < default.frames_uploaded < default.frames_served
+        assert fleet.frames_offered == sum(camera.frames_offered for camera in fleet.cameras)
+
+    def test_int_cameras_equal_default_specs(self, deployment, helmet_mini, small_batch, big_batch):
+        mask = self._mask(helmet_mini)
+        served = DetectionBatch.where(mask, big_batch, small_batch)
+        kwargs = dict(mask=mask, detections=served, seed=5)
+        by_count = simulate_fleet(
+            collaborative_scheme(), deployment, helmet_mini, self.BASE, cameras=4, **kwargs
+        )
+        by_specs = simulate_fleet(
+            collaborative_scheme(),
+            deployment,
+            helmet_mini,
+            self.BASE,
+            cameras=[CameraSpec()] * 4,
+            **kwargs,
+        )
+        assert by_count == by_specs
+
+    def test_per_camera_dataset_quality_drift(self, deployment, helmet_mini, small_batch):
+        """A night camera rides the same scenes under degraded imagery."""
+        from repro.data.degrade import DegradationModel
+        from repro.simulate import make_detector
+
+        night = helmet_mini.with_degradation(
+            DegradationModel(degraded_fraction=0.9, min_quality=0.45, max_quality=0.7),
+            scope="night",
+        )
+        assert night.image_ids == helmet_mini.image_ids
+        night_small = DetectionBatch.coerce(make_detector("small1", "helmet").detect_split(night))
+        fleet = simulate_fleet(
+            edge_only_scheme(),
+            deployment,
+            helmet_mini,
+            self.BASE,
+            cameras=[CameraSpec(), CameraSpec(dataset=night, detections=night_small)],
+            detections=small_batch,
+            seed=5,
+        )
+        assert len(fleet.cameras) == 2
+        # the night camera's log indexes the shared record order, so the
+        # fleet evaluates against one ground truth
+        windows = rolling_quality(fleet, helmet_mini, window_s=20.0, duration_s=20.0)
+        assert windows[0].frames == fleet.frames_offered
+
+    def test_dataset_override_requires_own_detections(self, deployment, helmet_mini, small_batch):
+        night = helmet_mini.subset(len(helmet_mini))
+        with pytest.raises(RuntimeModelError, match="detections"):
+            simulate_fleet(
+                edge_only_scheme(),
+                deployment,
+                helmet_mini,
+                self.BASE,
+                cameras=[CameraSpec(), CameraSpec(dataset=night)],
+                detections=small_batch,
+                seed=5,
+            )
+
+    def test_empty_spec_list_rejected(self, deployment, helmet_mini):
+        with pytest.raises(RuntimeModelError):
+            simulate_fleet(edge_only_scheme(), deployment, helmet_mini, self.BASE, cameras=[])
+
+
+# --------------------------------------------------------------------- #
+# degenerate-input guards (zero denominators)
+# --------------------------------------------------------------------- #
+class TestDegenerateGuards:
+    def _cost(self, uplink_bytes: int, uploads: int = 0, total: int = 10) -> RunCost:
+        from repro.metrics.latency import summarize_latencies
+
+        return RunCost(
+            latency=summarize_latencies([0.1] * total),
+            uploaded_images=uploads,
+            total_images=total,
+            uplink_bytes=uplink_bytes,
+            downlink_bytes=0,
+        )
+
+    def test_bandwidth_saving_over_free_baseline_is_nan(self):
+        """A 'saving' over a baseline that uploaded nothing is undefined —
+        returning 0.0 would paint a plenty-uploading run as break-even."""
+        ours = self._cost(uplink_bytes=123_456, uploads=5)
+        free = self._cost(uplink_bytes=0)
+        assert math.isnan(ours.bandwidth_saving_over(free))
+        # 0 over 0 is just as undefined
+        assert math.isnan(free.bandwidth_saving_over(free))
+
+    def test_bandwidth_saving_over_regular_baseline(self):
+        ours = self._cost(uplink_bytes=500, uploads=5)
+        cloud = self._cost(uplink_bytes=1000, uploads=10)
+        assert ours.bandwidth_saving_over(cloud) == pytest.approx(0.5)
+        assert cloud.bandwidth_saving_over(cloud) == 0.0
+
+    def test_upload_ratio_of_empty_run_is_zero(self):
+        from repro.metrics.latency import summarize_latencies
+
+        empty = RunCost(
+            latency=summarize_latencies([]),
+            uploaded_images=0,
+            total_images=0,
+            uplink_bytes=0,
+            downlink_bytes=0,
+        )
+        assert empty.upload_ratio == 0.0
+
+    def test_stream_report_rates_with_zero_frames(self):
+        from repro.metrics.latency import summarize_latencies
+        from repro.runtime import StreamReport
+
+        report = StreamReport(
+            scheme="edge",
+            latency=summarize_latencies([]),
+            frames_offered=0,
+            frames_served=0,
+            frames_dropped=0,
+            frames_uploaded=0,
+            edge_utilization=0.0,
+            uplink_utilization=0.0,
+            cloud_utilization=0.0,
+        )
+        assert report.drop_rate == 0.0
+        assert report.upload_ratio == 0.0
+
+    def test_fifo_utilization_degenerate_elapsed(self):
+        from repro.runtime import EventLoop, FifoResource
+
+        loop = EventLoop()
+        resource = FifoResource(loop, "dev")
+        resource.acquire(1.0, lambda _t: None)
+        loop.run()
+        assert resource.utilization(0.0) == 0.0
+        assert resource.utilization(-1.0) == 0.0
+        # and the capped regular case still reports correctly
+        assert resource.utilization(2.0) == pytest.approx(0.5)
+        assert resource.utilization(0.5) == 1.0

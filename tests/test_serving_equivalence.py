@@ -21,13 +21,21 @@ from repro.runtime import (
     JETSON_NANO,
     RTX3060_SERVER,
     WLAN,
+    DeadlineAware,
     Deployment,
+    DropNewest,
+    DropOldest,
     EdgeCloudRuntime,
     EventLoop,
     FifoResource,
     RunCost,
     StreamConfig,
     StreamSimulator,
+    cloud_only_scheme,
+    collaborative_scheme,
+    edge_only_scheme,
+    paper_schemes,
+    simulate_fleet,
 )
 from repro.runtime.codec import detections_payload_bytes
 from repro.runtime.executor import DISCRIMINATOR_FLOPS
@@ -318,3 +326,88 @@ class TestStreamEquivalence:
         assert len(report.served) == report.frames_served
         assert report.frame_times.shape[0] == report.frames_offered
         assert int(report.frame_served.sum()) == report.frames_served
+
+
+# --------------------------------------------------------------------- #
+# admission-control equivalence: DropNewest is the pre-admission pipeline
+# --------------------------------------------------------------------- #
+class TestAdmissionEquivalence:
+    """`DropNewest` (and the admission default) must be bit-for-bit the
+    pre-admission-control pipeline on every scheme and engine entry point —
+    the camera-buffer refactor may not move a single byte of the published
+    numbers."""
+
+    CONFIGS = [
+        StreamConfig(fps=2.0, duration_s=20.0, poisson=False),
+        StreamConfig(fps=6.0, duration_s=15.0),
+        StreamConfig(fps=14.0, duration_s=25.0, max_edge_queue=5),
+    ]
+
+    @pytest.mark.parametrize("scheme", ["edge", "cloud", "collaborative"])
+    @pytest.mark.parametrize("config", CONFIGS, ids=["light", "poisson", "saturating"])
+    def test_drop_newest_identical_to_reference(self, deployment, helmet_mini, half_mask, scheme, config):
+        simulator = StreamSimulator(deployment, helmet_mini, seed=42)
+        uploaded = half_mask if scheme == "collaborative" else None
+        report = simulator.run(scheme, config, uploaded, admission=DropNewest())
+        reference = reference_stream_run(deployment, helmet_mini, 42, scheme, config, uploaded)
+        assert_stream_reports_identical(report, reference)
+        assert report.frames_shed == 0
+
+    @pytest.mark.parametrize("scheme", ["edge", "cloud", "collaborative"])
+    @pytest.mark.parametrize("config", CONFIGS, ids=["light", "poisson", "saturating"])
+    def test_drop_newest_identical_to_default(self, deployment, helmet_mini, half_mask, scheme, config):
+        """Explicit DropNewest and the omitted-admission default are the
+        same run, per-frame log and served batch included."""
+        from repro.simulate import make_detector
+
+        detections = make_detector("small1", "helmet").detect_split(helmet_mini)
+        simulator = StreamSimulator(deployment, helmet_mini, seed=42)
+        uploaded = half_mask if scheme == "collaborative" else None
+        explicit = simulator.run(scheme, config, uploaded, detections=detections, admission=DropNewest())
+        default = simulator.run(scheme, config, uploaded, detections=detections)
+        assert explicit == default
+
+    @pytest.mark.parametrize(
+        "scheme_factory",
+        [edge_only_scheme, cloud_only_scheme],
+        ids=["edge", "cloud"],
+    )
+    def test_fleet_drop_newest_identical_to_default(self, deployment, helmet_mini, scheme_factory):
+        config = StreamConfig(fps=1.5, duration_s=30.0)
+        kwargs = dict(cameras=8, seed=5)
+        explicit = simulate_fleet(
+            scheme_factory(), deployment, helmet_mini, config, admission=DropNewest(), **kwargs
+        )
+        default = simulate_fleet(scheme_factory(), deployment, helmet_mini, config, **kwargs)
+        assert explicit == default
+        assert explicit.frames_shed == 0
+
+    def test_fleet_collaborative_drop_newest_identical_to_default(self, deployment, helmet_mini, half_mask):
+        config = StreamConfig(fps=1.5, duration_s=30.0)
+        kwargs = dict(cameras=8, mask=half_mask, seed=5)
+        explicit = simulate_fleet(
+            collaborative_scheme(), deployment, helmet_mini, config, admission=DropNewest(), **kwargs
+        )
+        default = simulate_fleet(collaborative_scheme(), deployment, helmet_mini, config, **kwargs)
+        assert explicit == default
+
+    @pytest.mark.parametrize(
+        "admission",
+        [DropOldest(), DeadlineAware(freshness_s=2.0)],
+        ids=lambda policy: policy.name,
+    )
+    @pytest.mark.parametrize("scheme", ["edge", "cloud", "collaborative"])
+    def test_new_policies_deterministic_per_stream(self, deployment, helmet_mini, half_mask, admission, scheme):
+        """The new shedding policies reproduce exactly in the seed."""
+        config = StreamConfig(fps=14.0, duration_s=25.0, max_edge_queue=5)
+        uploaded = half_mask if scheme == "collaborative" else None
+        runs = [
+            StreamSimulator(deployment, helmet_mini, seed=42).run(scheme, config, uploaded, admission=admission)
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_paper_schemes_cover_all_shapes(self):
+        """The parametrisations above span every pipeline shape."""
+        shapes = {(s.edge_compute, s.edge_discriminates) for s in paper_schemes().values()}
+        assert shapes == {(True, False), (False, False), (True, True)}
