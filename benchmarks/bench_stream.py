@@ -20,9 +20,12 @@ from repro.runtime import (
     DeadlineAware,
     Deployment,
     DropOldest,
+    EscalationPolicy,
     EventLoop,
     FifoResource,
+    OutageSchedule,
     StreamConfig,
+    UnreliableLink,
     cloud_only_scheme,
     collaborative_scheme,
     edge_only_scheme,
@@ -150,6 +153,72 @@ def test_micro_fleet_8_cameras_deadline_aware(benchmark, deployment, helmet_slic
     report = benchmark(run)
     assert report.frames_offered == 8 * 100
     assert report.frames_shed > 0
+    assert report.frames_served + report.frames_dropped == report.frames_offered
+
+
+@pytest.fixture(scope="module")
+def outage_deployment(deployment):
+    # 30% downtime (down 3 s of every 10) plus 5% per-transfer loss over the
+    # 20 s fleet workload — the Table XX failure regime at bench scale.
+    outages = OutageSchedule.periodic(period_s=10.0, downtime_s=3.0, duration_s=20.0)
+    return Deployment(
+        edge=deployment.edge,
+        cloud=deployment.cloud,
+        link=UnreliableLink.wrap(deployment.link, outages=outages, loss_probability=0.05),
+        small_model_flops=deployment.small_model_flops,
+        big_model_flops=deployment.big_model_flops,
+    )
+
+
+def test_micro_fleet_8_cameras_outage_drop(benchmark, outage_deployment, helmet_slice):
+    """Failure-injection hot path: saturated fleet, failures dropped.
+
+    Same workload as the plain fleet case, but every uplink acquire runs
+    the fault hook and outage windows fail transfers mid-flight — the
+    failure layer's overhead without any retry traffic.
+    """
+    config = StreamConfig(fps=5.0, duration_s=20.0, poisson=False, max_edge_queue=30)
+
+    def run():
+        return simulate_fleet(
+            cloud_only_scheme(),
+            outage_deployment,
+            helmet_slice,
+            config,
+            cameras=8,
+            seed=1,
+        )
+
+    report = benchmark(run)
+    assert report.frames_offered == 8 * 100
+    assert report.escalations_failed > 0
+    assert report.escalations_recovered == 0
+    assert report.frames_served + report.frames_dropped == report.frames_offered
+
+
+def test_micro_fleet_8_cameras_outage_durable(benchmark, outage_deployment, helmet_slice):
+    """Durable-queue hot path: spool, backoff timers and retry traffic.
+
+    The same saturated outage fleet with the durable escalation queue: every
+    failed transfer is spooled and replayed with exponential backoff, so the
+    run pays the queue bookkeeping plus the extra retry events.
+    """
+    config = StreamConfig(fps=5.0, duration_s=20.0, poisson=False, max_edge_queue=30)
+
+    def run():
+        return simulate_fleet(
+            cloud_only_scheme(),
+            outage_deployment,
+            helmet_slice,
+            config,
+            cameras=8,
+            escalation=EscalationPolicy.durable_queue(capacity=64, max_retries=6, max_backoff_s=8.0),
+            seed=1,
+        )
+
+    report = benchmark(run)
+    assert report.frames_offered == 8 * 100
+    assert report.escalations_recovered > 0
     assert report.frames_served + report.frames_dropped == report.frames_offered
 
 

@@ -18,6 +18,15 @@ each serving scheme runs under every camera-buffer admission policy
 at the freshness deadline shows what shedding policy the buffer should run:
 under saturation, *which* frames a camera keeps decides whether served
 results are fresh enough to count at all.
+
+Table XX and Figure 12 extend it along the *availability* axis: the shared
+uplink becomes an :class:`~repro.runtime.network.UnreliableLink` (scheduled
+outages plus per-transfer loss), and each serving scheme runs under every
+escalation policy (:class:`~repro.runtime.serving.EscalationPolicy` —
+no-retry / drop-on-failure / a durable spool with exponential backoff).
+Rolling quality without a freshness deadline then measures *eventual*
+quality: what a durable escalation queue recovers after the outage that the
+drop policies lose for good.
 """
 
 from __future__ import annotations
@@ -34,13 +43,14 @@ from repro.detection.batch import DetectionBatch
 from repro.experiments.harness import Harness
 from repro.metrics.rolling import RollingWindow, rolling_quality
 from repro.runtime.devices import JETSON_NANO, RTX3060_SERVER
-from repro.runtime.network import WLAN
+from repro.runtime.network import WLAN, OutageSchedule, UnreliableLink
 from repro.runtime.serving import (
     AdmissionPolicy,
     DeadlineAware,
     Deployment,
     DropNewest,
     DropOldest,
+    EscalationPolicy,
     FleetReport,
     StreamConfig,
     cloud_only_scheme,
@@ -53,17 +63,23 @@ from repro.zoo.registry import build_model
 __all__ = [
     "FLEET_CAMERAS",
     "FLEET_FRESHNESS_S",
+    "FLEET_LOSS_PROBABILITY",
     "FLEET_SETTING",
     "FLEET_WINDOW_S",
     "AdmissionOutcome",
+    "AvailabilityOutcome",
     "FleetOutcome",
     "admission_policies",
     "admission_policy_outcomes",
+    "availability_outcomes",
     "compute_admission_outcomes",
+    "compute_availability_outcomes",
     "compute_fleet_outcomes",
+    "escalation_policies",
     "fleet_config",
     "fleet_deployment",
     "fleet_policy_outcomes",
+    "outage_schedules",
 ]
 
 #: Cameras contending for the shared uplink/cloud in the reported fleet.
@@ -349,4 +365,164 @@ def compute_admission_outcomes(
                     windows=windows,
                 )
             )
+    return tuple(outcomes)
+
+
+# --------------------------------------------------------------------- #
+# Table XX / Figure 12: availability under failure (escalation policies)
+# --------------------------------------------------------------------- #
+#: Per-transfer loss probability of the lossy uplink in the availability runs
+#: (congestion loss on top of the outage schedule).
+FLEET_LOSS_PROBABILITY = 0.05
+
+#: Seed of the ``random-30`` schedule (fixed: the schedule is part of the
+#: workload definition, not of a run's randomness).
+DEFAULT_OUTAGE_SEED = 2023
+
+
+@dataclass(frozen=True)
+class AvailabilityOutcome:
+    """One (outage schedule, serving scheme, escalation policy) fleet run."""
+
+    outage: str
+    scheme: str
+    escalation: str
+    report: FleetReport
+    windows: list[RollingWindow]
+
+    @property
+    def mean_map(self) -> float:
+        """Mean rolling mAP over windows that saw frames (no deadline)."""
+        values = [w.map_percent for w in self.windows if w.frames]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def frames_lost_percent(self) -> float:
+        """Percent of offered frames that never produced a served result."""
+        return 100.0 * self.report.drop_rate
+
+
+def outage_schedules(duration_s: float) -> tuple[tuple[str, OutageSchedule], ...]:
+    """The ~30 %-downtime uplink outage schedules Table XX compares.
+
+    ``periodic-30`` is a deterministic 6-s-down-every-20-s cycle;
+    ``random-30`` draws seeded exponential up/down intervals with the same
+    expected downtime fraction, so the two rows separate "predictable
+    maintenance window" from "flaky backhaul" behaviour.
+    """
+    return (
+        ("periodic-30", OutageSchedule.periodic(period_s=20.0, downtime_s=6.0, duration_s=duration_s)),
+        (
+            "random-30",
+            OutageSchedule.random(seed=DEFAULT_OUTAGE_SEED, duration_s=duration_s, mean_up_s=7.0, mean_down_s=3.0),
+        ),
+    )
+
+
+
+def escalation_policies() -> tuple[tuple[str, EscalationPolicy], ...]:
+    """The escalation policies Table XX compares on failed uplink transfers."""
+    return (
+        ("no-retry", EscalationPolicy.no_retry()),
+        ("drop-on-failure", EscalationPolicy.drop_on_failure()),
+        ("durable-queue", EscalationPolicy.durable_queue(capacity=64, max_retries=6, max_backoff_s=8.0)),
+    )
+
+
+def availability_outcomes(
+    harness: Harness,
+    *,
+    cameras: int = FLEET_CAMERAS,
+    config: StreamConfig | None = None,
+    window_s: float = FLEET_WINDOW_S,
+) -> tuple[AvailabilityOutcome, ...]:
+    """Availability comparison outcomes, memoised by the harness.
+
+    Convenience front door over :meth:`Harness.availability_outcomes` (the
+    cache owner), which delegates the actual runs to
+    :func:`compute_availability_outcomes`.
+    """
+    return harness.availability_outcomes(cameras=cameras, config=config, window_s=window_s)
+
+
+def compute_availability_outcomes(
+    harness: Harness,
+    *,
+    cameras: int = FLEET_CAMERAS,
+    config: StreamConfig | None = None,
+    window_s: float = FLEET_WINDOW_S,
+) -> tuple[AvailabilityOutcome, ...]:
+    """Run the fleet under every outage schedule x scheme x escalation policy.
+
+    The shared WLAN uplink is wrapped in an
+    :class:`~repro.runtime.network.UnreliableLink` with the schedule's down
+    windows plus :data:`FLEET_LOSS_PROBABILITY` per-transfer loss.  Two
+    schemes span the regimes: ``cloud-only`` stakes every frame on the
+    uplink (a failed transfer loses the frame unless the spool recovers it),
+    while the discriminator-driven ``collaborative`` scheme degrades
+    gracefully — a failed escalation serves the frame's *edge* verdict
+    immediately and the durable queue lands the cloud verdict late.  Rolling
+    quality is scored **without** a freshness deadline: the comparison
+    measures eventual quality, i.e. what each escalation policy permanently
+    loses versus eventually recovers.
+
+    Uncached — go through :meth:`Harness.availability_outcomes` (or the
+    :func:`availability_outcomes` front door) so Table XX and Figure 12
+    consume the same runs.
+    """
+    if config is None:
+        config = fleet_config()
+    dataset = harness.dataset(FLEET_SETTING, "test")
+    small = harness.detections("small1", FLEET_SETTING, "test")
+    big = harness.detections("ssd", FLEET_SETTING, "test")
+    discriminator, _ = harness.discriminator("small1", "ssd", FLEET_SETTING)
+    policy = DiscriminatorPolicy(discriminator)
+    mask = policy.select(dataset, small)
+    served = DetectionBatch.where(mask, big, small)
+    zeros = np.zeros(len(dataset), dtype=bool)
+    schemes = [
+        ("cloud-only", cloud_only_scheme(), ~zeros, big),
+        ("discriminator", collaborative_scheme(policy, name="discriminator"), mask, served),
+    ]
+    base = fleet_deployment(dataset.num_classes)
+    seed = harness.config.seed
+    outcomes = []
+    for outage_label, outages in outage_schedules(config.duration_s):
+        link = UnreliableLink.wrap(base.link, outages=outages, loss_probability=FLEET_LOSS_PROBABILITY)
+        deployment = Deployment(
+            edge=base.edge,
+            cloud=base.cloud,
+            link=link,
+            small_model_flops=base.small_model_flops,
+            big_model_flops=base.big_model_flops,
+        )
+        for scheme_label, scheme, scheme_mask, scheme_served in schemes:
+            for escalation_label, escalation in escalation_policies():
+                report = simulate_fleet(
+                    scheme,
+                    deployment,
+                    dataset,
+                    config,
+                    cameras=cameras,
+                    mask=scheme_mask,
+                    small_detections=small,
+                    detections=scheme_served,
+                    escalation=escalation,
+                    seed=seed,
+                )
+                windows = rolling_quality(
+                    report,
+                    dataset,
+                    window_s=window_s,
+                    duration_s=config.duration_s,
+                )
+                outcomes.append(
+                    AvailabilityOutcome(
+                        outage=outage_label,
+                        scheme=scheme_label,
+                        escalation=escalation_label,
+                        report=report,
+                        windows=windows,
+                    )
+                )
     return tuple(outcomes)

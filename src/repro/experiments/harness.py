@@ -292,6 +292,26 @@ class Harness:
             )
         return self._fleet[key]
 
+    def availability_outcomes(self, *, cameras=None, config=None, window_s=None) -> tuple:
+        """Availability comparison (Table XX / Figure 12), memoised.
+
+        Cache owner over
+        :func:`repro.experiments.fleet.compute_availability_outcomes` —
+        outage schedule x serving scheme x escalation policy on the shared
+        fleet, consumed identically by the table and the figure.
+        """
+        from repro.experiments import fleet as _fleet
+
+        cameras = _fleet.FLEET_CAMERAS if cameras is None else cameras
+        config = _fleet.fleet_config() if config is None else config
+        window_s = _fleet.FLEET_WINDOW_S if window_s is None else window_s
+        key = ("availability", cameras, config, window_s)
+        if key not in self._fleet:
+            self._fleet[key] = _fleet.compute_availability_outcomes(
+                self, cameras=cameras, config=config, window_s=window_s
+            )
+        return self._fleet[key]
+
     # ------------------------------------------------------------------ #
     # detection production (sharded disk cache + parallel runner)
     # ------------------------------------------------------------------ #

@@ -15,6 +15,14 @@ Inputs are the per-frame logs a :class:`~repro.runtime.serving.StreamReport`
 carries when the simulation was given served detections (``served``,
 ``frame_arrivals``, ``frame_times``, ``frame_records``, ``frame_served``);
 fleet runs evaluate the union of all camera logs.
+
+Failure injection adds one wrinkle: a frame whose escalation failed serves
+its *edge* verdict immediately, and a durable escalation queue may land the
+deferred *cloud* verdict later (``frame_verdict_segments`` /
+``frame_verdict_times``).  The evaluation reconciles the two — a late cloud
+verdict inside the freshness deadline upgrades the scored frame, outside it
+the frame scores as edge-served — so graceful degradation and recovery are
+measured, not asserted.
 """
 
 from __future__ import annotations
@@ -82,8 +90,45 @@ def _frame_logs(report) -> list:
             report.frame_times,
             report.frame_records,
             report.frame_served,
+            getattr(report, "frame_segments", None),
+            getattr(report, "frame_verdict_times", None),
+            getattr(report, "frame_verdict_segments", None),
         )
     ]
+
+
+def _segment_maps(logs) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-frame segment indices into the concatenated served batch.
+
+    Returns ``(positions, verdict_segments, verdict_times)`` aligned with the
+    concatenated frame logs; ``-1`` marks "no segment".  Segment indices are
+    shifted by each camera's offset in the concatenated batch.  Logs without
+    an explicit segment map (pre-failure-injection reports) fall back to
+    counting served flags, which is exact when the served batch holds only
+    primary serves.
+    """
+    positions_parts: list[np.ndarray] = []
+    verdict_parts: list[np.ndarray] = []
+    verdict_time_parts: list[np.ndarray] = []
+    offset = 0
+    for batch, _arrivals, _times, _records, flags, segments, verdict_times, verdict_segments in logs:
+        if segments is None:
+            counted = np.cumsum(flags.astype(np.int64)) - 1
+            positions_parts.append(np.where(flags, counted + offset, -1))
+        else:
+            positions_parts.append(np.where(segments >= 0, segments + offset, -1))
+        if verdict_segments is None:
+            verdict_parts.append(np.full(flags.shape[0], -1, dtype=np.int64))
+            verdict_time_parts.append(np.full(flags.shape[0], -np.inf))
+        else:
+            verdict_parts.append(np.where(verdict_segments >= 0, verdict_segments + offset, -1))
+            verdict_time_parts.append(verdict_times)
+        offset += len(batch)
+    return (
+        np.concatenate(positions_parts),
+        np.concatenate(verdict_parts),
+        np.concatenate(verdict_time_parts),
+    )
 
 
 def rolling_quality(
@@ -146,8 +191,9 @@ def rolling_quality(
     served_flags = np.concatenate([log[4] for log in logs])
     batch = DetectionBatch.concat([log[0] for log in logs])
     # Map each offered frame to its segment in the concatenated served batch
-    # (-1 for drops): camera logs and their served segments share one order.
-    positions = np.cumsum(served_flags.astype(np.int64)) - 1
+    # (-1 for drops), plus any deferred cloud verdict a durable escalation
+    # queue recovered for it.
+    positions, verdict_segments, verdict_times = _segment_maps(logs)
     fresh = served_flags.copy()
     if freshness_s is not None:
         fresh &= (times - arrivals) <= freshness_s
@@ -171,6 +217,14 @@ def rolling_quality(
         for frame in inside:
             if fresh[frame]:
                 segment = int(positions[frame])
+                # Reconcile a deferred cloud verdict: inside the freshness
+                # deadline it upgrades the scored frame; outside, the frame
+                # stays scored on the edge verdict it served with.
+                verdict = int(verdict_segments[frame])
+                if verdict >= 0 and (
+                    freshness_s is None or verdict_times[frame] - arrivals[frame] <= freshness_s
+                ):
+                    segment = verdict
                 lo = int(batch.offsets[segment])
                 hi = int(batch.offsets[segment + 1])
                 builder.append(

@@ -5,6 +5,12 @@ events plus FIFO resources that serialise work (an edge accelerator, the
 WLAN uplink, a cloud GPU).  The streaming module builds the paper's
 motivating scenario — continuous video frames — on top of it, so queueing
 delay under load is modelled rather than assumed.
+
+Resources optionally carry a *fault hook* (``faults``): a callable the
+server consults when a job enters service, mapping ``(start_time,
+service_time)`` to ``(actual_occupancy, success)``.  An unreliable uplink
+plugs its outage schedule in here, so a transfer in flight when an outage
+begins fails at the outage instant instead of silently completing.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ import itertools
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.errors import RuntimeModelError
+from repro.errors import ConfigurationError, RuntimeModelError
 
 __all__ = ["EventLoop", "FifoResource"]
 
@@ -44,9 +50,14 @@ class EventLoop:
         return self._now
 
     def schedule(self, delay: float, action: Callable[[], None]) -> None:
-        """Run ``action`` ``delay`` seconds from the current time."""
-        if delay < 0.0:
-            raise RuntimeModelError(f"cannot schedule into the past: {delay}")
+        """Run ``action`` ``delay`` seconds from the current time.
+
+        ``delay`` must be a finite number >= 0: scheduling into the past
+        would corrupt the event order, and NaN would silently sort anywhere
+        in the heap.  Both are caller configuration errors.
+        """
+        if not delay >= 0.0:  # also catches NaN
+            raise ConfigurationError(f"cannot schedule into the past: {delay}")
         heapq.heappush(self._heap, _Event(self._now + delay, next(self._counter), action))
 
     def run(self, until: float | None = None) -> float:
@@ -75,15 +86,29 @@ class FifoResource:
     that is *still waiting* (admission policies shed queued frames this
     way).  A job already in service — or already served — can no longer be
     cancelled.
+
+    A ``faults`` hook makes the server unreliable: when a job enters
+    service the hook maps ``(start_time, service_time)`` to ``(actual
+    occupancy, success)``.  Failed jobs occupy the server for the truncated
+    time, then fire their ``on_fail`` callback (required at ``acquire``
+    time for any job that can fail) instead of ``on_done``.
     """
 
-    def __init__(self, loop: EventLoop, name: str) -> None:
+    def __init__(
+        self,
+        loop: EventLoop,
+        name: str,
+        *,
+        faults: Callable[[float, float], tuple[float, bool]] | None = None,
+    ) -> None:
         self._loop = loop
         self.name = name
-        self._queue: list[tuple[float, Callable[[float], None]]] = []
+        self._faults = faults
+        self._queue: list[tuple[float, Callable[[float], None], Callable[[float], None] | None]] = []
         self._busy = False
         self.busy_time = 0.0
         self.jobs_served = 0
+        self.jobs_failed = 0
         self.jobs_cancelled = 0
         self.max_queue_depth = 0
 
@@ -92,14 +117,32 @@ class FifoResource:
         """Jobs currently waiting (not including the one in service)."""
         return len(self._queue)
 
-    def acquire(self, service_time: float, on_done: Callable[[float], None]) -> object:
+    @property
+    def can_fail(self) -> bool:
+        """Whether this resource was built with a fault hook."""
+        return self._faults is not None
+
+    def acquire(
+        self,
+        service_time: float,
+        on_done: Callable[[float], None],
+        on_fail: Callable[[float], None] | None = None,
+    ) -> object:
         """Enqueue a job; ``on_done(completion_time)`` fires when served.
+
+        On an unreliable resource (one built with ``faults``) the job may
+        instead fail, firing ``on_fail(failure_time)``; a faulty resource
+        therefore requires ``on_fail`` for every job.
 
         Returns a handle accepted by :meth:`cancel`.
         """
         if service_time < 0.0:
             raise RuntimeModelError(f"negative service time: {service_time}")
-        job = (service_time, on_done)
+        if self._faults is not None and on_fail is None:
+            raise ConfigurationError(
+                f"resource {self.name!r} can fail jobs; acquire() needs an on_fail callback"
+            )
+        job = (service_time, on_done, on_fail)
         self._queue.append(job)
         self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
         if not self._busy:
@@ -141,15 +184,30 @@ class FifoResource:
             self._busy = False
             return
         self._busy = True
-        service_time, on_done = self._queue.pop(0)
-        self.busy_time += service_time
-        self.jobs_served += 1
+        service_time, on_done, on_fail = self._queue.pop(0)
+        if self._faults is None:
+            occupancy, ok = service_time, True
+        else:
+            occupancy, ok = self._faults(self._loop.now, service_time)
+            if occupancy < 0.0 or occupancy > service_time:
+                raise RuntimeModelError(
+                    f"fault hook returned occupancy {occupancy} outside [0, {service_time}]"
+                )
+        self.busy_time += occupancy
+        if ok:
+            self.jobs_served += 1
+        else:
+            self.jobs_failed += 1
 
         def _complete() -> None:
-            on_done(self._loop.now)
+            if ok:
+                on_done(self._loop.now)
+            else:
+                assert on_fail is not None  # enforced in acquire()
+                on_fail(self._loop.now)
             self._start_next()
 
-        self._loop.schedule(service_time, _complete)
+        self._loop.schedule(occupancy, _complete)
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` spent serving jobs."""

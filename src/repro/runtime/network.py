@@ -1,14 +1,34 @@
-"""Network-link model for the edge-to-cloud WLAN."""
+"""Network-link model for the edge-to-cloud WLAN.
+
+Two layers live here: :class:`NetworkLink`, the always-up bandwidth/RTT/
+jitter model the paper's Table XI accounting uses, and the availability
+wrapper :class:`UnreliableLink` — the same link with an
+:class:`OutageSchedule` (scheduled and/or seeded random down windows) and a
+per-transfer loss probability.  The streaming engine consults the wrapper's
+:meth:`UnreliableLink.transfer_outcome` at the instant a transfer enters
+service, so an uplink transfer in flight when an outage begins fails *at the
+outage instant* instead of silently succeeding.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
+from repro._rng import generator_for
 from repro.errors import ConfigurationError
 
-__all__ = ["NetworkLink", "WLAN", "ETHERNET_1G", "LTE"]
+__all__ = [
+    "NetworkLink",
+    "OutageSchedule",
+    "UnreliableLink",
+    "WLAN",
+    "ETHERNET_1G",
+    "LTE",
+]
 
 
 @dataclass(frozen=True)
@@ -37,20 +57,231 @@ class NetworkLink:
         if self.rtt_s < 0.0 or self.jitter_s < 0.0:
             raise ConfigurationError("rtt_s and jitter_s must be >= 0")
 
+    def expected_transfer_time(self, payload_bytes: int) -> float:
+        """Jitter-free seconds to move ``payload_bytes`` across the link.
+
+        The deterministic figure — half the RTT as the one-way protocol cost
+        plus serialisation at the sustained goodput, i.e. the median of the
+        log-normal jitter distribution.  This is what the *streaming* engines
+        use for every stage service time: queueing there is modelled by the
+        event loop, and deterministic service times keep fleet runs
+        reproducible event for event.
+        """
+        if payload_bytes < 0:
+            raise ConfigurationError("payload_bytes must be >= 0")
+        serialisation = payload_bytes * 8 / (self.bandwidth_mbps * 1e6)
+        return self.rtt_s / 2.0 + serialisation
+
     def transfer_time(self, payload_bytes: int, rng: np.random.Generator | None = None) -> float:
         """Seconds to move ``payload_bytes`` across the link (one way).
 
         Includes half the RTT as the one-way protocol cost; a full
         request/response exchange therefore costs one RTT plus both
         serialisation times.
+
+        A jittered link (``jitter_s > 0``) *requires* an RNG: silently
+        returning the jitter-free figure painted deterministic numbers as
+        sampled ones.  Callers that deliberately want the jitter-free figure
+        (the static engine's no-upload frames, every streaming stage time)
+        use :meth:`expected_transfer_time` instead.
         """
-        if payload_bytes < 0:
-            raise ConfigurationError("payload_bytes must be >= 0")
-        serialisation = payload_bytes * 8 / (self.bandwidth_mbps * 1e6)
-        base = self.rtt_s / 2.0 + serialisation
+        if self.jitter_s > 0.0 and rng is None:
+            raise ConfigurationError(
+                f"link {self.name!r} has jitter_s={self.jitter_s} and needs an RNG; "
+                "use expected_transfer_time() for the deliberate jitter-free figure"
+            )
+        base = self.expected_transfer_time(payload_bytes)
         if rng is not None and self.jitter_s > 0.0:
             base *= float(np.exp(rng.normal(0.0, self.jitter_s)))
         return base
+
+
+@dataclass(frozen=True)
+class OutageSchedule:
+    """When the edge-to-cloud path is down.
+
+    ``windows`` is a sorted tuple of non-overlapping ``(start, end)`` down
+    intervals in simulated seconds; the link is up everywhere else (an empty
+    tuple — the default — is an always-up schedule).  Build deterministic
+    up/down cycles with :meth:`periodic` and seeded random outages with
+    :meth:`random`.
+    """
+
+    windows: tuple[tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        previous_end = 0.0
+        for start, end in self.windows:
+            if start < 0.0 or end <= start:
+                raise ConfigurationError(f"malformed outage window ({start}, {end})")
+            if start < previous_end:
+                raise ConfigurationError("outage windows must be sorted and non-overlapping")
+            previous_end = end
+        # bisect keys, precomputed once (frozen dataclass: set via object.__setattr__)
+        object.__setattr__(self, "_starts", tuple(start for start, _ in self.windows))
+
+    @classmethod
+    def always_up(cls) -> "OutageSchedule":
+        """A schedule with no outages (the implicit pre-failure-injection world)."""
+        return cls()
+
+    @classmethod
+    def periodic(
+        cls,
+        *,
+        period_s: float,
+        downtime_s: float,
+        duration_s: float,
+        offset_s: float = 0.0,
+    ) -> "OutageSchedule":
+        """Deterministic cycle: down for ``downtime_s`` at the top of every period.
+
+        The first outage begins at ``offset_s``; windows are generated until
+        ``duration_s``.  ``downtime_s / period_s`` is the downtime fraction.
+        """
+        if period_s <= 0.0 or duration_s <= 0.0:
+            raise ConfigurationError("period_s and duration_s must be positive")
+        if not 0.0 < downtime_s < period_s:
+            raise ConfigurationError("downtime_s must lie strictly inside the period")
+        if offset_s < 0.0:
+            raise ConfigurationError("offset_s must be >= 0")
+        windows = []
+        start = offset_s
+        while start < duration_s:
+            windows.append((start, start + downtime_s))
+            start += period_s
+        return cls(windows=tuple(windows))
+
+    @classmethod
+    def random(
+        cls,
+        *,
+        seed: int,
+        duration_s: float,
+        mean_up_s: float,
+        mean_down_s: float,
+    ) -> "OutageSchedule":
+        """Seeded alternating up/down intervals with exponential lengths.
+
+        Starts up; expected downtime fraction is
+        ``mean_down_s / (mean_up_s + mean_down_s)``.  The same seed always
+        yields the same schedule.
+        """
+        if duration_s <= 0.0 or mean_up_s <= 0.0 or mean_down_s <= 0.0:
+            raise ConfigurationError("duration_s, mean_up_s and mean_down_s must be positive")
+        rng = generator_for(seed, "outage-schedule", mean_up_s, mean_down_s)
+        windows = []
+        t = float(rng.exponential(mean_up_s))
+        while t < duration_s:
+            down = float(rng.exponential(mean_down_s))
+            windows.append((t, t + down))
+            t += down + float(rng.exponential(mean_up_s))
+        return cls(windows=tuple(windows))
+
+    def is_down(self, t: float) -> bool:
+        """Whether the link is inside an outage window at instant ``t``."""
+        index = bisect_right(self._starts, t) - 1
+        return index >= 0 and t < self.windows[index][1]
+
+    def failure_instant(self, start: float, duration: float) -> float | None:
+        """First instant in ``[start, start + duration)`` the link is down.
+
+        ``None`` when the whole interval is up.  A transfer in service over
+        that interval fails exactly there — at ``start`` when the link is
+        already down, mid-flight when an outage begins during the transfer.
+        """
+        if self.is_down(start):
+            return start
+        index = bisect_right(self._starts, start)
+        if index < len(self.windows) and self.windows[index][0] < start + duration:
+            return self.windows[index][0]
+        return None
+
+    def downtime_within(self, duration_s: float) -> float:
+        """Total seconds of scheduled downtime inside ``[0, duration_s)``."""
+        total = 0.0
+        for start, end in self.windows:
+            if start >= duration_s:
+                break
+            total += min(end, duration_s) - start
+        return total
+
+
+@dataclass(frozen=True)
+class UnreliableLink(NetworkLink):
+    """A :class:`NetworkLink` with scheduled outages and per-transfer loss.
+
+    Timing (bandwidth, RTT, jitter) is the wrapped link's; availability is
+    new.  The *static* engine (:func:`repro.runtime.serving.run_cost`) has no
+    time axis, so there the wrapper times transfers exactly like its base
+    link; only the event-driven engines consult :meth:`transfer_outcome`
+    (via the uplink resource's fault hook) and fail transfers.
+
+    Attributes
+    ----------
+    outages:
+        Down windows; a transfer in service when one begins fails at the
+        outage instant, and a transfer starting inside one fails immediately.
+    loss_probability:
+        Chance an otherwise-successful transfer is lost after paying its
+        full serialisation time (congestion loss / timeout, not an outage).
+    """
+
+    outages: OutageSchedule = field(default_factory=OutageSchedule)
+    loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ConfigurationError(
+                f"loss_probability must be in [0, 1), got {self.loss_probability}"
+            )
+
+    @classmethod
+    def wrap(
+        cls,
+        base: NetworkLink,
+        *,
+        outages: OutageSchedule | None = None,
+        loss_probability: float = 0.0,
+    ) -> "UnreliableLink":
+        """Wrap an existing link, keeping its timing parameters."""
+        return cls(
+            name=base.name,
+            bandwidth_mbps=base.bandwidth_mbps,
+            rtt_s=base.rtt_s,
+            jitter_s=base.jitter_s,
+            outages=OutageSchedule() if outages is None else outages,
+            loss_probability=loss_probability,
+        )
+
+    def transfer_outcome(
+        self, start: float, duration: float, rng: np.random.Generator | None = None
+    ) -> tuple[float, bool]:
+        """``(occupancy seconds, success)`` of a transfer entering service.
+
+        An outage truncates the transfer at the outage instant (zero
+        occupancy when the link is already down — a fast connection
+        failure); a surviving transfer is then lost with
+        ``loss_probability`` after occupying the link for its full duration.
+        The loss draw is only consumed when a loss is possible, so a
+        zero-loss wrapper reproduces the reliable link draw for draw.
+        """
+        failure = self.outages.failure_instant(start, duration)
+        if failure is not None:
+            return failure - start, False
+        if self.loss_probability > 0.0 and rng is not None:
+            if float(rng.random()) < self.loss_probability:
+                return duration, False
+        return duration, True
+
+    def fault_model(self, rng: np.random.Generator | None) -> Callable[[float, float], tuple[float, bool]]:
+        """Bind :meth:`transfer_outcome` to one RNG for a resource's fault hook."""
+
+        def outcome(start: float, duration: float) -> tuple[float, bool]:
+            return self.transfer_outcome(start, duration, rng)
+
+        return outcome
 
 
 #: The paper's testbed link: edge and server on the same WLAN.

@@ -44,12 +44,12 @@ from repro._rng import DEFAULT_SEED, generator_for
 from repro.data.datasets import Dataset, ImageRecord
 from repro.detection.batch import DetectionBatch, DetectionBatchBuilder
 from repro.detection.types import Detections
-from repro.errors import RuntimeModelError
+from repro.errors import ConfigurationError, RuntimeModelError
 from repro.metrics.latency import LatencySummary, summarize_latencies
 from repro.runtime.codec import JpegCodec, detections_payload_bytes
 from repro.runtime.devices import ComputeDevice
 from repro.runtime.events import EventLoop, FifoResource
-from repro.runtime.network import NetworkLink
+from repro.runtime.network import NetworkLink, UnreliableLink
 
 __all__ = [
     "DISCRIMINATOR_FLOPS",
@@ -61,6 +61,8 @@ __all__ = [
     "Deployment",
     "DropNewest",
     "DropOldest",
+    "EscalationPolicy",
+    "EscalationQueue",
     "FleetReport",
     "NeverOffload",
     "OffloadPolicy",
@@ -158,12 +160,22 @@ def cloud_round_trip_time(
     """Upload one frame, run the big model, return the results.
 
     ``rng`` (when given) jitters both transfers — the upload first, then the
-    download, so the draw order is stable across engines.
+    download, so the draw order is stable across engines.  Without an RNG
+    the round trip is the deterministic jitter-free figure
+    (:meth:`NetworkLink.expected_transfer_time`) — what the streaming engine
+    charges per stage.
     """
     dep = deployment
+    compute = dep.cloud.inference_latency(dep.big_model_flops)
+    if rng is None:
+        return (
+            dep.link.expected_transfer_time(dep.codec.encoded_bytes(record))
+            + compute
+            + dep.link.expected_transfer_time(detections_payload_bytes(result_boxes))
+        )
     return (
         dep.link.transfer_time(dep.codec.encoded_bytes(record), rng)
-        + dep.cloud.inference_latency(dep.big_model_flops)
+        + compute
         + dep.link.transfer_time(detections_payload_bytes(result_boxes), rng)
     )
 
@@ -298,6 +310,192 @@ class DeadlineAware:
     def admit(self, camera: "_CameraStream", arrival: float) -> bool:
         camera.shed_expired(self.freshness_s)
         return camera.buffer_has_room()
+
+
+# --------------------------------------------------------------------- #
+# escalation under failure (durable queue + retry/backoff)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class EscalationPolicy:
+    """What a camera does when a difficult case fails to reach the cloud.
+
+    Three stock behaviours, ordered by resilience:
+
+    * :meth:`no_retry` — the naive implementation: a failed escalation loses
+      the frame outright, edge verdict and all.
+    * :meth:`drop_on_failure` — graceful degradation (AppealNet's reading of
+      an unavailable "appeal" path): the edge verdict serves immediately,
+      the escalation itself is abandoned.
+    * :meth:`durable_queue` — the edge verdict serves immediately *and* the
+      case is spooled into a bounded :class:`EscalationQueue`, drained FIFO
+      with exponential backoff + jitter when connectivity returns; the late
+      cloud verdict is reconciled by the rolling-quality evaluation.
+
+    On a scheme with no edge stage (cloud-only) there is no edge verdict to
+    fall back on, so ``fallback`` is moot: a failed frame is dropped, and
+    only a durable queue can still recover it.
+    """
+
+    name: str = "drop-on-failure"
+    #: Serve the frame's edge verdict at the failure instant (edge-compute
+    #: schemes only); otherwise the frame is dropped.
+    fallback: bool = True
+    #: Spool capacity; 0 disables the durable queue entirely.
+    capacity: int = 0
+    #: Retry attempts per spooled case before it is abandoned.
+    max_retries: int = 4
+    base_backoff_s: float = 0.5
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 30.0
+    #: Relative backoff jitter: each delay is scaled by ``1 ± jitter``.
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ConfigurationError(f"capacity must be >= 0, got {self.capacity}")
+        if self.max_retries < 1:
+            raise ConfigurationError(f"max_retries must be >= 1, got {self.max_retries}")
+        if self.base_backoff_s <= 0.0 or self.backoff_factor < 1.0:
+            raise ConfigurationError("base_backoff_s must be > 0 and backoff_factor >= 1")
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ConfigurationError("max_backoff_s must be >= base_backoff_s")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    @property
+    def durable(self) -> bool:
+        """Whether failed escalations are spooled for retry."""
+        return self.capacity > 0
+
+    @classmethod
+    def no_retry(cls) -> "EscalationPolicy":
+        """A failed escalation loses the frame (no fallback, no spool)."""
+        return cls(name="no-retry", fallback=False)
+
+    @classmethod
+    def drop_on_failure(cls) -> "EscalationPolicy":
+        """Edge verdict stands in; the escalation is abandoned (the default)."""
+        return cls(name="drop-on-failure")
+
+    @classmethod
+    def durable_queue(
+        cls,
+        capacity: int = 64,
+        *,
+        max_retries: int = 4,
+        base_backoff_s: float = 0.5,
+        backoff_factor: float = 2.0,
+        max_backoff_s: float = 30.0,
+        jitter: float = 0.1,
+    ) -> "EscalationPolicy":
+        """Edge verdict stands in *and* the case retries from a bounded spool."""
+        if capacity < 1:
+            raise ConfigurationError(f"a durable queue needs capacity >= 1, got {capacity}")
+        return cls(
+            name="durable-queue",
+            capacity=capacity,
+            max_retries=max_retries,
+            base_backoff_s=base_backoff_s,
+            backoff_factor=backoff_factor,
+            max_backoff_s=max_backoff_s,
+            jitter=jitter,
+        )
+
+
+@dataclass
+class _Escalation:
+    """One spooled difficult case awaiting its deferred cloud verdict."""
+
+    record_index: int
+    arrival: float
+    #: Position in the camera's frame log (``None`` when no log is kept).
+    log_position: int | None
+    #: The frame already served its edge verdict at the failure instant; the
+    #: recovered cloud verdict is an upgrade, not a first serve.
+    served_by_fallback: bool
+    attempts: int = 0
+
+
+class EscalationQueue:
+    """Bounded FIFO spool of escalations that failed to reach the cloud.
+
+    One per camera (created only when its uplink can actually fail and the
+    policy is durable).  Entries drain head-first: one retry in flight at a
+    time, re-acquiring the *shared* uplink so retries contend with live
+    traffic.  Consecutive uplink failures — live or retry — grow the delay
+    before the next retry exponentially (with jitter, so a fleet's cameras
+    do not retry in lockstep); any retry success resets the backoff and
+    drains the next entry immediately.  A case that exhausts its retry cap,
+    or arrives at a full spool, is abandoned and counted in
+    ``escalations_dropped``.
+    """
+
+    def __init__(self, camera: "_CameraStream", policy: EscalationPolicy, rng: np.random.Generator) -> None:
+        self.camera = camera
+        self.policy = policy
+        self.rng = rng
+        self._entries: deque[_Escalation] = deque()
+        self._draining = False
+        self._failures = 0  # consecutive uplink failures since the last success
+
+    @property
+    def depth(self) -> int:
+        """Cases currently spooled."""
+        return len(self._entries)
+
+    def note_failure(self) -> None:
+        """Record a live-traffic uplink failure (feeds the backoff)."""
+        self._failures += 1
+
+    def offer(
+        self, record_index: int, arrival: float, log_position: int | None, *, served_by_fallback: bool
+    ) -> bool:
+        """Spool one failed escalation; ``False`` when the spool is full."""
+        if len(self._entries) >= self.policy.capacity:
+            return False
+        self._entries.append(_Escalation(record_index, arrival, log_position, served_by_fallback))
+        if not self._draining:
+            self._draining = True
+            self.camera.loop.schedule(self._backoff(), self._retry)
+        return True
+
+    def _backoff(self) -> float:
+        policy = self.policy
+        exponent = max(0, self._failures - 1)
+        delay = min(policy.max_backoff_s, policy.base_backoff_s * policy.backoff_factor**exponent)
+        if policy.jitter > 0.0:
+            delay *= 1.0 + policy.jitter * float(self.rng.uniform(-1.0, 1.0))
+        return delay
+
+    def _retry(self) -> None:
+        if not self._entries:
+            self._draining = False
+            return
+        camera = self.camera
+        entry = self._entries[0]
+        camera.uplink.acquire(camera.uplink_service(entry.record_index), self._on_success, self._on_failure)
+
+    def _on_success(self, _now: float) -> None:
+        entry = self._entries.popleft()
+        self._failures = 0
+        camera = self.camera
+        camera.uploads += 1
+        camera.cloud.acquire(camera.cloud_service, lambda _t: camera._recover(entry))
+        self._retry()  # link evidently up: drain the next case immediately
+
+    def _on_failure(self, _now: float) -> None:
+        camera = self.camera
+        camera.escalations_failed += 1
+        self._failures += 1
+        entry = self._entries[0]
+        entry.attempts += 1
+        if entry.attempts >= self.policy.max_retries:
+            self._entries.popleft()
+            camera.escalations_dropped += 1
+        if self._entries:
+            camera.loop.schedule(self._backoff(), self._retry)
+        else:
+            self._draining = False
 
 
 # --------------------------------------------------------------------- #
@@ -493,6 +691,14 @@ class StreamReport:
     dataset record index, and whether it was served — which is exactly what
     :func:`repro.metrics.rolling.rolling_quality` needs to score the stream
     online, drops and staleness included.
+
+    Under failure injection the served batch also carries *recovered* cloud
+    verdicts (appended when a spooled escalation finally lands), so
+    ``frame_segments`` maps each logged frame to its segment in ``served``
+    explicitly (-1 for drops) instead of by counting served flags, and
+    ``frame_verdict_segments``/``frame_verdict_times`` point at the late
+    cloud verdict (and when it landed) for frames that served their edge
+    fallback first — ``-1``/``-inf`` when there is none.
     """
 
     scheme: str
@@ -507,11 +713,21 @@ class StreamReport:
     #: Frames dropped *from the queue* by the admission policy (a subset of
     #: ``frames_dropped``, which also counts frames refused at arrival).
     frames_shed: int = 0
+    #: Uplink transfers that failed (initial attempts and retries).
+    escalations_failed: int = 0
+    #: Escalations permanently abandoned: non-durable policy, full spool,
+    #: or retry cap exhausted.
+    escalations_dropped: int = 0
+    #: Spooled escalations whose cloud verdict eventually landed.
+    escalations_recovered: int = 0
     served: DetectionBatch | None = field(default=None, repr=False)
     frame_arrivals: np.ndarray | None = field(default=None, repr=False)
     frame_times: np.ndarray | None = field(default=None, repr=False)
     frame_records: np.ndarray | None = field(default=None, repr=False)
     frame_served: np.ndarray | None = field(default=None, repr=False)
+    frame_segments: np.ndarray | None = field(default=None, repr=False)
+    frame_verdict_times: np.ndarray | None = field(default=None, repr=False)
+    frame_verdict_segments: np.ndarray | None = field(default=None, repr=False)
 
     @property
     def drop_rate(self) -> float:
@@ -544,6 +760,9 @@ class StreamReport:
             "frames_dropped",
             "frames_uploaded",
             "frames_shed",
+            "escalations_failed",
+            "escalations_dropped",
+            "escalations_recovered",
             "edge_utilization",
             "uplink_utilization",
             "cloud_utilization",
@@ -551,6 +770,9 @@ class StreamReport:
             "frame_times",
             "frame_records",
             "frame_served",
+            "frame_segments",
+            "frame_verdict_times",
+            "frame_verdict_segments",
         ):
             if not _values_equal(getattr(self, name), getattr(other, name)):
                 return False
@@ -582,6 +804,9 @@ class FleetReport:
     uplink_utilization: float
     cloud_utilization: float
     frames_shed: int = 0
+    escalations_failed: int = 0
+    escalations_dropped: int = 0
+    escalations_recovered: int = 0
 
     @property
     def drop_rate(self) -> float:
@@ -651,6 +876,9 @@ class _CameraStream:
         cloud: FifoResource,
         record_for: Callable[[int], int],
         admission: AdmissionPolicy | None = None,
+        escalation: EscalationPolicy | None = None,
+        escalation_rng: np.random.Generator | None = None,
+        fallback_detections: DetectionBatch | None = None,
     ) -> None:
         self.scheme = scheme
         self.deployment = deployment
@@ -664,11 +892,14 @@ class _CameraStream:
         self.cloud = cloud
         self.record_for = record_for
         self.admission: AdmissionPolicy = DropNewest() if admission is None else admission
+        self.escalation = EscalationPolicy.drop_on_failure() if escalation is None else escalation
+        self.fallback_detections = fallback_detections
         self.edge_service = scheme.edge_latency(deployment, online=True)
         self.cloud_service = deployment.cloud.inference_latency(deployment.big_model_flops)
-        self.downlink_latency = deployment.link.transfer_time(detections_payload_bytes(RESULT_BOXES))
+        self.downlink_latency = deployment.link.expected_transfer_time(detections_payload_bytes(RESULT_BOXES))
         self.latencies: list[float] = []
         self.served = self.dropped = self.shed = self.uploads = 0
+        self.escalations_failed = self.escalations_dropped = self.escalations_recovered = 0
         # This camera's frames inside the uplink stage (waiting or being
         # transmitted) — the admission bound for schemes with no edge stage,
         # so each camera gets its own buffer even on the shared fleet link.
@@ -684,6 +915,26 @@ class _CameraStream:
             self.frame_times: list[float] = []
             self.frame_records: list[int] = []
             self.frame_served: list[bool] = []
+            self.frame_segments: list[int] = []
+            self.frame_verdict_times: list[float] = []
+            self.frame_verdict_segments: list[int] = []
+        if (
+            uplink.can_fail
+            and self.escalation.fallback
+            and scheme.edge_compute
+            and self.builder is not None
+            and self.fallback_detections is None
+            and bool(mask.any())
+        ):
+            raise ConfigurationError(
+                "an unreliable uplink with an edge-fallback escalation policy needs "
+                "small_detections: the edge verdict serves when the cloud path fails"
+            )
+        self.escalation_queue: EscalationQueue | None = None
+        if uplink.can_fail and self.escalation.durable:
+            if escalation_rng is None:
+                raise ConfigurationError("a durable escalation queue needs an RNG for backoff jitter")
+            self.escalation_queue = EscalationQueue(self, self.escalation, escalation_rng)
 
     def schedule(self, arrivals: np.ndarray) -> None:
         """Queue every arrival of this camera onto the shared loop."""
@@ -692,45 +943,64 @@ class _CameraStream:
         self.frames_offered = int(arrivals.shape[0])
 
     # ------------------------------------------------------------------ #
-    def _log(self, arrival: float, time: float, record_index: int, served: bool) -> None:
+    def _log(
+        self, arrival: float, time: float, record_index: int, served: bool, segment: int | None = None
+    ) -> int | None:
+        """Append one frame-log entry; returns its position (``None`` without logs)."""
         if self.builder is None:
-            return
+            return None
         self.frame_arrivals.append(arrival)
         self.frame_times.append(time)
         self.frame_records.append(record_index)
         self.frame_served.append(served)
+        self.frame_segments.append(-1 if segment is None else segment)
+        self.frame_verdict_times.append(-np.inf)
+        self.frame_verdict_segments.append(-1)
+        return len(self.frame_arrivals) - 1
 
-    def _collect(self, record_index: int) -> None:
-        if self.builder is None:
-            return
-        detections = self.detections
-        lo = int(detections.offsets[record_index])
-        hi = int(detections.offsets[record_index + 1])
+    def _append_segment(self, batch: DetectionBatch, record_index: int) -> int:
+        lo = int(batch.offsets[record_index])
+        hi = int(batch.offsets[record_index + 1])
         self.builder.append(
-            detections.image_ids[record_index],
-            detections.boxes[lo:hi],
-            detections.scores[lo:hi],
-            detections.labels[lo:hi],
+            batch.image_ids[record_index],
+            batch.boxes[lo:hi],
+            batch.scores[lo:hi],
+            batch.labels[lo:hi],
         )
+        return len(self.builder) - 1
+
+    def _collect(self, record_index: int) -> int | None:
+        if self.builder is None:
+            return None
+        return self._append_segment(self.detections, record_index)
+
+    def _collect_fallback(self, record_index: int) -> int | None:
+        if self.builder is None:
+            return None
+        return self._append_segment(self.fallback_detections, record_index)
 
     def _finish(self, start: float, record_index: int) -> None:
         self.served += 1
         latency = self.loop.now - start + self.downlink_latency
         self.latencies.append(latency)
-        self._log(start, start + latency, record_index, True)
-        self._collect(record_index)
+        segment = self._collect(record_index)
+        self._log(start, start + latency, record_index, True, segment)
 
     def _finish_local(self, start: float, record_index: int) -> None:
         self.served += 1
         latency = self.loop.now - start
         self.latencies.append(latency)
-        self._log(start, start + latency, record_index, True)
-        self._collect(record_index)
+        segment = self._collect(record_index)
+        self._log(start, start + latency, record_index, True, segment)
+
+    def uplink_service(self, record_index: int) -> float:
+        """Deterministic uplink serialisation time of one record's frame."""
+        dep = self.deployment
+        return dep.link.expected_transfer_time(dep.codec.encoded_bytes(self.records[record_index]))
 
     def _cloud_path(self, record: ImageRecord, start: float, record_index: int) -> None:
         self.uploads += 1
         self.in_uplink += 1
-        dep = self.deployment
         entry_stage = not self.scheme.edge_compute
 
         def after_uplink(_t: float) -> None:
@@ -739,9 +1009,67 @@ class _CameraStream:
             self.in_uplink -= 1
             self.cloud.acquire(self.cloud_service, lambda _t2: self._finish(start, record_index))
 
-        handle = self.uplink.acquire(dep.link.transfer_time(dep.codec.encoded_bytes(record)), after_uplink)
+        def on_fail(_t: float) -> None:
+            if entry_stage:
+                self._leave_waiting()
+            self.in_uplink -= 1
+            self._on_uplink_failure(start, record_index)
+
+        handle = self.uplink.acquire(self.uplink_service(record_index), after_uplink, on_fail)
         if entry_stage:
             self._waiting.append((handle, start, record_index))
+
+    # ------------------------------------------------------------------ #
+    # failure handling: fallback serve, spool, recovery
+    # ------------------------------------------------------------------ #
+    def _on_uplink_failure(self, start: float, record_index: int) -> None:
+        """The frame's uplink transfer failed (outage or loss)."""
+        self.uploads -= 1
+        self.escalations_failed += 1
+        if self.escalation_queue is not None:
+            self.escalation_queue.note_failure()
+        now = self.loop.now
+        if self.escalation.fallback and self.scheme.edge_compute:
+            # Graceful degradation: the edge verdict (already computed by the
+            # edge stage) serves at the failure instant.
+            self.served += 1
+            self.latencies.append(now - start)
+            segment = self._collect_fallback(record_index)
+            position = self._log(start, now, record_index, True, segment)
+            spooled = self.escalation_queue is not None and self.escalation_queue.offer(
+                record_index, start, position, served_by_fallback=True
+            )
+        else:
+            # No edge verdict to stand in (cloud-only, or a no-retry policy):
+            # the frame is lost unless a durable queue later recovers it.
+            self.dropped += 1
+            position = self._log(start, now, record_index, False)
+            spooled = self.escalation_queue is not None and self.escalation_queue.offer(
+                record_index, start, position, served_by_fallback=False
+            )
+        if not spooled:
+            self.escalations_dropped += 1
+
+    def _recover(self, entry: _Escalation) -> None:
+        """A spooled escalation's cloud verdict finally landed."""
+        verdict_time = self.loop.now + self.downlink_latency
+        self.escalations_recovered += 1
+        segment = self._collect(entry.record_index)
+        if entry.served_by_fallback:
+            # The frame already served its edge verdict; record the late
+            # cloud verdict for the quality evaluation to reconcile.
+            if entry.log_position is not None:
+                self.frame_verdict_times[entry.log_position] = verdict_time
+                self.frame_verdict_segments[entry.log_position] = segment
+        else:
+            # The frame was logged as dropped; the late verdict un-drops it.
+            self.dropped -= 1
+            self.served += 1
+            self.latencies.append(verdict_time - entry.arrival)
+            if entry.log_position is not None:
+                self.frame_times[entry.log_position] = verdict_time
+                self.frame_served[entry.log_position] = True
+                self.frame_segments[entry.log_position] = segment
 
     # ------------------------------------------------------------------ #
     # admission-policy surface
@@ -829,12 +1157,7 @@ class _CameraStream:
         if self.scheme.edge_compute:
             remaining += self.edge_service
         if not self.scheme.edge_compute or bool(self.mask[record_index]):
-            dep = self.deployment
-            remaining += (
-                dep.link.transfer_time(dep.codec.encoded_bytes(self.records[record_index]))
-                + self.cloud_service
-                + self.downlink_latency
-            )
+            remaining += self.uplink_service(record_index) + self.cloud_service + self.downlink_latency
         self._min_remaining_cache[record_index] = remaining
         return remaining
 
@@ -889,6 +1212,9 @@ class _CameraStream:
             frames_dropped=self.dropped,
             frames_uploaded=self.uploads,
             frames_shed=self.shed,
+            escalations_failed=self.escalations_failed,
+            escalations_dropped=self.escalations_dropped,
+            escalations_recovered=self.escalations_recovered,
             edge_utilization=self.edge.utilization(elapsed),
             uplink_utilization=self.uplink.utilization(elapsed),
             cloud_utilization=self.cloud.utilization(elapsed),
@@ -897,6 +1223,11 @@ class _CameraStream:
             frame_times=np.asarray(self.frame_times) if has_frames else None,
             frame_records=np.asarray(self.frame_records, dtype=np.int64) if has_frames else None,
             frame_served=np.asarray(self.frame_served, dtype=bool) if has_frames else None,
+            frame_segments=np.asarray(self.frame_segments, dtype=np.int64) if has_frames else None,
+            frame_verdict_times=np.asarray(self.frame_verdict_times) if has_frames else None,
+            frame_verdict_segments=np.asarray(self.frame_verdict_segments, dtype=np.int64)
+            if has_frames
+            else None,
         )
 
 
@@ -913,6 +1244,21 @@ def _check_stream_inputs(
     return DetectionBatch.coerce(detections)
 
 
+def _uplink_faults(
+    link: NetworkLink, seed: int
+) -> Callable[[float, float], tuple[float, bool]] | None:
+    """The uplink resource's fault hook — ``None`` for a link that cannot fail.
+
+    An :class:`UnreliableLink` with an all-up schedule and zero loss gets no
+    hook either, so it runs the exact reliable-link code path.
+    """
+    if not isinstance(link, UnreliableLink):
+        return None
+    if not link.outages.windows and link.loss_probability == 0.0:
+        return None
+    return link.fault_model(generator_for(seed, "uplink-faults"))
+
+
 def simulate_stream(
     scheme: ServingScheme,
     deployment: Deployment,
@@ -923,6 +1269,7 @@ def simulate_stream(
     small_detections: DetectionBatch | list[Detections] | None = None,
     detections: DetectionBatch | None = None,
     admission: AdmissionPolicy | None = None,
+    escalation: EscalationPolicy | None = None,
     seed: int = DEFAULT_SEED,
 ) -> StreamReport:
     """Serve one frame stream through ``scheme`` on a fresh event loop.
@@ -934,6 +1281,13 @@ def simulate_stream(
     online quality evaluation consumes.  ``admission`` selects the camera
     buffer's shedding behaviour (:class:`DropNewest` when omitted — the
     historical drop-at-arrival rule, bit for bit).
+
+    When ``deployment.link`` is an :class:`UnreliableLink` with outages or
+    loss, uplink transfers can fail; ``escalation`` selects what happens
+    then (:meth:`EscalationPolicy.drop_on_failure` when omitted).  An
+    edge-fallback policy serves the frame's *small-model* verdict at the
+    failure instant, so runs that keep frame logs must supply
+    ``small_detections``.
     """
     detections = _check_stream_inputs(dataset, detections)
     mask = scheme.offload_mask(dataset, small_detections, mask)
@@ -948,10 +1302,13 @@ def simulate_stream(
         detections,
         loop=loop,
         edge=FifoResource(loop, "edge"),
-        uplink=FifoResource(loop, "uplink"),
+        uplink=FifoResource(loop, "uplink", faults=_uplink_faults(deployment.link, seed)),
         cloud=FifoResource(loop, "cloud"),
         record_for=lambda index: index % num_records,
         admission=admission,
+        escalation=escalation,
+        escalation_rng=generator_for(seed, "stream-escalation"),
+        fallback_detections=_check_stream_inputs(dataset, small_detections),
     )
     camera.schedule(_arrival_times(config, seed, "stream-arrivals"))
     elapsed = loop.run()
@@ -978,6 +1335,7 @@ class CameraSpec:
     scheme: ServingScheme | None = None
     config: StreamConfig | None = None
     admission: AdmissionPolicy | None = None
+    escalation: EscalationPolicy | None = None
     dataset: Dataset | None = None
     mask: np.ndarray | None = None
     small_detections: DetectionBatch | list[Detections] | None = None
@@ -995,6 +1353,7 @@ def simulate_fleet(
     small_detections: DetectionBatch | list[Detections] | None = None,
     detections: DetectionBatch | None = None,
     admission: AdmissionPolicy | None = None,
+    escalation: EscalationPolicy | None = None,
     seed: int = DEFAULT_SEED,
 ) -> FleetReport:
     """Serve a camera fleet contending for one deployment.
@@ -1033,14 +1392,27 @@ def simulate_fleet(
             shared_mask = scheme.offload_mask(dataset, small_detections, mask)
         return shared_mask
 
+    # Likewise the fleet-level small detections (the edge-fallback verdicts
+    # under failure injection) are coerced once and shared.
+    shared_fallback: DetectionBatch | None = None
+    shared_fallback_resolved = False
+
+    def fleet_fallback() -> DetectionBatch | None:
+        nonlocal shared_fallback, shared_fallback_resolved
+        if not shared_fallback_resolved:
+            shared_fallback = _check_stream_inputs(dataset, small_detections)
+            shared_fallback_resolved = True
+        return shared_fallback
+
     loop = EventLoop()
-    uplink = FifoResource(loop, "uplink")
+    uplink = FifoResource(loop, "uplink", faults=_uplink_faults(deployment.link, seed))
     cloud = FifoResource(loop, "cloud")
     runs: list[_CameraStream] = []
     for camera, spec in enumerate(specs):
         cam_scheme = scheme if spec.scheme is None else spec.scheme
         cam_config = config if spec.config is None else spec.config
         cam_admission = admission if spec.admission is None else spec.admission
+        cam_escalation = escalation if spec.escalation is None else spec.escalation
         if spec.dataset is None:
             cam_dataset = dataset
             cam_detections = detections if spec.detections is None else _check_stream_inputs(dataset, spec.detections)
@@ -1066,6 +1438,10 @@ def simulate_fleet(
             if cam_mask_input is None and spec.scheme is None and spec.dataset is None:
                 cam_mask_input = mask
             cam_mask = cam_scheme.offload_mask(cam_dataset, cam_small, cam_mask_input)
+        if spec.small_detections is None and spec.dataset is None:
+            cam_fallback = fleet_fallback()
+        else:
+            cam_fallback = _check_stream_inputs(cam_dataset, spec.small_detections)
         num_records = len(cam_dataset)
         start = (camera * num_records) // len(specs)
         stream = _CameraStream(
@@ -1081,6 +1457,9 @@ def simulate_fleet(
             cloud=cloud,
             record_for=lambda index, start=start, count=num_records: (start + index) % count,
             admission=cam_admission,
+            escalation=cam_escalation,
+            escalation_rng=generator_for(seed, "fleet-escalation", camera),
+            fallback_detections=cam_fallback,
         )
         stream.schedule(_arrival_times(cam_config, seed, "fleet-arrivals", camera))
         runs.append(stream)
@@ -1097,6 +1476,9 @@ def simulate_fleet(
         frames_dropped=sum(report.frames_dropped for report in reports),
         frames_uploaded=sum(report.frames_uploaded for report in reports),
         frames_shed=sum(report.frames_shed for report in reports),
+        escalations_failed=sum(report.escalations_failed for report in reports),
+        escalations_dropped=sum(report.escalations_dropped for report in reports),
+        escalations_recovered=sum(report.escalations_recovered for report in reports),
         edge_utilization=float(np.mean([report.edge_utilization for report in reports])),
         uplink_utilization=uplink.utilization(elapsed),
         cloud_utilization=cloud.utilization(elapsed),

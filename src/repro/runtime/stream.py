@@ -32,6 +32,7 @@ from repro.errors import RuntimeModelError
 from repro.runtime.serving import (
     AdmissionPolicy,
     Deployment,
+    EscalationPolicy,
     ServingScheme,
     StreamConfig,
     StreamReport,
@@ -72,7 +73,9 @@ class StreamSimulator:
         uploaded: np.ndarray | None = None,
         *,
         detections: DetectionBatch | None = None,
+        small_detections: DetectionBatch | list[Detections] | None = None,
         admission: AdmissionPolicy | None = None,
+        escalation: EscalationPolicy | None = None,
     ) -> StreamReport:
         """Simulate one named paper scheme over the configured stream.
 
@@ -88,15 +91,30 @@ class StreamSimulator:
             (e.g. a :class:`SystemRun`'s final batch).  When given, the
             report carries the served stream plus the per-frame log that
             online quality evaluation consumes.
+        small_detections:
+            Per-record small-model outputs — the edge verdict that stands in
+            when an unreliable uplink fails an escalation.
         admission:
             Camera-buffer admission policy
             (:class:`~repro.runtime.serving.DropNewest` when omitted).
+        escalation:
+            Failure-handling policy for an unreliable uplink
+            (:meth:`~repro.runtime.serving.EscalationPolicy.drop_on_failure`
+            when omitted).
         """
         schemes = paper_schemes()
         if scheme not in schemes:
             raise RuntimeModelError(f"unknown scheme {scheme!r}")
         mask = uploaded if scheme == "collaborative" else None
-        return self.run_scheme(schemes[scheme], config, mask=mask, detections=detections, admission=admission)
+        return self.run_scheme(
+            schemes[scheme],
+            config,
+            mask=mask,
+            small_detections=small_detections,
+            detections=detections,
+            admission=admission,
+            escalation=escalation,
+        )
 
     def run_scheme(
         self,
@@ -107,6 +125,7 @@ class StreamSimulator:
         small_detections: DetectionBatch | list[Detections] | None = None,
         detections: DetectionBatch | None = None,
         admission: AdmissionPolicy | None = None,
+        escalation: EscalationPolicy | None = None,
     ) -> StreamReport:
         """Simulate any serving scheme (policy- or mask-driven)."""
         return simulate_stream(
@@ -118,6 +137,7 @@ class StreamSimulator:
             small_detections=small_detections,
             detections=detections,
             admission=admission,
+            escalation=escalation,
             seed=self.seed,
         )
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.data import load_dataset
-from repro.errors import RuntimeModelError
+from repro.errors import ConfigurationError, RuntimeModelError
 from repro.runtime import (
     JETSON_NANO,
     RTX3060_SERVER,
@@ -156,11 +156,51 @@ class TestBoundedBufferBackpressure:
 
     def test_negative_delay_and_service_still_rejected(self):
         loop = EventLoop()
-        with pytest.raises(RuntimeModelError):
+        # Scheduling into the past is a caller configuration error, not a
+        # runtime-model failure; NaN delays are rejected the same way.
+        with pytest.raises(ConfigurationError):
             loop.schedule(-0.5, lambda: None)
+        with pytest.raises(ConfigurationError):
+            loop.schedule(float("nan"), lambda: None)
         resource = FifoResource(loop, "dev")
         with pytest.raises(RuntimeModelError):
             resource.acquire(-1.0, lambda _t: None)
+
+    def test_cancel_running_job_returns_none_and_keeps_queue_intact(self):
+        """Cancelling the in-service (non-waiting) job is a no-op: it
+        returns ``None``, the queue keeps its order, and every waiting job
+        still completes."""
+        loop = EventLoop()
+        resource = FifoResource(loop, "dev")
+        completions: list[str] = []
+        running = resource.acquire(1.0, lambda _t: completions.append("running"))
+        a = resource.acquire(2.0, lambda _t: completions.append("a"))
+        b = resource.acquire(3.0, lambda _t: completions.append("b"))
+        before = [handle for handle, _ in resource.queued_waits()]
+        assert resource.cancel(running) is None
+        assert resource.jobs_cancelled == 0
+        assert [handle for handle, _ in resource.queued_waits()] == before == [a, b]
+        loop.run()
+        assert completions == ["running", "a", "b"]
+
+    def test_queued_waits_consistent_after_interleaved_cancels(self):
+        """Interleaving cancels with new arrivals keeps the wait bounds
+        equal to the sum of service times still ahead of each waiting job."""
+        loop = EventLoop()
+        resource = FifoResource(loop, "dev")
+        resource.acquire(10.0, lambda _t: None)  # holds the server
+        a = resource.acquire(1.0, lambda _t: None)
+        b = resource.acquire(2.0, lambda _t: None)
+        assert resource.cancel(a) == 1.0
+        c = resource.acquire(4.0, lambda _t: None)
+        assert [wait for _, wait in resource.queued_waits()] == [0.0, 2.0]
+        assert resource.cancel(c) == 4.0
+        d = resource.acquire(0.5, lambda _t: None)
+        waits = resource.queued_waits()
+        assert [handle for handle, _ in waits] == [b, d]
+        assert [wait for _, wait in waits] == [0.0, 2.0]
+        assert resource.jobs_cancelled == 2
+        loop.run()
 
     def test_cancel_removes_waiting_job_only(self):
         """A waiting job cancels (its callback never fires, its service

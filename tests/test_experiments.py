@@ -192,6 +192,45 @@ class TestAdmissionExperiment:
         assert figure.series["rolling_map"][freshest] >= figure.series["rolling_map"][stalest]
 
 
+class TestAvailabilityExperiment:
+    """Table XX / Figure 12: escalation policies under uplink outages."""
+
+    def test_outcomes_memoised_and_shaped(self, harness):
+        first = harness.availability_outcomes()
+        assert harness.availability_outcomes() is first
+        assert len(first) == 12  # 2 outage schedules x 2 schemes x 3 escalations
+
+    def test_table20_durable_queue_recovers(self, harness):
+        from repro.experiments import table_20_availability
+
+        result = table_20_availability(harness)
+        assert len(result.rows) == 12
+        by_key = {(row["outage"], row["scheme"], row["escalation"]): row for row in result.rows}
+        for outage in ("periodic-30", "random-30"):
+            drop = by_key[(outage, "cloud-only", "drop-on-failure")]
+            durable = by_key[(outage, "cloud-only", "durable-queue")]
+            # Only the durable spool recovers verdicts; the drop policies
+            # lose the same frames for good and score worse for it.
+            assert durable["recovered_verdicts"] > 0
+            assert drop["recovered_verdicts"] == 0
+            assert durable["frames_lost_percent"] < drop["frames_lost_percent"]
+            assert durable["rolling_map"] > drop["rolling_map"]
+            # Graceful degradation: the discriminator fleet serves edge
+            # verdicts on failure, so the fallback policies lose no frames.
+            for escalation in ("drop-on-failure", "durable-queue"):
+                assert by_key[(outage, "discriminator", escalation)]["frames_lost_percent"] == 0.0
+
+    def test_figure12_series_match_outcomes(self, harness):
+        from repro.experiments import figure_12_outage_recovery
+
+        figure = figure_12_outage_recovery(harness)
+        assert len(figure.series) == 6  # periodic-30 only: 2 schemes x 3 escalations
+        assert all(len(values) == len(figure.x_values) for values in figure.series.values())
+        durable = figure.series["cloud-only/durable-queue"]
+        drop = figure.series["cloud-only/drop-on-failure"]
+        assert sum(durable) > sum(drop)
+
+
 class TestFormatting:
     def test_text_table_contains_rows(self, harness):
         text = format_table(table_02_model_zoo(harness))

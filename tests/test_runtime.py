@@ -55,18 +55,28 @@ class TestDevices:
 
 class TestNetwork:
     def test_transfer_time_scales_with_payload(self):
-        small = WLAN.transfer_time(10_000)
-        large = WLAN.transfer_time(1_000_000)
+        small = WLAN.expected_transfer_time(10_000)
+        large = WLAN.expected_transfer_time(1_000_000)
         assert large > small
 
     def test_faster_link_is_faster(self):
         payload = 300_000
-        assert ETHERNET_1G.transfer_time(payload) < WLAN.transfer_time(payload)
+        assert ETHERNET_1G.expected_transfer_time(payload) < WLAN.expected_transfer_time(payload)
 
     def test_jitter_deterministic_given_rng(self):
         rng_a = np.random.default_rng(5)
         rng_b = np.random.default_rng(5)
         assert WLAN.transfer_time(1000, rng_a) == WLAN.transfer_time(1000, rng_b)
+
+    def test_jittered_link_requires_rng(self):
+        # WLAN has jitter_s > 0: sampling a transfer without an RNG used to
+        # silently return the jitter-free figure; now it is an explicit error.
+        with pytest.raises(ConfigurationError):
+            WLAN.transfer_time(1000)
+
+    def test_jitter_free_link_needs_no_rng(self):
+        payload = 300_000
+        assert ETHERNET_1G.transfer_time(payload) == ETHERNET_1G.expected_transfer_time(payload)
 
     def test_invalid_bandwidth_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -74,7 +84,7 @@ class TestNetwork:
 
     def test_negative_payload_rejected(self):
         with pytest.raises(ConfigurationError):
-            WLAN.transfer_time(-1)
+            WLAN.expected_transfer_time(-1)
 
 
 class TestCodec:

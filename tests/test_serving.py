@@ -483,7 +483,7 @@ class TestAdmissionPolicies:
         # frame A: arrived far in the past -> provably doomed at now = 0
         camera._on_frame(0, -10.0)
         # frame B: doomed only while A's service time sits ahead of it
-        entry_a = deployment.link.transfer_time(deployment.codec.encoded_bytes(helmet_mini.records[0]))
+        entry_a = deployment.link.expected_transfer_time(deployment.codec.encoded_bytes(helmet_mini.records[0]))
         viable_arrival = camera._min_remaining(1) - deadline + 0.5 * entry_a
         camera._on_frame(1, viable_arrival)
         assert camera.shed_expired(deadline) == 1

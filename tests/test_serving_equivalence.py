@@ -26,15 +26,19 @@ from repro.runtime import (
     DropNewest,
     DropOldest,
     EdgeCloudRuntime,
+    EscalationPolicy,
     EventLoop,
     FifoResource,
+    OutageSchedule,
     RunCost,
     StreamConfig,
     StreamSimulator,
+    UnreliableLink,
     cloud_only_scheme,
     collaborative_scheme,
     edge_only_scheme,
     paper_schemes,
+    run_cost,
     simulate_fleet,
 )
 from repro.runtime.codec import detections_payload_bytes
@@ -163,7 +167,7 @@ def reference_stream_run(deployment, dataset, seed, scheme, config, uploaded=Non
     num_records = len(records)
     edge_service = dep.edge.inference_latency(dep.small_model_flops) + dep.edge.inference_latency(DISCRIMINATOR_FLOPS)
     cloud_service = dep.cloud.inference_latency(dep.big_model_flops)
-    downlink_latency = dep.link.transfer_time(detections_payload_bytes(8))
+    downlink_latency = dep.link.expected_transfer_time(detections_payload_bytes(8))
 
     def finish(start: float) -> None:
         counters["served"] += 1
@@ -176,7 +180,7 @@ def reference_stream_run(deployment, dataset, seed, scheme, config, uploaded=Non
     def cloud_path(record, start: float) -> None:
         counters["uploads"] += 1
         uplink.acquire(
-            dep.link.transfer_time(dep.codec.encoded_bytes(record)),
+            dep.link.expected_transfer_time(dep.codec.encoded_bytes(record)),
             lambda _t: cloud.acquire(cloud_service, lambda _t2: finish(start)),
         )
 
@@ -411,3 +415,93 @@ class TestAdmissionEquivalence:
         """The parametrisations above span every pipeline shape."""
         shapes = {(s.edge_compute, s.edge_discriminates) for s in paper_schemes().values()}
         assert shapes == {(True, False), (False, False), (True, True)}
+
+
+# --------------------------------------------------------------------- #
+# availability equivalence: an all-up UnreliableLink is the plain link
+# --------------------------------------------------------------------- #
+class TestAvailabilityEquivalence:
+    """Failure injection may not move a byte while nothing fails: with an
+    all-up outage schedule and zero loss probability, every engine, scheme
+    and fleet result is bit-for-bit identical to the pre-failure-injection
+    path, whatever escalation policy is armed."""
+
+    ESCALATIONS = [
+        None,
+        EscalationPolicy.no_retry(),
+        EscalationPolicy.drop_on_failure(),
+        EscalationPolicy.durable_queue(),
+    ]
+    ESCALATION_IDS = ["default", "no-retry", "drop-on-failure", "durable-queue"]
+
+    @pytest.fixture(scope="class")
+    def unreliable_deployment(self, deployment):
+        return Deployment(
+            edge=deployment.edge,
+            cloud=deployment.cloud,
+            link=UnreliableLink.wrap(deployment.link, outages=OutageSchedule.always_up()),
+            small_model_flops=deployment.small_model_flops,
+            big_model_flops=deployment.big_model_flops,
+        )
+
+    @pytest.fixture(scope="class")
+    def small_batch(self, helmet_mini):
+        from repro.simulate import make_detector
+
+        return make_detector("small1", "helmet").detect_split(helmet_mini)
+
+    @pytest.mark.parametrize("scheme_name", ["edge", "cloud", "collaborative"])
+    def test_static_engine_identical(
+        self, deployment, unreliable_deployment, helmet_mini, half_mask, scheme_name
+    ):
+        scheme = paper_schemes()[scheme_name]
+        mask = half_mask if scheme_name == "collaborative" else None
+        plain = run_cost(scheme, deployment, helmet_mini, mask=mask, seed=42)
+        wrapped = run_cost(scheme, unreliable_deployment, helmet_mini, mask=mask, seed=42)
+        assert plain == wrapped
+
+    @pytest.mark.parametrize("escalation", ESCALATIONS, ids=ESCALATION_IDS)
+    @pytest.mark.parametrize("scheme_name", ["edge", "cloud", "collaborative"])
+    def test_stream_identical(
+        self, deployment, unreliable_deployment, helmet_mini, half_mask, small_batch, scheme_name, escalation
+    ):
+        config = StreamConfig(fps=6.0, duration_s=15.0)
+        uploaded = half_mask if scheme_name == "collaborative" else None
+        plain = StreamSimulator(deployment, helmet_mini, seed=42).run(
+            scheme_name, config, uploaded, detections=small_batch, small_detections=small_batch
+        )
+        wrapped = StreamSimulator(unreliable_deployment, helmet_mini, seed=42).run(
+            scheme_name,
+            config,
+            uploaded,
+            detections=small_batch,
+            small_detections=small_batch,
+            escalation=escalation,
+        )
+        assert plain == wrapped
+        assert wrapped.escalations_failed == 0
+        assert wrapped.escalations_dropped == 0
+        assert wrapped.escalations_recovered == 0
+
+    @pytest.mark.parametrize("escalation", ESCALATIONS, ids=ESCALATION_IDS)
+    def test_fleet_identical(self, deployment, unreliable_deployment, helmet_mini, half_mask, escalation):
+        config = StreamConfig(fps=1.5, duration_s=30.0)
+        kwargs = dict(cameras=8, mask=half_mask, seed=5)
+        plain = simulate_fleet(collaborative_scheme(), deployment, helmet_mini, config, **kwargs)
+        wrapped = simulate_fleet(
+            collaborative_scheme(),
+            unreliable_deployment,
+            helmet_mini,
+            config,
+            escalation=escalation,
+            **kwargs,
+        )
+        assert plain.cameras == wrapped.cameras
+        assert plain.latency == wrapped.latency
+        assert (plain.frames_offered, plain.frames_served, plain.frames_dropped, plain.frames_uploaded) == (
+            wrapped.frames_offered,
+            wrapped.frames_served,
+            wrapped.frames_dropped,
+            wrapped.frames_uploaded,
+        )
+        assert wrapped.escalations_failed == 0

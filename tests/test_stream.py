@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.data import load_dataset
-from repro.errors import RuntimeModelError
+from repro.errors import ConfigurationError, RuntimeModelError
 from repro.runtime import (
     JETSON_NANO,
     RTX3060_SERVER,
@@ -70,7 +70,7 @@ class TestEventLoop:
 
     def test_negative_delay_rejected(self):
         loop = EventLoop()
-        with pytest.raises(RuntimeModelError):
+        with pytest.raises(ConfigurationError):
             loop.schedule(-1.0, lambda: None)
 
 
