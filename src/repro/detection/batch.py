@@ -548,6 +548,27 @@ class GroundTruthBatch:
     # construction / conversion
     # ------------------------------------------------------------------ #
     @classmethod
+    def _trusted(
+        cls,
+        image_ids: tuple[str, ...],
+        boxes: np.ndarray,
+        labels: np.ndarray,
+        offsets: np.ndarray,
+    ) -> "GroundTruthBatch":
+        """Build without re-running ``__post_init__`` validation.
+
+        Only for arrays derived from an already-validated batch (gathering
+        preserves every invariant); external data must go through the public
+        constructor.
+        """
+        batch = object.__new__(cls)
+        object.__setattr__(batch, "image_ids", image_ids)
+        object.__setattr__(batch, "boxes", boxes)
+        object.__setattr__(batch, "labels", labels)
+        object.__setattr__(batch, "offsets", offsets)
+        return batch
+
+    @classmethod
     def from_truths(cls, truths: Sequence[GroundTruth]) -> "GroundTruthBatch":
         """Flatten per-image :class:`GroundTruth` into one batch."""
         items = list(truths)
@@ -612,8 +633,9 @@ class GroundTruthBatch:
         offsets = np.zeros(indices.size + 1, dtype=np.int64)
         np.cumsum(counts, out=offsets[1:])
         starts = self.offsets[:-1][indices]
-        return GroundTruthBatch(
-            image_ids=tuple(self.image_ids[int(i)] for i in indices),
+        ids = self.image_ids
+        return GroundTruthBatch._trusted(
+            image_ids=tuple(ids[index] for index in indices.tolist()),
             boxes=_gather_segments(self.boxes, starts, counts),
             labels=_gather_segments(self.labels, starts, counts),
             offsets=offsets,

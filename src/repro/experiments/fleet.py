@@ -254,10 +254,7 @@ class AdmissionOutcome:
     @property
     def staleness(self) -> np.ndarray:
         """Result age (completion minus arrival, s) of every served frame."""
-        ages = [
-            (camera.frame_times - camera.frame_arrivals)[camera.frame_served]
-            for camera in self.report.cameras
-        ]
+        ages = [camera.trace.latencies() for camera in self.report.cameras]
         return np.concatenate(ages) if ages else np.zeros(0)
 
     @property

@@ -11,9 +11,9 @@ empty detection set against their ground truth, so backpressure and
 queueing delay both show up as measured mAP / object-count loss rather than
 as side-channel counters.
 
-Inputs are the per-frame logs a :class:`~repro.runtime.serving.StreamReport`
-carries when the simulation was given served detections (``served``,
-``frame_arrivals``, ``frame_times``, ``frame_records``, ``frame_served``);
+Inputs are the columnar frame trace a
+:class:`~repro.runtime.serving.StreamReport` carries when the simulation was
+given served detections (``served`` plus the ``frame_*`` trace columns);
 fleet runs evaluate the union of all camera logs.
 
 Failure injection adds one wrinkle: a frame whose escalation failed serves
@@ -23,26 +23,34 @@ deferred *cloud* verdict later (``frame_verdict_segments`` /
 verdict inside the freshness deadline upgrades the scored frame, outside it
 the frame scores as edge-served — so graceful degradation and recovery are
 measured, not asserted.
+
+The evaluation is vectorized for fleet-scale traces, resting on one
+observation: greedy VOC matching is *per frame* — detections only contend
+for ground-truth boxes of their own frame — so each detection's
+true-positive flag is the same in every window that contains its frame.
+One block-diagonal pairwise-IoU pass (the VOC evaluator's flat-IoU trick)
+therefore matches every frame once, up front; deferred verdicts resolve
+with one ``np.where``; windows partition via ``np.searchsorted`` over
+sorted arrivals; and each window's mAP needs only a score sort of the
+precomputed flags plus the VOC interpolation — no per-window IoU, matching,
+or batch construction at all.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.data.datasets import Dataset
-from repro.detection.batch import DetectionBatch, DetectionBatchBuilder
+from repro.detection.batch import DetectionBatch, GroundTruthBatch
+from repro.detection.boxes import pairwise_iou
 from repro.errors import ConfigurationError
-from repro.metrics.counting import count_detected_objects
-from repro.metrics.voc_ap import mean_average_precision
+from repro.metrics.voc_ap import voc_ap_from_pr
 
 __all__ = ["RollingWindow", "rolling_quality"]
-
-_EMPTY_BOXES = np.zeros((0, 4))
-_EMPTY_SCORES = np.zeros(0)
-_EMPTY_LABELS = np.zeros(0, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -103,9 +111,11 @@ def _segment_maps(logs) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     Returns ``(positions, verdict_segments, verdict_times)`` aligned with the
     concatenated frame logs; ``-1`` marks "no segment".  Segment indices are
     shifted by each camera's offset in the concatenated batch.  Logs without
-    an explicit segment map (pre-failure-injection reports) fall back to
-    counting served flags, which is exact when the served batch holds only
-    primary serves.
+    an explicit segment map fall back to counting served flags — exact only
+    when every batch segment is a primary serve, so the fallback insists the
+    served-flag count equals the batch length instead of silently
+    misaligning segments (a batch carrying recovered verdicts has more
+    segments than served flags).
     """
     positions_parts: list[np.ndarray] = []
     verdict_parts: list[np.ndarray] = []
@@ -113,6 +123,13 @@ def _segment_maps(logs) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     offset = 0
     for batch, _arrivals, _times, _records, flags, segments, verdict_times, verdict_segments in logs:
         if segments is None:
+            flagged = int(np.count_nonzero(flags))
+            if flagged != len(batch):
+                raise ConfigurationError(
+                    f"frame log has {flagged} served flags for a {len(batch)}-segment served batch; "
+                    "counting served flags only maps segments exactly when every segment is a "
+                    "primary serve — supply frame_segments for this report"
+                )
             counted = np.cumsum(flags.astype(np.int64)) - 1
             positions_parts.append(np.where(flags, counted + offset, -1))
         else:
@@ -129,6 +146,113 @@ def _segment_maps(logs) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         np.concatenate(verdict_parts),
         np.concatenate(verdict_time_parts),
     )
+
+
+def _window_count(duration_s: float, step_s: float) -> int:
+    """Number of windows on the exact ``i * step_s`` grid covering arrivals.
+
+    ``ceil(duration / step)`` pinned against both float failure modes: when
+    the quotient rounds just above an integer the trim loop drops trailing
+    windows whose start already lands at/after ``duration_s``, and when the
+    *product* ``i * step_s`` rounds just below ``duration_s`` the
+    quotient-based count never emits the trailing all-empty window the old
+    ``while i * step_s < duration_s`` loop did (e.g. ``duration_s=0.9,
+    step_s=0.3``: ``3 * 0.3 < 0.9`` in floats, yet window 3 starts exactly
+    at the horizon).  At least one window is always evaluated.
+    """
+    if duration_s <= 0.0:
+        return 1
+    count = max(1, math.ceil(duration_s / step_s))
+    while count > 1 and (count - 1) * step_s >= duration_s:
+        count -= 1
+    return count
+
+
+def _frame_matches(
+    above: DetectionBatch,
+    frame_starts: np.ndarray,
+    frame_counts: np.ndarray,
+    records: np.ndarray,
+    truth: GroundTruthBatch,
+    iou_threshold: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Greedy VOC matching of every frame's above-threshold detections.
+
+    Returns ``(frame_tp, row_tp)``: per-frame true-positive counts and the
+    per-detection true-positive flags over ``above``'s flat rows.  One
+    block-diagonal pass over every (frame, detection, ground-truth)
+    candidate pair reproduces
+    :func:`repro.detection.matching.greedy_match_arrays` exactly: a frame's
+    detections visit in score-descending order (the segment order), each
+    claims the highest-IoU unclaimed same-class ground-truth box at or above
+    the threshold, first index winning ties.  Candidate pairs are
+    prefiltered to same-class-and-above-threshold, which cannot change the
+    greedy outcome (below-threshold or claimed-and-zeroed candidates never
+    claim, since the threshold is positive).
+
+    Because detections of different frames never contend for the same
+    ground-truth box, the class-restricted claim order inside one frame is
+    the same whether frames are visited alone, interleaved across a window's
+    score-pooled ranking (the per-class AP protocol), or across all classes
+    in segment order (the counting protocol) — so these flags serve every
+    window's PR curves *and* its detected-object count.
+    """
+    num_frames = int(frame_counts.shape[0])
+    frame_tp = np.zeros(num_frames, dtype=np.int64)
+    row_tp = np.zeros(above.scores.shape[0], dtype=bool)
+    gt_counts = truth.counts()[records]
+    active = np.flatnonzero((frame_counts > 0) & (gt_counts > 0))
+    if active.size == 0:
+        return frame_tp, row_tp
+    if not 0.0 < iou_threshold <= 1.0:
+        raise ConfigurationError(f"iou_threshold must be in (0, 1], got {iou_threshold}")
+    det_starts = frame_starts[active]
+    gt_starts = truth.offsets[:-1][records[active]]
+    pair_counts = frame_counts[active] * gt_counts[active]
+    total = int(pair_counts.sum())
+    bases = np.zeros(active.size, dtype=np.int64)
+    np.cumsum(pair_counts[:-1], out=bases[1:])
+    local = np.arange(total, dtype=np.int64) - np.repeat(bases, pair_counts)
+    gc_rep = np.repeat(gt_counts[active], pair_counts)
+    det_local = local // gc_rep
+    gt_local = local % gc_rep
+    det_rows = np.repeat(det_starts, pair_counts) + det_local
+    gt_rows = np.repeat(gt_starts, pair_counts) + gt_local
+    iou = pairwise_iou(above.boxes[det_rows], truth.boxes[gt_rows])
+    ok = (above.labels[det_rows] == truth.labels[gt_rows]) & (iou >= iou_threshold)
+    candidates = np.flatnonzero(ok)
+    if candidates.size == 0:
+        return frame_tp, row_tp
+    pair_frame = np.repeat(np.arange(active.size, dtype=np.int64), pair_counts)
+    cand_frame = pair_frame[candidates].tolist()
+    cand_det = det_local[candidates].tolist()
+    cand_gt = gt_local[candidates].tolist()
+    cand_row = det_rows[candidates].tolist()
+    cand_iou = iou[candidates].tolist()
+    counts = [0] * int(active.size)
+    claimed: set[tuple[int, int]] = set()
+    num_pairs = len(cand_frame)
+    index = 0
+    while index < num_pairs:
+        frame = cand_frame[index]
+        det = cand_det[index]
+        row = cand_row[index]
+        best_iou = 0.0
+        best_gt = -1
+        # candidates are ordered (frame, det, gt) ascending, so strict ">"
+        # keeps the lowest gt index on IoU ties — argmax's tie-break
+        while index < num_pairs and cand_frame[index] == frame and cand_det[index] == det:
+            gt = cand_gt[index]
+            if (frame, gt) not in claimed and cand_iou[index] > best_iou:
+                best_iou = cand_iou[index]
+                best_gt = gt
+            index += 1
+        if best_gt >= 0:
+            claimed.add((frame, best_gt))
+            counts[frame] += 1
+            row_tp[row] = True
+    frame_tp[active] = counts
+    return frame_tp, row_tp
 
 
 def rolling_quality(
@@ -203,58 +327,100 @@ def rolling_quality(
         # just past the latest arrival, so a frame landing exactly on a
         # window boundary still falls inside the final window
         duration_s = float(np.nextafter(arrivals.max(), np.inf)) if arrivals.size else 0.0
+
+    # Reconcile deferred cloud verdicts: inside the freshness deadline the
+    # late verdict's segment replaces the one the frame served with;
+    # outside, the frame stays scored on its original (edge) verdict.
+    upgrade = verdict_segments >= 0
+    if freshness_s is not None:
+        upgrade &= (verdict_times - arrivals) <= freshness_s
+    segments = np.where(upgrade, verdict_segments, positions)
+
+    # Each fresh frame contributes its segment's above-threshold prefix (a
+    # dropped or stale frame contributes nothing) from ONE shared filtering
+    # of the served batch; the greedy matches behind every window's PR
+    # curves and detected-object counts are computed once, up front.
+    num_frames = int(arrivals.shape[0])
+    above = batch.above(score_threshold)
+    if len(batch):
+        safe = np.where(fresh, segments, 0)
+        frame_counts = np.where(fresh, np.diff(above.offsets)[safe], 0)
+        frame_starts = np.where(fresh, above.offsets[:-1][safe], 0)
+    else:
+        frame_counts = np.zeros(num_frames, dtype=np.int64)
+        frame_starts = np.zeros(num_frames, dtype=np.int64)
+    frame_tp, row_tp = _frame_matches(above, frame_starts, frame_counts, records, truth, iou_threshold)
+
+    # Per-record per-class ground-truth counts: a window's class gt totals
+    # (the PR recall denominators, and the devkit's skip-absent-classes
+    # rule) reduce to one row-sum over its frames.
+    num_classes = dataset.num_classes
+    truth_labels = truth.labels
+    in_range = (truth_labels >= 0) & (truth_labels < num_classes)
+    record_class_gt = np.bincount(
+        truth.image_indices()[in_range] * num_classes + truth_labels[in_range],
+        minlength=len(truth) * num_classes,
+    ).reshape(len(truth), num_classes)
+    frame_class_gt = record_class_gt[records]
+    frame_gt_totals = truth.counts()[records]
+    above_scores = above.scores
+    above_labels = above.labels
+
+    # Window membership via binary search over sorted arrivals: fleet logs
+    # concatenate per camera, so arrivals are not globally sorted; sorting
+    # the in-window positions restores the original (camera-major) frame
+    # order the per-window scan produced.
+    order = np.argsort(arrivals, kind="stable")
+    sorted_arrivals = arrivals[order]
+
     windows: list[RollingWindow] = []
     # windows sit on an exact i * step_s grid (no float accumulation drift)
-    index = 0
-    while index * step_s < duration_s or not windows:
+    for index in range(_window_count(duration_s, step_s)):
         t_start = index * step_s
         t_end = t_start + window_s
-        inside = np.flatnonzero((arrivals >= t_start) & (arrivals < t_end))
+        lo = int(np.searchsorted(sorted_arrivals, t_start, side="left"))
+        hi = int(np.searchsorted(sorted_arrivals, t_end, side="left"))
+        inside = np.sort(order[lo:hi])
         served = int(fresh[inside].sum())
         dropped = int((~served_flags[inside]).sum())
         stale = int(inside.size) - served - dropped
-        builder = DetectionBatchBuilder(detector=batch.detector)
-        for frame in inside:
-            if fresh[frame]:
-                segment = int(positions[frame])
-                # Reconcile a deferred cloud verdict: inside the freshness
-                # deadline it upgrades the scored frame; outside, the frame
-                # stays scored on the edge verdict it served with.
-                verdict = int(verdict_segments[frame])
-                if verdict >= 0 and (
-                    freshness_s is None or verdict_times[frame] - arrivals[frame] <= freshness_s
-                ):
-                    segment = verdict
-                lo = int(batch.offsets[segment])
-                hi = int(batch.offsets[segment + 1])
-                builder.append(
-                    batch.image_ids[segment],
-                    batch.boxes[lo:hi],
-                    batch.scores[lo:hi],
-                    batch.labels[lo:hi],
-                )
-            else:
-                builder.append(
-                    dataset.image_ids[int(records[frame])],
-                    _EMPTY_BOXES,
-                    _EMPTY_SCORES,
-                    _EMPTY_LABELS,
-                )
-        window_batch = builder.build()
-        window_truth = truth.select(records[inside])
+        true_objects = int(frame_gt_totals[inside].sum())
         if inside.size:
-            map_percent = mean_average_precision(
-                window_batch.above(score_threshold),
-                window_truth,
-                dataset.num_classes,
-                iou_threshold=iou_threshold,
-            )
-            detected = count_detected_objects(
-                window_batch,
-                window_truth,
-                score_threshold=score_threshold,
-                iou_threshold=iou_threshold,
-            )
+            counts = frame_counts[inside]
+            starts = frame_starts[inside]
+            total = int(counts.sum())
+            if total:
+                bases = np.zeros(inside.size, dtype=np.int64)
+                np.cumsum(counts[:-1], out=bases[1:])
+                rows = np.repeat(starts - bases, counts) + np.arange(total)
+                window_scores = above_scores[rows]
+                window_labels = above_labels[rows]
+                window_tp = row_tp[rows]
+            else:
+                window_scores = above_scores[:0]
+                window_labels = above_labels[:0]
+                window_tp = row_tp[:0]
+            class_gt = frame_class_gt[inside].sum(axis=0)
+            aps: list[float] = []
+            for label in range(num_classes):
+                num_gt = int(class_gt[label])
+                if num_gt == 0:
+                    continue  # no annotated instances: the devkit skips the class
+                class_mask = window_labels == label
+                class_scores = window_scores[class_mask]
+                if class_scores.size == 0:
+                    aps.append(0.0)  # annotated but never detected: AP 0
+                    continue
+                # pooled ranking: score-descending, ties by in-window order
+                rank = np.argsort(-class_scores, kind="stable")
+                tp_ranked = window_tp[class_mask][rank]
+                tp_cum = np.cumsum(tp_ranked)
+                fp_cum = np.cumsum(~tp_ranked)
+                recall = tp_cum / num_gt
+                precision = tp_cum / np.maximum(tp_cum + fp_cum, 1)
+                aps.append(voc_ap_from_pr(recall, precision, use_07_metric=True))
+            map_percent = 100.0 * float(np.mean(aps)) if aps else 0.0
+            detected = int(frame_tp[inside].sum())
         else:
             map_percent = 0.0
             detected = 0
@@ -268,8 +434,7 @@ def rolling_quality(
                 stale=stale,
                 map_percent=map_percent,
                 detected_objects=detected,
-                true_objects=window_truth.total_objects,
+                true_objects=true_objects,
             )
         )
-        index += 1
     return windows

@@ -34,6 +34,7 @@ takes ``online`` to select between the two readings.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, Sequence, runtime_checkable
@@ -50,6 +51,7 @@ from repro.runtime.codec import JpegCodec, detections_payload_bytes
 from repro.runtime.devices import ComputeDevice
 from repro.runtime.events import EventLoop, FifoResource
 from repro.runtime.network import NetworkLink, UnreliableLink
+from repro.runtime.trace import FrameTrace, FrameTraceBuilder
 
 __all__ = [
     "DISCRIMINATOR_FLOPS",
@@ -685,20 +687,19 @@ class StreamReport:
     ``served`` (present when the run was given per-record detections) is the
     stream's served output in completion order, accumulated frame by frame
     through a :class:`DetectionBatchBuilder` — no per-frame container
-    staging.  ``frame_arrivals``/``frame_times``/``frame_records``/
-    ``frame_served`` (same condition) log every *offered* frame in event
-    order — arrival time, result-ready time (arrival again for drops),
-    dataset record index, and whether it was served — which is exactly what
+    staging.  ``trace`` (same condition) is the columnar
+    :class:`~repro.runtime.trace.FrameTrace` logging every *offered* frame
+    in event order — arrival time, result-ready time (arrival again for
+    drops), dataset record index, served flag, served-batch segment, and the
+    deferred cloud verdict a durable escalation queue recovered (``-1`` /
+    ``-inf`` when there is none) — which is exactly what
     :func:`repro.metrics.rolling.rolling_quality` needs to score the stream
-    online, drops and staleness included.
+    online, drops, staleness and late verdicts included.
 
-    Under failure injection the served batch also carries *recovered* cloud
-    verdicts (appended when a spooled escalation finally lands), so
-    ``frame_segments`` maps each logged frame to its segment in ``served``
-    explicitly (-1 for drops) instead of by counting served flags, and
-    ``frame_verdict_segments``/``frame_verdict_times`` point at the late
-    cloud verdict (and when it landed) for frames that served their edge
-    fallback first — ``-1``/``-inf`` when there is none.
+    The historical per-column views (``frame_arrivals``/``frame_times``/
+    ``frame_records``/``frame_served``/``frame_segments``/
+    ``frame_verdict_times``/``frame_verdict_segments``) remain available as
+    read-only properties over the trace.
     """
 
     scheme: str
@@ -721,13 +722,7 @@ class StreamReport:
     #: Spooled escalations whose cloud verdict eventually landed.
     escalations_recovered: int = 0
     served: DetectionBatch | None = field(default=None, repr=False)
-    frame_arrivals: np.ndarray | None = field(default=None, repr=False)
-    frame_times: np.ndarray | None = field(default=None, repr=False)
-    frame_records: np.ndarray | None = field(default=None, repr=False)
-    frame_served: np.ndarray | None = field(default=None, repr=False)
-    frame_segments: np.ndarray | None = field(default=None, repr=False)
-    frame_verdict_times: np.ndarray | None = field(default=None, repr=False)
-    frame_verdict_segments: np.ndarray | None = field(default=None, repr=False)
+    trace: FrameTrace | None = field(default=None, repr=False)
 
     @property
     def drop_rate(self) -> float:
@@ -743,12 +738,62 @@ class StreamReport:
             return 0.0
         return self.frames_uploaded / self.frames_served
 
+    # ------------------------------------------------------------------ #
+    # per-column views over the trace (the pre-columnar report fields)
+    # ------------------------------------------------------------------ #
+    @property
+    def frame_arrivals(self) -> np.ndarray | None:
+        """Arrival instant of every offered frame (``trace.arrivals``)."""
+        return None if self.trace is None else self.trace.arrivals
+
+    @property
+    def frame_times(self) -> np.ndarray | None:
+        """Result-ready instant per offered frame (``trace.times``)."""
+        return None if self.trace is None else self.trace.times
+
+    @property
+    def frame_records(self) -> np.ndarray | None:
+        """Dataset record index per offered frame (``trace.records``)."""
+        return None if self.trace is None else self.trace.records
+
+    @property
+    def frame_served(self) -> np.ndarray | None:
+        """Served flag per offered frame (``trace.served``)."""
+        return None if self.trace is None else self.trace.served
+
+    @property
+    def frame_segments(self) -> np.ndarray | None:
+        """Served-batch segment per offered frame (``trace.segments``)."""
+        return None if self.trace is None else self.trace.segments
+
+    @property
+    def frame_verdict_times(self) -> np.ndarray | None:
+        """Deferred-verdict landing time per frame (``trace.verdict_times``)."""
+        return None if self.trace is None else self.trace.verdict_times
+
+    @property
+    def frame_verdict_segments(self) -> np.ndarray | None:
+        """Deferred-verdict segment per frame (``trace.verdict_segments``)."""
+        return None if self.trace is None else self.trace.verdict_segments
+
+    def latency_percentiles(self, percentiles: Sequence[float] = (50.0, 95.0, 99.0)) -> dict[float, float]:
+        """Per-frame latency percentiles over this stream's served frames.
+
+        Read from the columnar trace, so the run must have been simulated
+        with ``detections=`` (the condition under which a trace is kept).
+        """
+        if self.trace is None:
+            raise ConfigurationError(
+                "stream report carries no frame trace; simulate with detections= to record one"
+            )
+        return self.trace.latency_percentiles(percentiles)
+
     def __eq__(self, other: object) -> bool:
         """Field-wise value equality, array-aware.
 
-        The dataclass-generated ``__eq__`` would compare the ``frame_*``
-        array fields elementwise and raise on multi-element logs; reports
-        compare as equal iff every field (arrays included) matches.
+        The dataclass-generated ``__eq__`` would compare the trace's array
+        columns elementwise and raise on multi-element logs; reports compare
+        as equal iff every field (trace columns included) matches.
         """
         if not isinstance(other, StreamReport):
             return NotImplemented
@@ -766,13 +811,7 @@ class StreamReport:
             "edge_utilization",
             "uplink_utilization",
             "cloud_utilization",
-            "frame_arrivals",
-            "frame_times",
-            "frame_records",
-            "frame_served",
-            "frame_segments",
-            "frame_verdict_times",
-            "frame_verdict_segments",
+            "trace",
         ):
             if not _values_equal(getattr(self, name), getattr(other, name)):
                 return False
@@ -822,6 +861,32 @@ class FleetReport:
             return 0.0
         return self.frames_uploaded / self.frames_served
 
+    def trace(self) -> FrameTrace:
+        """The fleet-level columnar frame trace (all cameras, concatenated).
+
+        Each camera's served-batch segments are shifted by its offset in the
+        fleet-wide concatenation of served batches, so the fleet trace can
+        index a fleet-level :meth:`DetectionBatch.concat` of the per-camera
+        ``served`` batches directly.  Requires the run to have been
+        simulated with ``detections=`` (every camera keeps a trace then).
+        """
+        parts: list[FrameTrace] = []
+        offsets: list[int] = []
+        total = 0
+        for index, camera in enumerate(self.cameras):
+            if camera.trace is None:
+                raise ConfigurationError(
+                    f"fleet camera {index} carries no frame trace; simulate with detections= to record one"
+                )
+            parts.append(camera.trace)
+            offsets.append(total)
+            total += 0 if camera.served is None else len(camera.served)
+        return FrameTrace.concat(parts, segment_offsets=offsets)
+
+    def latency_percentiles(self, percentiles: Sequence[float] = (50.0, 95.0, 99.0)) -> dict[float, float]:
+        """Fleet-wide per-frame latency percentiles (from the columnar trace)."""
+        return self.trace().latency_percentiles(percentiles)
+
 
 def _arrival_times(config: StreamConfig, seed: int, *scope: object) -> np.ndarray:
     """Arrival instants of one stream (Poisson or periodic), seed-scoped.
@@ -859,7 +924,47 @@ class _CameraStream:
     uplink queue otherwise — are the admission policy's domain: the policy
     runs at every arrival and may shed them through :meth:`shed_oldest` /
     :meth:`shed_expired` before deciding on the newcomer.
+
+    A fleet allocates one of these per camera, so the per-instance state is
+    slotted and the frame log lands in a preallocated columnar
+    :class:`FrameTraceBuilder` (reserved to the arrival count up front)
+    instead of per-frame Python list appends.
     """
+
+    __slots__ = (
+        "scheme",
+        "deployment",
+        "records",
+        "config",
+        "mask",
+        "detections",
+        "loop",
+        "edge",
+        "uplink",
+        "cloud",
+        "record_for",
+        "admission",
+        "escalation",
+        "fallback_detections",
+        "edge_service",
+        "cloud_service",
+        "downlink_latency",
+        "latencies",
+        "served",
+        "dropped",
+        "shed",
+        "uploads",
+        "escalations_failed",
+        "escalations_dropped",
+        "escalations_recovered",
+        "in_uplink",
+        "_waiting",
+        "_min_remaining_cache",
+        "builder",
+        "trace",
+        "escalation_queue",
+        "frames_offered",
+    )
 
     def __init__(
         self,
@@ -909,15 +1014,10 @@ class _CameraStream:
         self._waiting: deque[tuple[object, float, int]] = deque()
         self._min_remaining_cache: dict[int, float] = {}
         self.builder: DetectionBatchBuilder | None = None
+        self.trace: FrameTraceBuilder | None = None
         if detections is not None:
             self.builder = DetectionBatchBuilder(detector=detections.detector)
-            self.frame_arrivals: list[float] = []
-            self.frame_times: list[float] = []
-            self.frame_records: list[int] = []
-            self.frame_served: list[bool] = []
-            self.frame_segments: list[int] = []
-            self.frame_verdict_times: list[float] = []
-            self.frame_verdict_segments: list[int] = []
+            self.trace = FrameTraceBuilder()
         if (
             uplink.can_fail
             and self.escalation.fallback
@@ -938,6 +1038,9 @@ class _CameraStream:
 
     def schedule(self, arrivals: np.ndarray) -> None:
         """Queue every arrival of this camera onto the shared loop."""
+        if self.trace is not None:
+            # one upfront reservation covers the run's whole frame log
+            self.trace.reserve(int(arrivals.shape[0]))
         for index, arrival in enumerate(arrivals):
             self.loop.schedule(arrival, lambda i=index, a=arrival: self._on_frame(i, a))
         self.frames_offered = int(arrivals.shape[0])
@@ -947,16 +1050,9 @@ class _CameraStream:
         self, arrival: float, time: float, record_index: int, served: bool, segment: int | None = None
     ) -> int | None:
         """Append one frame-log entry; returns its position (``None`` without logs)."""
-        if self.builder is None:
+        if self.trace is None:
             return None
-        self.frame_arrivals.append(arrival)
-        self.frame_times.append(time)
-        self.frame_records.append(record_index)
-        self.frame_served.append(served)
-        self.frame_segments.append(-1 if segment is None else segment)
-        self.frame_verdict_times.append(-np.inf)
-        self.frame_verdict_segments.append(-1)
-        return len(self.frame_arrivals) - 1
+        return self.trace.append(arrival, time, record_index, served, -1 if segment is None else segment)
 
     def _append_segment(self, batch: DetectionBatch, record_index: int) -> int:
         lo = int(batch.offsets[record_index])
@@ -1059,17 +1155,14 @@ class _CameraStream:
             # The frame already served its edge verdict; record the late
             # cloud verdict for the quality evaluation to reconcile.
             if entry.log_position is not None:
-                self.frame_verdict_times[entry.log_position] = verdict_time
-                self.frame_verdict_segments[entry.log_position] = segment
+                self.trace.set_verdict(entry.log_position, verdict_time, segment)
         else:
             # The frame was logged as dropped; the late verdict un-drops it.
             self.dropped -= 1
             self.served += 1
             self.latencies.append(verdict_time - entry.arrival)
             if entry.log_position is not None:
-                self.frame_times[entry.log_position] = verdict_time
-                self.frame_served[entry.log_position] = True
-                self.frame_segments[entry.log_position] = segment
+                self.trace.mark_served(entry.log_position, verdict_time, segment)
 
     # ------------------------------------------------------------------ #
     # admission-policy surface
@@ -1219,15 +1312,7 @@ class _CameraStream:
             uplink_utilization=self.uplink.utilization(elapsed),
             cloud_utilization=self.cloud.utilization(elapsed),
             served=self.builder.build() if has_frames else None,
-            frame_arrivals=np.asarray(self.frame_arrivals) if has_frames else None,
-            frame_times=np.asarray(self.frame_times) if has_frames else None,
-            frame_records=np.asarray(self.frame_records, dtype=np.int64) if has_frames else None,
-            frame_served=np.asarray(self.frame_served, dtype=bool) if has_frames else None,
-            frame_segments=np.asarray(self.frame_segments, dtype=np.int64) if has_frames else None,
-            frame_verdict_times=np.asarray(self.frame_verdict_times) if has_frames else None,
-            frame_verdict_segments=np.asarray(self.frame_verdict_segments, dtype=np.int64)
-            if has_frames
-            else None,
+            trace=self.trace.build() if has_frames else None,
         )
 
 
@@ -1342,7 +1427,7 @@ class CameraSpec:
     detections: DetectionBatch | None = None
 
 
-def simulate_fleet(
+def _simulate_fleet_impl(
     scheme: ServingScheme,
     deployment: Deployment,
     dataset: Dataset,
@@ -1356,23 +1441,6 @@ def simulate_fleet(
     escalation: EscalationPolicy | None = None,
     seed: int = DEFAULT_SEED,
 ) -> FleetReport:
-    """Serve a camera fleet contending for one deployment.
-
-    Each camera owns an edge accelerator (cameras are independent devices)
-    but every upload serialises through the *single* shared uplink and the
-    *single* shared cloud GPU — the contention that decides whether a scheme
-    scales to a fleet.  Camera ``c`` starts its cycle through the records at
-    offset ``c * len(records) // cameras`` so the fleet covers the split
-    rather than synchronising on the same frames; arrivals are seeded per
-    camera, so runs are deterministic for any camera count.
-
-    ``cameras`` is either a count (a homogeneous fleet of identical
-    cameras) or a sequence of :class:`CameraSpec`, one per camera, whose
-    unset fields inherit the fleet-level arguments — mixed frame rates,
-    per-camera schemes/offload policies, admission policies and per-camera
-    (e.g. quality-drifted) records all run over the same shared uplink and
-    cloud GPU.
-    """
     if isinstance(cameras, int):
         if cameras < 1:
             raise RuntimeModelError(f"a fleet needs at least one camera, got {cameras}")
@@ -1483,3 +1551,78 @@ def simulate_fleet(
         uplink_utilization=uplink.utilization(elapsed),
         cloud_utilization=cloud.utilization(elapsed),
     )
+
+
+def simulate_fleet(
+    scheme: ServingScheme,
+    deployment: Deployment,
+    dataset: Dataset,
+    config: StreamConfig,
+    *,
+    cameras: int | Sequence[CameraSpec],
+    mask: np.ndarray | None = None,
+    small_detections: DetectionBatch | list[Detections] | None = None,
+    detections: DetectionBatch | None = None,
+    admission: AdmissionPolicy | None = None,
+    escalation: EscalationPolicy | None = None,
+    seed: int = DEFAULT_SEED,
+) -> FleetReport:
+    """Serve a camera fleet contending for one deployment.
+
+    Each camera owns an edge accelerator (cameras are independent devices)
+    but every upload serialises through the *single* shared uplink and the
+    *single* shared cloud GPU — the contention that decides whether a scheme
+    scales to a fleet.  Camera ``c`` starts its cycle through the records at
+    offset ``c * len(records) // cameras`` so the fleet covers the split
+    rather than synchronising on the same frames; arrivals are seeded per
+    camera, so runs are deterministic for any camera count.
+
+    ``cameras`` is either a count (a homogeneous fleet of identical
+    cameras) or a sequence of :class:`CameraSpec`, one per camera, whose
+    unset fields inherit the fleet-level arguments — mixed frame rates,
+    per-camera schemes/offload policies, admission policies and per-camera
+    (e.g. quality-drifted) records all run over the same shared uplink and
+    cloud GPU.
+
+    Setting ``REPRO_PROFILE=1`` in the environment wraps the run in
+    :mod:`cProfile` and dumps ``simulate_fleet.prof`` into
+    ``$REPRO_PROFILE_DIR`` (default ``benchmarks/_output``) for hot-path
+    hunts — no ad-hoc instrumentation needed.
+    """
+    if not os.environ.get("REPRO_PROFILE"):
+        return _simulate_fleet_impl(
+            scheme,
+            deployment,
+            dataset,
+            config,
+            cameras=cameras,
+            mask=mask,
+            small_detections=small_detections,
+            detections=detections,
+            admission=admission,
+            escalation=escalation,
+            seed=seed,
+        )
+    import cProfile
+
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        return _simulate_fleet_impl(
+            scheme,
+            deployment,
+            dataset,
+            config,
+            cameras=cameras,
+            mask=mask,
+            small_detections=small_detections,
+            detections=detections,
+            admission=admission,
+            escalation=escalation,
+            seed=seed,
+        )
+    finally:
+        profile.disable()
+        out_dir = os.environ.get("REPRO_PROFILE_DIR", os.path.join("benchmarks", "_output"))
+        os.makedirs(out_dir, exist_ok=True)
+        profile.dump_stats(os.path.join(out_dir, "simulate_fleet.prof"))

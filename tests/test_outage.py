@@ -28,6 +28,7 @@ from repro.runtime import (
     EscalationPolicy,
     EventLoop,
     FifoResource,
+    FrameTrace,
     OutageSchedule,
     StreamConfig,
     StreamReport,
@@ -413,13 +414,15 @@ class TestVerdictReconciliation:
             escalations_failed=1,
             escalations_recovered=1,
             served=builder.build(),
-            frame_arrivals=np.array([0.0]),
-            frame_times=np.array([1.0]),
-            frame_records=np.array([0], dtype=np.int64),
-            frame_served=np.array([True]),
-            frame_segments=np.array([0], dtype=np.int64),
-            frame_verdict_times=np.array([9.0]),
-            frame_verdict_segments=np.array([1], dtype=np.int64),
+            trace=FrameTrace(
+                arrivals=np.array([0.0]),
+                times=np.array([1.0]),
+                records=np.array([0], dtype=np.int64),
+                served=np.array([True]),
+                segments=np.array([0], dtype=np.int64),
+                verdict_times=np.array([9.0]),
+                verdict_segments=np.array([1], dtype=np.int64),
+            ),
         )
 
     def test_late_verdict_inside_deadline_upgrades(self, helmet_mini):
