@@ -1,0 +1,215 @@
+"""Closed-loop fleet control: estimated admission, coordination, quotas.
+
+Run:  python examples/closed_loop_control.py
+
+The deadline-aware admission policy in ``admission_control.py`` is
+omniscient — it reads exact queue state out of the simulator, which no
+deployment can do.  This example closes the loop with information a real
+fleet actually has, on the spec-based serving API (``FleetSpec`` +
+``serve_fleet``):
+
+Part 1 — the information ladder.  Eight cloud-only cameras saturate one
+shared WLAN uplink.  ``EstimatedDeadlineAware`` sheds doomed frames using
+only EWMA estimates learned from each camera's own completion events, and
+recovers nearly all of the omniscient policy's rolling-mAP gain over the
+historical drop-newest buffer.  Adding an ``UplinkCoordinator`` — a fleet
+controller on the shared event loop that sweeps doomed frames across
+cameras, stalest first — does even better than per-camera estimates alone.
+
+Part 2 — adaptive offload quotas under drift.  Half the fleet switches to
+degraded night footage on a congested uplink: the statically fitted
+discriminator threshold flags far more night frames difficult and busts
+the upload budget by half again, while per-camera ``AdaptiveQuota``
+controllers steer the realised upload ratio onto the affordable budget
+and keep the fleet fresh at near-parity quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro import DifficultCaseDiscriminator, load_dataset, make_detector
+from repro.core import DiscriminatorPolicy
+from repro.data.degrade import DegradationModel
+from repro.detection import DetectionBatch
+from repro.metrics import rolling_quality
+from repro.runtime import (
+    JETSON_NANO,
+    RTX3060_SERVER,
+    WLAN,
+    AdaptiveQuota,
+    CameraSpec,
+    DeadlineAware,
+    Deployment,
+    DropNewest,
+    EstimatedDeadlineAware,
+    FleetSpec,
+    StreamConfig,
+    UplinkCoordinator,
+    cloud_only_scheme,
+    collaborative_scheme,
+    serve_fleet,
+)
+from repro.zoo import build_model
+
+CAMERAS = 8
+CONFIG = StreamConfig(fps=1.5, poisson=True, duration_s=40.0, max_edge_queue=30)
+WINDOW_S = 8.0
+FRESHNESS_S = 2.0
+UPLOAD_BUDGET = 0.10
+CONGESTED_MBPS = 2.2
+
+
+def fleet_map(report, dataset) -> tuple[float, float]:
+    """Rolling mAP at the freshness deadline, plus fresh-serve percent."""
+    windows = rolling_quality(
+        report,
+        dataset,
+        window_s=WINDOW_S,
+        duration_s=CONFIG.duration_s,
+        freshness_s=FRESHNESS_S,
+    )
+    scored = [w for w in windows if w.frames]
+    mean_map = sum(w.map_percent for w in scored) / max(len(scored), 1)
+    fresh = 100.0 * sum(w.served for w in windows) / max(report.frames_offered, 1)
+    return mean_map, fresh
+
+
+def main() -> None:
+    print("Preparing the helmet small-big system...")
+    small_model = make_detector("small1", "helmet")
+    big_model = make_detector("ssd", "helmet")
+    train = load_dataset("helmet", "train", fraction=0.4)
+    discriminator, _ = DifficultCaseDiscriminator.fit(
+        small_model.detect_split(train),
+        big_model.detect_split(train),
+        train.truths,
+    )
+    test = load_dataset("helmet", "test", fraction=0.5)
+    small = DetectionBatch.coerce(small_model.detect_split(test))
+    big = DetectionBatch.coerce(big_model.detect_split(test))
+
+    deployment = Deployment(
+        edge=JETSON_NANO,
+        cloud=RTX3060_SERVER,
+        link=WLAN,
+        small_model_flops=float(build_model("small1", num_classes=2).flops),
+        big_model_flops=float(build_model("ssd", num_classes=2).flops),
+    )
+
+    # ----------------------------------------------------------------- #
+    # Part 1: the information ladder on the saturated cloud-only fleet
+    # ----------------------------------------------------------------- #
+    print(f"\n{CAMERAS} cloud-only cameras over one shared {WLAN.bandwidth_mbps} Mbps uplink:")
+    print(f"\n{'policy':<22}{'shed':>8}{'fresh':>8}{'rolling mAP':>13}")
+    everything = ~np.zeros(len(test), dtype=bool)
+    ladder = [
+        ("drop-newest", DropNewest(), None),
+        ("deadline (omniscient)", DeadlineAware(freshness_s=FRESHNESS_S), None),
+        ("estimated-deadline", EstimatedDeadlineAware(freshness_s=FRESHNESS_S), None),
+        (
+            "coordinated",
+            EstimatedDeadlineAware(freshness_s=FRESHNESS_S),
+            UplinkCoordinator(freshness_s=FRESHNESS_S),
+        ),
+    ]
+    for label, admission, controller in ladder:
+        spec = FleetSpec(
+            scheme=cloud_only_scheme(),
+            config=CONFIG,
+            cameras=CAMERAS,
+            mask=everything,
+            detections=big,
+            admission=admission,
+            controller=controller,
+        )
+        report = serve_fleet(deployment, test, spec)
+        mean_map, fresh = fleet_map(report, test)
+        shed = 100.0 * report.frames_shed / max(report.frames_offered, 1)
+        print(f"{label:<22}{shed:>7.1f}%{fresh:>7.1f}%{mean_map:>13.2f}")
+    print("\nEWMA estimates of each camera's own completions recover nearly all")
+    print("of the omniscient policy's gain; sweeping stalest-first across the")
+    print("whole fleet between arrivals recovers the rest and then some.")
+
+    # ----------------------------------------------------------------- #
+    # Part 2: adaptive offload quotas when half the fleet drifts
+    # ----------------------------------------------------------------- #
+    night = test.with_degradation(
+        DegradationModel(degraded_fraction=1.0, min_quality=0.3, max_quality=0.55),
+        scope="night-shift",
+    )
+    night_small = DetectionBatch.coerce(small_model.detect_split(night))
+    night_big = DetectionBatch.coerce(big_model.detect_split(night))
+    policy = DiscriminatorPolicy(discriminator)
+    mask = policy.select(test, small)
+    night_mask = policy.select(night, night_small)
+    congested = replace(
+        deployment, link=replace(WLAN, name="wlan-congested", bandwidth_mbps=CONGESTED_MBPS)
+    )
+    scheme = collaborative_scheme(policy, name="discriminator")
+    night_cameras = CAMERAS // 2
+    day_cameras = CAMERAS - night_cameras
+
+    print(f"\n{night_cameras} of {CAMERAS} cameras drift to night footage on a "
+          f"{CONGESTED_MBPS} Mbps uplink")
+    print(f"(upload budget {100 * UPLOAD_BUDGET:.0f}% of frames):\n")
+    print(f"{'offload policy':<18}{'uploads':>9}{'fresh':>8}{'rolling mAP':>13}")
+
+    # Statically fitted thresholds: the night cameras' discriminator flags
+    # far more frames difficult, over-committing the congested link.
+    static = FleetSpec(
+        scheme=scheme,
+        config=CONFIG,
+        cameras=(CameraSpec(),) * day_cameras
+        + (
+            CameraSpec(
+                dataset=night,
+                detections=night_big,
+                small_detections=night_small,
+                mask=night_mask,
+            ),
+        )
+        * night_cameras,
+        mask=mask,
+        detections=big,
+        small_detections=small,
+    )
+    report = serve_fleet(congested, test, static)
+    mean_map, fresh = fleet_map(report, test)
+    print(f"{'static-threshold':<18}{report.frames_uploaded:>9}{fresh:>7.1f}%{mean_map:>13.2f}")
+
+    # Per-camera adaptive quotas: each controller steers the discriminator's
+    # area threshold so the realised upload ratio tracks the budget.
+    day_quota = AdaptiveQuota(discriminator, small, UPLOAD_BUDGET)
+    night_quota = AdaptiveQuota(discriminator, night_small, UPLOAD_BUDGET)
+    adaptive = FleetSpec(
+        scheme=scheme,
+        config=CONFIG,
+        cameras=(CameraSpec(offload=day_quota),) * day_cameras
+        + (
+            CameraSpec(
+                dataset=night,
+                detections=night_big,
+                small_detections=night_small,
+                offload=night_quota,
+            ),
+        )
+        * night_cameras,
+        detections=big,
+        small_detections=small,
+    )
+    report = serve_fleet(congested, test, adaptive)
+    mean_map, fresh = fleet_map(report, test)
+    uploads = day_quota.uploads + night_quota.uploads
+    print(f"{'adaptive-quota':<18}{uploads:>9}{fresh:>7.1f}%{mean_map:>13.2f}")
+    print("\nThe static threshold busts the budget by half again and serves stale;")
+    print("the quota controllers hold the budget and stay fresh at near-parity")
+    print("rolling mAP — closing the loop without refitting anything.  (Table")
+    print("XXI runs the same comparison at the experiment harness's calibration,")
+    print("where holding the budget wins the quality column outright.)")
+
+
+if __name__ == "__main__":
+    main()

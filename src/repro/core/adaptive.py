@@ -124,12 +124,28 @@ class BudgetController:
         lo, hi = area_bounds
         if not 0.0 <= lo < hi:
             raise ConfigurationError("invalid area bounds")
+        self._initial = discriminator
+        self._initial_target = target_ratio
         self._discriminator = discriminator
         self.target_ratio = target_ratio
         self.gain = gain
         self._alpha = 1.0 - 0.5 ** (1.0 / ema_halflife)
         self._bounds = area_bounds
         self._ema = target_ratio
+        self.decisions = 0
+        self.uploads = 0
+
+    def reset(self) -> None:
+        """Forget all adaptation: behave as freshly constructed.
+
+        Restores the discriminator, target ratio and EMA to their
+        construction-time values and zeroes the decision counters, so the
+        same controller can be reused across independent runs without
+        leaking threshold state between them.
+        """
+        self._discriminator = self._initial
+        self.target_ratio = self._initial_target
+        self._ema = self._initial_target
         self.decisions = 0
         self.uploads = 0
 

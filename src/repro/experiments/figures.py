@@ -21,6 +21,7 @@ __all__ = [
     "figure_10_fleet_quality",
     "figure_11_staleness_tradeoff",
     "figure_12_outage_recovery",
+    "figure_13_control_plane",
     "all_figures",
 ]
 
@@ -290,6 +291,39 @@ def figure_12_outage_recovery(harness: Harness) -> FigureResult:
     )
 
 
+def figure_13_control_plane(harness: Harness) -> FigureResult:
+    """Figure 13 (extension): rolling mAP of the closed-loop control plane.
+
+    One rolling-mAP series per Table XXI run over the shared window grid.
+    The ``admission/*`` series show the estimated policy tracking the
+    omniscient deadline policy on the saturated cloud-only fleet (with
+    drop-newest collapsed at the floor) and the uplink coordinator pulling
+    ahead of per-arrival shedding; the ``drift/*`` series show the static
+    thresholds decaying as the congested uplink backs up while the
+    adaptive quotas hold their level.
+    """
+    from repro.experiments.fleet import FLEET_FRESHNESS_S, control_plane_outcomes
+
+    outcomes = control_plane_outcomes(harness)
+    x_values = [window.t_end for window in outcomes[0].windows]
+    return FigureResult(
+        figure_id="13",
+        title="Rolling mAP of the closed-loop control plane: estimated vs "
+        "omniscient admission, uplink coordination, adaptive quotas under drift",
+        x_label="window end (s)",
+        x_values=x_values,
+        series={
+            f"{outcome.group}/{outcome.label}": [
+                window.map_percent for window in outcome.windows
+            ]
+            for outcome in outcomes
+        },
+        notes=f"Scored at the {FLEET_FRESHNESS_S:g} s freshness deadline.  "
+        "admission/* series run the saturated cloud-only fleet; drift/* "
+        "series run the half-night fleet on the congested uplink.",
+    )
+
+
 def all_figures(harness: Harness) -> list[FigureResult]:
     """Run every figure in paper order (extensions last)."""
     return [
@@ -300,4 +334,5 @@ def all_figures(harness: Harness) -> list[FigureResult]:
         figure_10_fleet_quality(harness),
         figure_11_staleness_tradeoff(harness),
         figure_12_outage_recovery(harness),
+        figure_13_control_plane(harness),
     ]

@@ -27,11 +27,20 @@ no-retry / drop-on-failure / a durable spool with exponential backoff).
 Rolling quality without a freshness deadline then measures *eventual*
 quality: what a durable escalation queue recovers after the outage that the
 drop policies lose for good.
+
+Table XXI and Figure 13 close the loop: estimated-time admission
+(:class:`~repro.runtime.control.EstimatedDeadlineAware`) and fleet-wide
+uplink coordination (:class:`~repro.runtime.control.UplinkCoordinator`)
+climb toward the omniscient deadline policy on the saturated cloud-only
+fleet using only each camera's own completion events, and adaptive offload
+quotas (:class:`~repro.runtime.control.AdaptiveQuota`) hold a drifted
+half-night fleet to the upload budget a congested uplink can actually
+carry, where the statically fitted thresholds saturate it and go stale.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -39,23 +48,28 @@ from repro.baselines.blur_upload import BlurUploadPolicy
 from repro.baselines.confidence_upload import ConfidenceUploadPolicy
 from repro.baselines.random_upload import RandomUploadPolicy
 from repro.core.discriminator import DiscriminatorPolicy
+from repro.data.degrade import DegradationModel
 from repro.detection.batch import DetectionBatch
 from repro.experiments.harness import Harness
 from repro.metrics.rolling import RollingWindow, rolling_quality
+from repro.runtime.control import AdaptiveQuota, EstimatedDeadlineAware, UplinkCoordinator
 from repro.runtime.devices import JETSON_NANO, RTX3060_SERVER
 from repro.runtime.network import WLAN, OutageSchedule, UnreliableLink
 from repro.runtime.serving import (
     AdmissionPolicy,
+    CameraSpec,
     DeadlineAware,
     Deployment,
     DropNewest,
     DropOldest,
     EscalationPolicy,
     FleetReport,
+    FleetSpec,
     StreamConfig,
     cloud_only_scheme,
     collaborative_scheme,
     edge_only_scheme,
+    serve_fleet,
     simulate_fleet,
 )
 from repro.zoo.registry import build_model
@@ -66,15 +80,21 @@ __all__ = [
     "FLEET_LOSS_PROBABILITY",
     "FLEET_SETTING",
     "FLEET_WINDOW_S",
+    "DRIFT_BANDWIDTH_MBPS",
+    "DRIFT_UPLOAD_BUDGET",
     "AdmissionOutcome",
     "AvailabilityOutcome",
+    "ControlOutcome",
     "FleetOutcome",
     "admission_policies",
     "admission_policy_outcomes",
     "availability_outcomes",
     "compute_admission_outcomes",
     "compute_availability_outcomes",
+    "compute_control_outcomes",
     "compute_fleet_outcomes",
+    "control_plane_outcomes",
+    "drift_degradation",
     "escalation_policies",
     "fleet_config",
     "fleet_deployment",
@@ -522,4 +542,229 @@ def compute_availability_outcomes(
                         windows=windows,
                     )
                 )
+    return tuple(outcomes)
+
+
+# --------------------------------------------------------------------- #
+# Table XXI / Figure 13: the closed-loop control plane
+# --------------------------------------------------------------------- #
+#: Per-camera upload budget (fraction of frames) the adaptive-quota rows
+#: hold every camera to on the congested drift uplink.
+DRIFT_UPLOAD_BUDGET = 0.10
+
+#: Shared-uplink bandwidth (Mbps) of the drift fleet — tight enough that the
+#: static thresholds' night-time upload surge saturates it, while the
+#: budgeted fleet stays comfortably inside capacity.
+DRIFT_BANDWIDTH_MBPS = 2.2
+
+
+@dataclass(frozen=True)
+class ControlOutcome:
+    """One closed-loop control-plane fleet run, scored online.
+
+    ``group`` names the workload: ``admission`` rows run the saturated
+    cloud-only fleet (estimated-time admission vs its omniscient upper
+    bound), ``drift`` rows run the half-night fleet on the congested
+    uplink (adaptive quotas vs static thresholds).
+    """
+
+    group: str
+    label: str
+    report: FleetReport
+    windows: list[RollingWindow]
+    uploads: int
+
+    @property
+    def mean_map(self) -> float:
+        """Mean rolling mAP over windows that saw frames."""
+        values = [w.map_percent for w in self.windows if w.frames]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def mean_staleness_s(self) -> float:
+        """Mean served-frame result age in seconds."""
+        ages = [camera.trace.latencies() for camera in self.report.cameras]
+        stacked = np.concatenate(ages) if ages else np.zeros(0)
+        return float(stacked.mean()) if stacked.size else 0.0
+
+    @property
+    def fresh_percent(self) -> float:
+        """Percent of *offered* frames served within the freshness deadline."""
+        served = sum(w.served for w in self.windows)
+        offered = sum(w.frames for w in self.windows)
+        return 100.0 * served / offered if offered else 0.0
+
+
+def drift_degradation() -> DegradationModel:
+    """The night-shift image degradation of the Table XXI drift fleet.
+
+    Strong enough that the (day-fit) discriminator's upload ratio jumps
+    from ~0.20 to ~0.39 on night frames — the threshold drift the adaptive
+    quota rows are asked to absorb.
+    """
+    return DegradationModel(degraded_fraction=1.0, min_quality=0.3, max_quality=0.55)
+
+
+def control_plane_outcomes(
+    harness: Harness,
+    *,
+    cameras: int = FLEET_CAMERAS,
+    config: StreamConfig | None = None,
+    window_s: float = FLEET_WINDOW_S,
+) -> tuple[ControlOutcome, ...]:
+    """Control-plane comparison outcomes, memoised by the harness.
+
+    Convenience front door over :meth:`Harness.control_outcomes` (the
+    cache owner), which delegates the actual runs to
+    :func:`compute_control_outcomes`.
+    """
+    return harness.control_outcomes(cameras=cameras, config=config, window_s=window_s)
+
+
+def compute_control_outcomes(
+    harness: Harness,
+    *,
+    cameras: int = FLEET_CAMERAS,
+    config: StreamConfig | None = None,
+    window_s: float = FLEET_WINDOW_S,
+) -> tuple[ControlOutcome, ...]:
+    """Run the Table XXI / Figure 13 closed-loop control-plane fleets.
+
+    Two workloads, all runs through the :class:`~repro.runtime.serving.FleetSpec`
+    front door:
+
+    ``admission`` — the cloud-only fleet saturates the shared WLAN uplink,
+    and the rows climb the information ladder: ``drop-newest`` (no deadline
+    logic, the floor), omniscient ``deadline-aware`` (reads the simulator's
+    exact queued service times — an upper bound no deployment can run),
+    ``estimated-deadline`` (:class:`~repro.runtime.control.EstimatedDeadlineAware`,
+    the same shedding rule driven purely by EWMA estimates from the
+    camera's own completion events), and ``coordinated`` (the estimated
+    policy plus an :class:`~repro.runtime.control.UplinkCoordinator`
+    sweeping the fleet between arrivals with fleet-pooled estimates).
+
+    ``drift`` — half the cameras switch to night-shift footage
+    (:func:`drift_degradation`), which inflates the static discriminator
+    thresholds' upload ratio far past what a congested
+    :data:`DRIFT_BANDWIDTH_MBPS` uplink carries; everything queues and goes
+    stale.  The ``adaptive-quota`` row gives each camera an
+    :class:`~repro.runtime.control.AdaptiveQuota`
+    (:class:`~repro.core.adaptive.BudgetController` per camera) holding its
+    realised upload ratio to the affordable :data:`DRIFT_UPLOAD_BUDGET`,
+    trading cloud verdicts it cannot afford for freshness it can.
+
+    Uncached — go through :meth:`Harness.control_outcomes` (or the
+    :func:`control_plane_outcomes` front door) so Table XXI and Figure 13
+    consume the same runs.
+    """
+    if config is None:
+        config = fleet_config()
+    dataset = harness.dataset(FLEET_SETTING, "test")
+    small = harness.detections("small1", FLEET_SETTING, "test")
+    big = harness.detections("ssd", FLEET_SETTING, "test")
+    discriminator, _ = harness.discriminator("small1", "ssd", FLEET_SETTING)
+    deployment = fleet_deployment(dataset.num_classes)
+    seed = harness.config.seed
+    outcomes = []
+
+    def scored(group: str, label: str, report: FleetReport, uploads: int) -> ControlOutcome:
+        windows = rolling_quality(
+            report,
+            dataset,
+            window_s=window_s,
+            duration_s=config.duration_s,
+            freshness_s=FLEET_FRESHNESS_S,
+        )
+        return ControlOutcome(group=group, label=label, report=report, windows=windows, uploads=uploads)
+
+    # -- admission rows: saturated cloud-only fleet ---------------------- #
+    everything = ~np.zeros(len(dataset), dtype=bool)
+    admission_rows = (
+        ("drop-newest", DropNewest(), None),
+        ("deadline-aware", DeadlineAware(freshness_s=FLEET_FRESHNESS_S), None),
+        ("estimated-deadline", EstimatedDeadlineAware(freshness_s=FLEET_FRESHNESS_S), None),
+        (
+            "coordinated",
+            EstimatedDeadlineAware(freshness_s=FLEET_FRESHNESS_S),
+            UplinkCoordinator(freshness_s=FLEET_FRESHNESS_S),
+        ),
+    )
+    for label, admission, controller in admission_rows:
+        spec = FleetSpec(
+            scheme=cloud_only_scheme(),
+            config=config,
+            cameras=cameras,
+            mask=everything,
+            detections=big,
+            admission=admission,
+            controller=controller,
+        )
+        report = serve_fleet(deployment, dataset, spec, seed=seed)
+        uploads = sum(int(camera.trace.served.sum()) for camera in report.cameras)
+        outcomes.append(scored("admission", label, report, uploads))
+
+    # -- drift rows: half-night fleet on the congested uplink ------------ #
+    night = dataset.with_degradation(drift_degradation(), scope="night-shift")
+    night_small = DetectionBatch.coerce(harness.detector("small1", FLEET_SETTING).detect_split(night))
+    night_big = DetectionBatch.coerce(harness.detector("ssd", FLEET_SETTING).detect_split(night))
+    day_mask = np.asarray(discriminator.decide_split(small), dtype=bool)
+    night_mask = np.asarray(discriminator.decide_split(night_small), dtype=bool)
+    scheme = collaborative_scheme(DiscriminatorPolicy(discriminator), name="discriminator")
+    drift_deployment = Deployment(
+        edge=deployment.edge,
+        cloud=deployment.cloud,
+        link=replace(WLAN, name="wlan-congested", bandwidth_mbps=DRIFT_BANDWIDTH_MBPS),
+        small_model_flops=deployment.small_model_flops,
+        big_model_flops=deployment.big_model_flops,
+    )
+    night_cameras = cameras // 2
+    day_cameras = cameras - night_cameras
+
+    static = FleetSpec(
+        scheme=scheme,
+        config=config,
+        cameras=(CameraSpec(),) * day_cameras
+        + (
+            CameraSpec(
+                dataset=night,
+                detections=night_big,
+                small_detections=night_small,
+                mask=night_mask,
+            ),
+        )
+        * night_cameras,
+        mask=day_mask,
+        detections=big,
+        small_detections=small,
+    )
+    report = serve_fleet(drift_deployment, dataset, static, seed=seed)
+    uploads = 0
+    for index, camera in enumerate(report.cameras):
+        mask = day_mask if index < day_cameras else night_mask
+        trace = camera.trace
+        uploads += int(mask[trace.records[trace.served]].sum())
+    outcomes.append(scored("drift", "static-threshold", report, uploads))
+
+    day_quota = AdaptiveQuota(discriminator, small, DRIFT_UPLOAD_BUDGET)
+    night_quota = AdaptiveQuota(discriminator, night_small, DRIFT_UPLOAD_BUDGET)
+    adaptive = FleetSpec(
+        scheme=scheme,
+        config=config,
+        cameras=(CameraSpec(offload=day_quota),) * day_cameras
+        + (
+            CameraSpec(
+                dataset=night,
+                detections=night_big,
+                small_detections=night_small,
+                offload=night_quota,
+            ),
+        )
+        * night_cameras,
+        detections=big,
+        small_detections=small,
+    )
+    report = serve_fleet(drift_deployment, dataset, adaptive, seed=seed)
+    outcomes.append(
+        scored("drift", "adaptive-quota", report, day_quota.uploads + night_quota.uploads)
+    )
     return tuple(outcomes)

@@ -1,0 +1,571 @@
+"""Closed-loop fleet control: estimated-time admission, uplink coordination,
+adaptive offload quotas.
+
+Every policy in :mod:`repro.runtime.serving` up to here is static and
+omniscient: :class:`~repro.runtime.serving.DeadlineAware` reads the
+simulator's exact queued service times, each camera sheds alone, and the
+discriminator threshold is fit once offline.  This module closes the loop
+with policies that *learn from what a deployed camera can actually see* —
+its own frames' completion events:
+
+* :class:`FrameEvent` + the ``observe(camera, event)`` hook — the feedback
+  channel.  An engine emits one event per finished frame to every observer
+  a run registers (admission policy, offload controller, fleet controller).
+  Policies without the hook never pay for it: the engine builds events only
+  when at least one observer is attached.
+* :class:`EstimatedDeadlineAware` — deadline admission from EWMA estimates
+  of observed queue-drain and remaining-pipeline times, fed solely by the
+  camera's own completion events.  No simulator ground truth: it recovers
+  most of the omniscient policy's advantage honestly (Table XXI).
+* :class:`UplinkCoordinator` — a :class:`FleetController` on the shared
+  event loop: it pools downstream-time estimates fleet-wide and sweeps the
+  cameras between arrivals, shedding doomed frames at the stalest camera
+  first, so a doomed frame frees the shared uplink *before* the camera's
+  next arrival would have shed it.
+* :class:`AdaptiveQuota` — per-camera integral control of the discriminator
+  threshold (the previously-unwired
+  :class:`~repro.core.adaptive.BudgetController`), with an optional
+  pseudo-label quality feedback: audited cloud verdicts reveal how much
+  the edge model is missing, and cameras whose miss rate runs above the
+  fleet reference raise their upload quota.
+
+The :class:`CameraView` protocol is the narrow public surface these
+policies (and user-defined ones) program against — observable camera state
+plus the shedding verbs — so nothing here touches the engine's private
+camera class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core.adaptive import BudgetController
+from repro.detection.batch import DetectionBatch
+from repro.errors import ConfigurationError, RuntimeModelError
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.core.discriminator import DifficultCaseDiscriminator
+    from repro.detection.types import Detections
+    from repro.runtime.events import EventLoop
+    from repro.runtime.serving import StreamConfig
+
+__all__ = [
+    "AdaptiveQuota",
+    "CameraView",
+    "EstimatedDeadlineAware",
+    "FleetController",
+    "FrameEvent",
+    "OffloadController",
+    "UplinkCoordinator",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FrameEvent:
+    """One frame's observable outcome, emitted at its completion instant.
+
+    ``kind`` is ``"served"`` for a frame that produced a result (locally or
+    from the cloud) and ``"failed"`` for a frame lost to an uplink failure.
+    The timing decomposition is only meaningful for served frames — a
+    failed transfer never finished its stages, so its timing fields are
+    zero:
+
+    * ``queue_wait`` — time spent waiting in the camera's *entry* stage
+      (edge queue, or the shared uplink queue for no-edge schemes).
+    * ``entry_time`` — the entry stage's service time.
+    * everything between ``entry_done`` and ``completion`` is downstream:
+      uplink/cloud/downlink service *and* downstream queueing.
+
+    All quantities are things a deployed camera can measure with wall
+    clocks on its own traffic — no simulator internals leak through.
+    """
+
+    kind: str
+    arrival: float
+    completion: float
+    record_index: int
+    offloaded: bool
+    queue_wait: float = 0.0
+    entry_time: float = 0.0
+
+    @property
+    def entry_done(self) -> float:
+        """Instant the frame left the camera's entry stage."""
+        return self.arrival + self.queue_wait + self.entry_time
+
+    @property
+    def downstream_time(self) -> float:
+        """Time from entry-stage exit to completion (0 for local serves)."""
+        return self.completion - self.entry_done
+
+
+@runtime_checkable
+class CameraView(Protocol):
+    """The observable-state-plus-shedding surface a policy programs against.
+
+    This is the *public* face of the engine's per-camera stream object:
+    enough to implement admission and control policies (what is queued, how
+    stale is it, shed it) without reaching into engine internals.  All
+    built-in policies — and the protocols below — are typed against it.
+    """
+
+    @property
+    def now(self) -> float:  # pragma: no cover - protocol signature
+        """Current simulation time."""
+        ...
+
+    @property
+    def config(self) -> "StreamConfig":  # pragma: no cover - protocol signature
+        """The camera's workload description (fps, buffer bound...)."""
+        ...
+
+    def buffer_has_room(self) -> bool:  # pragma: no cover - protocol signature
+        ...
+
+    def buffer_depth(self) -> int:  # pragma: no cover - protocol signature
+        """Frames admitted but not yet through the entry stage."""
+        ...
+
+    def queued_arrivals(self) -> tuple[float, ...]:  # pragma: no cover - protocol signature
+        """Arrival times of the still-waiting (sheddable) frames, oldest first."""
+        ...
+
+    def uplink_depth(self) -> int:  # pragma: no cover - protocol signature
+        """Jobs waiting in the (possibly shared) uplink queue."""
+        ...
+
+    def shed_oldest(self) -> bool:  # pragma: no cover - protocol signature
+        ...
+
+    def shed_expired(self, freshness_s: float) -> int:  # pragma: no cover - protocol signature
+        ...
+
+    def shed_frames(
+        self, doomed: Callable[[int, float], bool]
+    ) -> int:  # pragma: no cover - protocol signature
+        """Shed waiting frames judged ``doomed(position, arrival)``."""
+        ...
+
+
+@runtime_checkable
+class OffloadController(Protocol):
+    """Per-frame *online* offload decision, replacing a static mask.
+
+    Where :class:`~repro.runtime.serving.OffloadPolicy` decides a whole
+    split offline, an offload controller is consulted frame by frame as
+    each edge stage finishes — the point where the discriminator's features
+    exist — and may carry state between decisions (quota tracking, drift
+    adaptation).  Optional hooks, both discovered structurally:
+
+    * ``observe(camera, event)`` — per-frame completion feedback.
+    * ``reset()`` — called by the engines at the start of every run, so a
+      stateful controller can be reused across runs without leaking state.
+    """
+
+    @property
+    def name(self) -> str:  # pragma: no cover - protocol signature
+        ...
+
+    def decide(
+        self, camera: CameraView, record_index: int
+    ) -> bool:  # pragma: no cover - protocol signature
+        ...
+
+
+@runtime_checkable
+class FleetController(Protocol):
+    """A fleet-wide participant on the shared event loop.
+
+    ``attach`` is called once per run, after every camera is built and
+    scheduled but before the loop starts; the controller may keep the
+    camera views and schedule its own (self-limiting) events on the loop.
+    ``horizon_s`` is the last arrival instant — a periodic controller keeps
+    ticking past it only while cameras still hold queued frames, so the
+    loop can drain.  Optional structural hooks: ``observe(camera, event)``
+    and ``reset()`` (same contract as :class:`OffloadController`).
+    """
+
+    @property
+    def name(self) -> str:  # pragma: no cover - protocol signature
+        ...
+
+    def attach(
+        self, loop: "EventLoop", cameras: Sequence[CameraView], *, horizon_s: float
+    ) -> None:  # pragma: no cover - protocol signature
+        ...
+
+
+# --------------------------------------------------------------------- #
+# observed-time estimation (shared by admission and coordination)
+# --------------------------------------------------------------------- #
+class _CameraEstimate:
+    """EWMA timing estimates built from one camera's own completion events.
+
+    Three quantities, all observable on the camera's wall clock:
+
+    * ``entry`` — the entry stage's service time (``event.entry_time``):
+      how long one job holds the stage a queued frame is waiting for.
+    * ``downstream`` — ``completion - entry_done``: everything after the
+      entry stage (uplink/cloud service *and* downstream queueing; 0 for
+      local serves).
+    * ``remaining`` — ``completion - (arrival + queue_wait)``: service-
+      inclusive time from entering the entry stage to the result landing
+      (a floor on any frame's time-to-result, queueing aside).
+    """
+
+    __slots__ = ("_alpha", "entry", "downstream", "remaining", "observations")
+
+    def __init__(self, alpha: float) -> None:
+        self._alpha = alpha
+        self.entry: float | None = None
+        self.downstream: float | None = None
+        self.remaining: float | None = None
+        self.observations = 0
+
+    def _ewma(self, current: float | None, sample: float) -> float:
+        if current is None:
+            return sample
+        return (1.0 - self._alpha) * current + self._alpha * sample
+
+    def observe(self, event: FrameEvent) -> None:
+        if event.kind != "served":
+            return
+        self.entry = self._ewma(self.entry, event.entry_time)
+        self.downstream = self._ewma(self.downstream, event.downstream_time)
+        self.remaining = self._ewma(self.remaining, event.completion - event.arrival - event.queue_wait)
+        self.observations += 1
+
+    def completion_estimate(
+        self,
+        now: float,
+        position: int,
+        downstream: float | None = None,
+        entry: float | None = None,
+    ) -> float:
+        """Estimated completion time of the waiting frame at ``position``.
+
+        ``position`` is the frame's entry-stage queue position — the jobs
+        queued ahead of it, fleet-wide on a shared stage — so the wait
+        estimate is ``position`` service times, mirroring the omniscient
+        policy's wait bound with the estimated mean service time standing
+        in for the simulator's exact per-job times.  Then the frame's own
+        entry service and the downstream leg.  ``now + remaining`` floors
+        the estimate (a frame cannot beat zero queueing).  ``downstream``
+        and ``entry`` may be overridden — the coordinator substitutes its
+        fleet-pooled estimates, which converge a fleet-factor faster on
+        shared stages.
+        """
+        assert self.remaining is not None
+        service = self.entry if entry is None else entry
+        tail = self.downstream if downstream is None else downstream
+        estimate = now + (position + 1) * (service or 0.0) + (tail or 0.0)
+        floor = now + self.remaining
+        return estimate if estimate > floor else floor
+
+
+class EstimatedDeadlineAware:
+    """Deadline admission from *observed* times — no simulator internals.
+
+    The omniscient :class:`~repro.runtime.serving.DeadlineAware` reads the
+    exact service times queued ahead of each frame.  This policy instead
+    maintains per-camera EWMA estimates (:class:`_CameraEstimate`) fed by
+    the ``observe`` hook, and shed a queued frame once its *estimated*
+    completion blows the freshness deadline.  Until a camera has produced
+    ``min_observations`` completion events it behaves exactly like
+    :class:`~repro.runtime.serving.DropNewest` — cold start is part of the
+    measured cost of honesty.
+
+    One instance may serve a whole fleet: state is keyed per camera, and
+    ``reset()`` (called by the engines at the start of every run) clears it,
+    so reusing the instance across runs is safe.
+    """
+
+    name = "estimated-deadline"
+
+    def __init__(
+        self,
+        freshness_s: float = 2.0,
+        *,
+        halflife: int = 8,
+        min_observations: int = 1,
+    ) -> None:
+        if freshness_s <= 0.0:
+            raise RuntimeModelError(f"freshness_s must be positive, got {freshness_s}")
+        if halflife < 1:
+            raise ConfigurationError(f"halflife must be >= 1, got {halflife}")
+        if min_observations < 1:
+            raise ConfigurationError(f"min_observations must be >= 1, got {min_observations}")
+        self.freshness_s = freshness_s
+        self.min_observations = min_observations
+        self._alpha = 1.0 - 0.5 ** (1.0 / halflife)
+        self._estimates: dict[int, _CameraEstimate] = {}
+
+    def reset(self) -> None:
+        """Forget every camera's estimates (called per run by the engines)."""
+        self._estimates.clear()
+
+    def observe(self, camera: CameraView, event: FrameEvent) -> None:
+        estimate = self._estimates.get(id(camera))
+        if estimate is None:
+            estimate = self._estimates[id(camera)] = _CameraEstimate(self._alpha)
+        estimate.observe(event)
+
+    def admit(self, camera: CameraView, arrival: float) -> bool:
+        estimate = self._estimates.get(id(camera))
+        if (
+            estimate is not None
+            and estimate.remaining is not None
+            and estimate.observations >= self.min_observations
+        ):
+            now = camera.now
+            deadline = self.freshness_s
+            camera.shed_frames(
+                lambda position, queued_arrival: estimate.completion_estimate(now, position)
+                > queued_arrival + deadline
+            )
+        return camera.buffer_has_room()
+
+
+class UplinkCoordinator:
+    """Fleet-wide deadline rebalancing on the shared event loop.
+
+    Per-camera estimated admission only acts when *that camera's* next
+    frame arrives, and each camera learns the stage-time estimates from
+    its own sparse completions.  Sitting on the loop, the coordinator
+    fixes both: it pools the entry-service and downstream estimates across
+    every camera's events (the stages are shared resources, so the pool
+    converges a fleet-factor faster), and every ``interval_s`` it sweeps
+    the fleet — stalest camera first — shedding frames whose estimated
+    completion blows the deadline, so a doomed frame releases its shared
+    uplink slot between arrivals instead of at the next one.
+
+    Pure fleet logic over :class:`CameraView`; composes with any admission
+    policy (Table XXI runs it on top of :class:`EstimatedDeadlineAware`).
+    """
+
+    name = "uplink-coordinator"
+
+    def __init__(
+        self,
+        freshness_s: float = 2.0,
+        *,
+        interval_s: float = 0.25,
+        halflife: int = 8,
+        min_observations: int = 1,
+    ) -> None:
+        if freshness_s <= 0.0:
+            raise RuntimeModelError(f"freshness_s must be positive, got {freshness_s}")
+        if interval_s <= 0.0:
+            raise ConfigurationError(f"interval_s must be positive, got {interval_s}")
+        if halflife < 1:
+            raise ConfigurationError(f"halflife must be >= 1, got {halflife}")
+        if min_observations < 1:
+            raise ConfigurationError(f"min_observations must be >= 1, got {min_observations}")
+        self.freshness_s = freshness_s
+        self.interval_s = interval_s
+        self.min_observations = min_observations
+        self._alpha = 1.0 - 0.5 ** (1.0 / halflife)
+        self._estimates: dict[int, _CameraEstimate] = {}
+        self._fleet_entry: float | None = None
+        self._fleet_downstream: float | None = None
+        self._cameras: tuple[CameraView, ...] = ()
+        self._loop: "EventLoop | None" = None
+        #: Frames shed by coordinator sweeps in the current/last run.
+        self.swept = 0
+
+    def reset(self) -> None:
+        """Forget all fleet state (called per run by the engines)."""
+        self._estimates.clear()
+        self._fleet_entry = None
+        self._fleet_downstream = None
+        self._cameras = ()
+        self._loop = None
+        self.swept = 0
+
+    def _pool(self, current: float | None, sample: float) -> float:
+        if current is None:
+            return sample
+        return (1.0 - self._alpha) * current + self._alpha * sample
+
+    def observe(self, camera: CameraView, event: FrameEvent) -> None:
+        if event.kind == "served":
+            # Entry-stage service and the downstream legs traverse shared
+            # resources, so both pool fleet-wide and converge a
+            # fleet-factor faster than any camera's own estimate.
+            self._fleet_entry = self._pool(self._fleet_entry, event.entry_time)
+            self._fleet_downstream = self._pool(self._fleet_downstream, event.downstream_time)
+        estimate = self._estimates.get(id(camera))
+        if estimate is None:
+            estimate = self._estimates[id(camera)] = _CameraEstimate(self._alpha)
+        estimate.observe(event)
+
+    def attach(self, loop: "EventLoop", cameras: Sequence[CameraView], *, horizon_s: float) -> None:
+        self._loop = loop
+        self._cameras = tuple(cameras)
+
+        def still_needed() -> bool:
+            if loop.now < horizon_s:
+                return True
+            return any(camera.buffer_depth() > 0 for camera in self._cameras)
+
+        loop.schedule_repeating(self.interval_s, self._sweep, keep_going=still_needed)
+
+    def _staleness(self, camera: CameraView, now: float) -> float:
+        queued = camera.queued_arrivals()
+        return now - queued[0] if queued else 0.0
+
+    def _sweep(self) -> None:
+        assert self._loop is not None
+        now = self._loop.now
+        # Stalest camera first: its doomed frames sit deepest in the shared
+        # uplink queue, so shedding them frees the most wait for everyone.
+        order = sorted(
+            range(len(self._cameras)),
+            key=lambda index: self._staleness(self._cameras[index], now),
+            reverse=True,
+        )
+        for index in order:
+            camera = self._cameras[index]
+            estimate = self._estimates.get(id(camera))
+            if (
+                estimate is None
+                or estimate.remaining is None
+                or estimate.observations < self.min_observations
+            ):
+                continue
+            deadline = self.freshness_s
+            downstream = self._fleet_downstream
+            entry = self._fleet_entry
+            self.swept += camera.shed_frames(
+                lambda position, queued_arrival: estimate.completion_estimate(
+                    now, position, downstream, entry
+                )
+                > queued_arrival + deadline
+            )
+
+
+# --------------------------------------------------------------------- #
+# adaptive offload quotas (the BudgetController, finally wired)
+# --------------------------------------------------------------------- #
+class AdaptiveQuota:
+    """Per-camera adaptive offload quota around :class:`BudgetController`.
+
+    Each camera gets its own integral controller tracking ``target_ratio``
+    by nudging the discriminator's area threshold after every decision —
+    the drift robustness :mod:`repro.core.adaptive` promises, now actually
+    reachable from the serving engines (it was dead public API before).
+
+    ``feedback`` optionally closes an outer quality loop with pseudo
+    labels: per-record miss rates (how much of the cloud verdict the edge
+    verdict missed — :func:`repro.metrics.rolling.verdict_miss_rates`),
+    sampled on every *served* frame, the audit stream a deployment gets
+    from periodically double-checking edge results against the cloud
+    model.  Sampling must cover local serves too: offloaded frames are
+    exactly the ones the discriminator already flagged difficult, so
+    their miss rates are selection-biased high for every camera alike and
+    carry no drift signal.  A camera whose EWMA miss rate runs above the
+    fleet ``reference`` raises its upload target by ``quality_gain`` per
+    unit of excess miss rate (and lowers it when its scene is easier),
+    clipped to ``target_bounds``.
+
+    ``small_detections`` must describe the records the camera serves (a
+    degraded camera brings its own); ``reset()`` clears all per-camera
+    state, so one instance is reusable across runs and across same-dataset
+    cameras.
+    """
+
+    name = "adaptive-quota"
+
+    def __init__(
+        self,
+        discriminator: "DifficultCaseDiscriminator",
+        small_detections: "DetectionBatch | list[Detections]",
+        target_ratio: float,
+        *,
+        gain: float = 0.05,
+        ema_halflife: int = 20,
+        area_bounds: tuple[float, float] = (0.0, 0.8),
+        feedback: np.ndarray | None = None,
+        reference: float | None = None,
+        quality_gain: float = 0.5,
+        target_bounds: tuple[float, float] = (0.02, 0.98),
+    ) -> None:
+        if not 0.0 < target_ratio < 1.0:
+            raise ConfigurationError(f"target_ratio must be in (0, 1), got {target_ratio}")
+        lo, hi = target_bounds
+        if not 0.0 < lo < hi < 1.0:
+            raise ConfigurationError(f"target_bounds must satisfy 0 < lo < hi < 1, got {target_bounds}")
+        if quality_gain < 0.0:
+            raise ConfigurationError(f"quality_gain must be >= 0, got {quality_gain}")
+        self._discriminator = discriminator
+        self._small = DetectionBatch.coerce(small_detections)
+        self.target_ratio = target_ratio
+        self.quality_gain = quality_gain
+        self.target_bounds = target_bounds
+        self._gain = gain
+        self._ema_halflife = ema_halflife
+        self._area_bounds = area_bounds
+        self._alpha = 1.0 - 0.5 ** (1.0 / ema_halflife)
+        self._feedback: np.ndarray | None = None
+        self._reference = 0.0
+        if feedback is not None:
+            self._feedback = np.asarray(feedback, dtype=np.float64).reshape(-1)
+            if self._feedback.shape[0] != len(self._small):
+                raise ConfigurationError(
+                    f"feedback has {self._feedback.shape[0]} entries for "
+                    f"{len(self._small)} records"
+                )
+            self._reference = float(self._feedback.mean()) if reference is None else float(reference)
+        elif reference is not None:
+            raise ConfigurationError("reference without feedback has nothing to compare against")
+        self._controllers: dict[int, BudgetController] = {}
+        self._miss_ema: dict[int, float] = {}
+
+    def reset(self) -> None:
+        """Forget every camera's controller state (called per run)."""
+        self._controllers.clear()
+        self._miss_ema.clear()
+
+    @property
+    def decisions(self) -> int:
+        """Total offload decisions across every camera this run."""
+        return sum(controller.decisions for controller in self._controllers.values())
+
+    @property
+    def uploads(self) -> int:
+        """Total frames offloaded across every camera this run."""
+        return sum(controller.uploads for controller in self._controllers.values())
+
+    def controller_for(self, camera: CameraView) -> BudgetController:
+        """This camera's live integral controller (created on first use)."""
+        controller = self._controllers.get(id(camera))
+        if controller is None:
+            controller = BudgetController(
+                self._discriminator,
+                self.target_ratio,
+                gain=self._gain,
+                ema_halflife=self._ema_halflife,
+                area_bounds=self._area_bounds,
+            )
+            self._controllers[id(camera)] = controller
+        return controller
+
+    def decide(self, camera: CameraView, record_index: int) -> bool:
+        return self.controller_for(camera).decide(self._small[record_index])
+
+    def observe(self, camera: CameraView, event: FrameEvent) -> None:
+        if self._feedback is None or self.quality_gain == 0.0:
+            return
+        if event.kind != "served":
+            return
+        miss = float(self._feedback[event.record_index])
+        key = id(camera)
+        previous = self._miss_ema.get(key)
+        ema = miss if previous is None else (1.0 - self._alpha) * previous + self._alpha * miss
+        self._miss_ema[key] = ema
+        lo, hi = self.target_bounds
+        target = min(hi, max(lo, self.target_ratio + self.quality_gain * (ema - self._reference)))
+        self.controller_for(camera).target_ratio = target

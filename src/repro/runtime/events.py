@@ -73,6 +73,32 @@ class EventLoop:
         self._sequence += 1
         heapq.heappush(heap, (self._now + delay, self._sequence, action))
 
+    def schedule_repeating(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        *,
+        keep_going: Callable[[], bool],
+    ) -> None:
+        """Run ``action`` every ``interval`` seconds while ``keep_going()``.
+
+        The predicate is consulted *after* each firing to decide whether to
+        schedule the next one, so a repeating event cannot keep the loop
+        alive forever — it dies as soon as its reason to exist does.  This
+        is the contract fleet controllers need: tick while arrivals are
+        still coming or queues still hold frames, then let the loop drain.
+        The first firing happens one interval from now.
+        """
+        if not interval > 0.0:  # also catches NaN
+            raise ConfigurationError(f"repeating interval must be positive, got {interval}")
+
+        def tick() -> None:
+            action()
+            if keep_going():
+                self.schedule(interval, tick)
+
+        self.schedule(interval, tick)
+
     def run(self, until: float | None = None) -> float:
         """Drain the event queue (optionally stopping at time ``until``).
 

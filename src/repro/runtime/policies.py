@@ -1,0 +1,72 @@
+"""The public policy surface of the streaming runtime, in one namespace.
+
+Serving grew four policy families in four places: *offload* policies
+(which records a scheme escalates, decided offline), *admission* policies
+(which queued frames a saturated camera sheds, decided at arrival),
+*escalation* policies (what happens when an uplink transfer fails), and —
+new with the control plane — *closed-loop controllers* (estimated-time
+admission, fleet-wide coordination, adaptive offload quotas).  This module
+is the curated import point for all of them plus the protocols and view
+types a user-defined policy needs, so downstream code never reaches into
+``repro.runtime.serving`` internals or imports underscored names.
+
+A minimal custom admission policy is just::
+
+    from repro.runtime import policies
+
+    class SlackAware:
+        name = "slack-aware"
+
+        def admit(self, camera: policies.CameraView, arrival: float) -> bool:
+            camera.shed_expired(freshness_s=1.0)
+            return camera.buffer_has_room()
+
+``observe(camera, event)`` and ``reset()`` are optional on every protocol:
+engines look them up structurally and skip the machinery (at zero per-frame
+cost) when absent.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.control import (
+    AdaptiveQuota,
+    CameraView,
+    EstimatedDeadlineAware,
+    FleetController,
+    FrameEvent,
+    OffloadController,
+    UplinkCoordinator,
+)
+from repro.runtime.serving import (
+    AdmissionPolicy,
+    AlwaysOffload,
+    DeadlineAware,
+    DropNewest,
+    DropOldest,
+    EscalationPolicy,
+    NeverOffload,
+    OffloadPolicy,
+)
+
+__all__ = [
+    # offline offload policies (which records a scheme escalates)
+    "AlwaysOffload",
+    "NeverOffload",
+    "OffloadPolicy",
+    # admission policies (which queued frames a camera sheds)
+    "AdmissionPolicy",
+    "DeadlineAware",
+    "DropNewest",
+    "DropOldest",
+    "EstimatedDeadlineAware",
+    # uplink-failure handling
+    "EscalationPolicy",
+    # closed-loop control plane
+    "AdaptiveQuota",
+    "FleetController",
+    "OffloadController",
+    "UplinkCoordinator",
+    # protocol support types for user-defined policies
+    "CameraView",
+    "FrameEvent",
+]

@@ -48,6 +48,7 @@ from repro.detection.types import Detections
 from repro.errors import ConfigurationError, RuntimeModelError
 from repro.metrics.latency import LatencySummary, summarize_latencies
 from repro.runtime.codec import JpegCodec, detections_payload_bytes
+from repro.runtime.control import CameraView, FleetController, FrameEvent, OffloadController
 from repro.runtime.devices import ComputeDevice
 from repro.runtime.events import EventLoop, FifoResource
 from repro.runtime.network import NetworkLink, UnreliableLink
@@ -66,12 +67,14 @@ __all__ = [
     "EscalationPolicy",
     "EscalationQueue",
     "FleetReport",
+    "FleetSpec",
     "NeverOffload",
     "OffloadPolicy",
     "RunCost",
     "ServingScheme",
     "StreamConfig",
     "StreamReport",
+    "StreamSpec",
     "cloud_only_scheme",
     "cloud_round_trip_time",
     "collaborative_scheme",
@@ -79,6 +82,8 @@ __all__ = [
     "edge_only_scheme",
     "paper_schemes",
     "run_cost",
+    "serve_fleet",
+    "serve_stream",
     "simulate_fleet",
     "simulate_stream",
 ]
@@ -237,21 +242,30 @@ class AdmissionPolicy(Protocol):
 
     Called once per arriving frame *before* the frame enters the pipeline.
     ``admit`` may first shed already-queued frames through the camera's
-    helpers — :meth:`_CameraStream.buffer_has_room`,
-    :meth:`_CameraStream.shed_oldest` and
-    :meth:`_CameraStream.shed_expired` — then returns whether the arriving
-    frame is admitted.  Shed frames are logged as drops at the *shed* time
-    (they sat in the buffer until then), while a refused arrival is logged
-    at its arrival time.
+    :class:`~repro.runtime.control.CameraView` surface —
+    :meth:`~repro.runtime.control.CameraView.shed_oldest`,
+    :meth:`~repro.runtime.control.CameraView.shed_expired` and
+    :meth:`~repro.runtime.control.CameraView.shed_frames` — then returns
+    whether the arriving frame is admitted.  Shed frames are logged as
+    drops at the *shed* time (they sat in the buffer until then), while a
+    refused arrival is logged at its arrival time.
 
-    Structural: anything exposing ``name`` and ``admit`` qualifies.
+    Structural: anything exposing ``name`` and ``admit`` qualifies.  A
+    policy may additionally define ``observe(camera, event)`` — discovered
+    structurally, no protocol change needed — and the engines will feed it
+    one :class:`~repro.runtime.control.FrameEvent` per finished frame
+    (:class:`~repro.runtime.control.EstimatedDeadlineAware` learns its
+    stage-time estimates this way).  Policies without the hook pay nothing:
+    events are only built when some observer wants them.  Stateful policies
+    should also define ``reset()``; the engines call it at the start of
+    every run so an instance can be reused without leaking state.
     """
 
     @property
     def name(self) -> str:  # pragma: no cover - protocol signature
         ...
 
-    def admit(self, camera: "_CameraStream", arrival: float) -> bool:  # pragma: no cover - protocol signature
+    def admit(self, camera: CameraView, arrival: float) -> bool:  # pragma: no cover - protocol signature
         ...
 
 
@@ -267,7 +281,7 @@ class DropNewest:
 
     name: str = "drop-newest"
 
-    def admit(self, camera: "_CameraStream", arrival: float) -> bool:
+    def admit(self, camera: CameraView, arrival: float) -> bool:
         return camera.buffer_has_room()
 
 
@@ -282,7 +296,7 @@ class DropOldest:
 
     name: str = "drop-oldest"
 
-    def admit(self, camera: "_CameraStream", arrival: float) -> bool:
+    def admit(self, camera: CameraView, arrival: float) -> bool:
         if camera.buffer_has_room():
             return True
         camera.shed_oldest()
@@ -309,7 +323,7 @@ class DeadlineAware:
         if self.freshness_s <= 0.0:
             raise RuntimeModelError(f"freshness_s must be positive, got {self.freshness_s}")
 
-    def admit(self, camera: "_CameraStream", arrival: float) -> bool:
+    def admit(self, camera: CameraView, arrival: float) -> bool:
         camera.shed_expired(self.freshness_s)
         return camera.buffer_has_room()
 
@@ -448,6 +462,20 @@ class EscalationQueue:
     def note_failure(self) -> None:
         """Record a live-traffic uplink failure (feeds the backoff)."""
         self._failures += 1
+
+    def reset(self) -> None:
+        """Abandon every spooled case and clear the backoff state.
+
+        The engines build a fresh queue per run, so they never need this;
+        it exists for the reset()/reuse contract every stateful serving
+        participant (admission policies, offload/fleet controllers, this
+        queue) shares: after ``reset()`` the instance behaves as freshly
+        constructed.  A retry already scheduled on the loop finds an empty
+        spool and stops.
+        """
+        self._entries.clear()
+        self._draining = False
+        self._failures = 0
 
     def offer(
         self, record_index: int, arrival: float, log_position: int | None, *, served_by_fallback: bool
@@ -945,6 +973,8 @@ class _CameraStream:
         "record_for",
         "admission",
         "escalation",
+        "offload",
+        "observers",
         "fallback_detections",
         "edge_service",
         "cloud_service",
@@ -984,6 +1014,7 @@ class _CameraStream:
         escalation: EscalationPolicy | None = None,
         escalation_rng: np.random.Generator | None = None,
         fallback_detections: DetectionBatch | None = None,
+        offload: OffloadController | None = None,
     ) -> None:
         self.scheme = scheme
         self.deployment = deployment
@@ -998,6 +1029,11 @@ class _CameraStream:
         self.record_for = record_for
         self.admission: AdmissionPolicy = DropNewest() if admission is None else admission
         self.escalation = EscalationPolicy.drop_on_failure() if escalation is None else escalation
+        self.offload = offload
+        # Completion-event observers ((camera, FrameEvent) callables); the
+        # engine assembles the chain after construction.  Empty means no
+        # event is ever built — the stock policies' zero-overhead path.
+        self.observers: tuple[Callable[["_CameraStream", FrameEvent], None], ...] = ()
         self.fallback_detections = fallback_detections
         self.edge_service = scheme.edge_latency(deployment, online=True)
         self.cloud_service = deployment.cloud.inference_latency(deployment.big_model_flops)
@@ -1030,6 +1066,17 @@ class _CameraStream:
                 "an unreliable uplink with an edge-fallback escalation policy needs "
                 "small_detections: the edge verdict serves when the cloud path fails"
             )
+        if offload is not None:
+            if not scheme.edge_compute:
+                raise ConfigurationError(
+                    "an offload controller decides as each edge stage finishes; "
+                    f"the {scheme.name!r} scheme has no edge stage"
+                )
+            if self.builder is not None and self.fallback_detections is None:
+                raise ConfigurationError(
+                    "an offload controller serving detections needs small_detections: "
+                    "frames it keeps local serve the edge verdict"
+                )
         self.escalation_queue: EscalationQueue | None = None
         if uplink.can_fail and self.escalation.durable:
             if escalation_rng is None:
@@ -1070,24 +1117,53 @@ class _CameraStream:
             return None
         return self._append_segment(self.detections, record_index)
 
+    def _collect_local(self, record_index: int) -> int | None:
+        if self.builder is None:
+            return None
+        # Under an offload controller the static `detections` batch is the
+        # *cloud* verdict; frames kept local serve the edge verdict instead.
+        batch = self.detections if self.offload is None else self.fallback_detections
+        return self._append_segment(batch, record_index)
+
     def _collect_fallback(self, record_index: int) -> int | None:
         if self.builder is None:
             return None
         return self._append_segment(self.fallback_detections, record_index)
 
-    def _finish(self, start: float, record_index: int) -> None:
+    def _emit(self, event: FrameEvent) -> None:
+        for observe in self.observers:
+            observe(self, event)
+
+    def _finish(self, start: float, record_index: int, timing: tuple[float, float] | None = None) -> None:
         self.served += 1
         latency = self.loop.now - start + self.downlink_latency
         self.latencies.append(latency)
         segment = self._collect(record_index)
         self._log(start, start + latency, record_index, True, segment)
+        if timing is not None:  # only built when observers are attached
+            queue_wait, entry_time = timing
+            self._emit(
+                FrameEvent("served", start, start + latency, record_index, True, queue_wait, entry_time)
+            )
 
     def _finish_local(self, start: float, record_index: int) -> None:
         self.served += 1
         latency = self.loop.now - start
         self.latencies.append(latency)
-        segment = self._collect(record_index)
+        segment = self._collect_local(record_index)
         self._log(start, start + latency, record_index, True, segment)
+        if self.observers:
+            self._emit(
+                FrameEvent(
+                    "served",
+                    start,
+                    start + latency,
+                    record_index,
+                    False,
+                    latency - self.edge_service,
+                    self.edge_service,
+                )
+            )
 
     def uplink_service(self, record_index: int) -> float:
         """Deterministic uplink serialisation time of one record's frame."""
@@ -1098,12 +1174,25 @@ class _CameraStream:
         self.uploads += 1
         self.in_uplink += 1
         entry_stage = not self.scheme.edge_compute
+        uplink_time = self.uplink_service(record_index)
+        observing = bool(self.observers)
+        # Entry-stage timing for the completion event: for edge schemes the
+        # edge stage just finished, so it is known here; for no-edge schemes
+        # the uplink *is* the entry stage and after_uplink measures it.
+        entry_timing = (
+            (self.loop.now - start - self.edge_service, self.edge_service)
+            if observing and not entry_stage
+            else None
+        )
 
         def after_uplink(_t: float) -> None:
+            timing = entry_timing
             if entry_stage:
                 self._leave_waiting()
+                if observing:
+                    timing = (_t - start - uplink_time, uplink_time)
             self.in_uplink -= 1
-            self.cloud.acquire(self.cloud_service, lambda _t2: self._finish(start, record_index))
+            self.cloud.acquire(self.cloud_service, lambda _t2: self._finish(start, record_index, timing))
 
         def on_fail(_t: float) -> None:
             if entry_stage:
@@ -1111,7 +1200,7 @@ class _CameraStream:
             self.in_uplink -= 1
             self._on_uplink_failure(start, record_index)
 
-        handle = self.uplink.acquire(self.uplink_service(record_index), after_uplink, on_fail)
+        handle = self.uplink.acquire(uplink_time, after_uplink, on_fail)
         if entry_stage:
             self._waiting.append((handle, start, record_index))
 
@@ -1145,6 +1234,8 @@ class _CameraStream:
             )
         if not spooled:
             self.escalations_dropped += 1
+        if self.observers:
+            self._emit(FrameEvent("failed", start, now, record_index, True))
 
     def _recover(self, entry: _Escalation) -> None:
         """A spooled escalation's cloud verdict finally landed."""
@@ -1165,8 +1256,69 @@ class _CameraStream:
                 self.trace.mark_served(entry.log_position, verdict_time, segment)
 
     # ------------------------------------------------------------------ #
-    # admission-policy surface
+    # admission-policy surface (the public CameraView protocol)
     # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.loop.now
+
+    def buffer_depth(self) -> int:
+        """This camera's frames admitted but not yet through the entry stage."""
+        return len(self._waiting)
+
+    def uplink_depth(self) -> int:
+        """Jobs waiting in the (possibly shared) uplink queue."""
+        return self.uplink.queue_depth
+
+    def queued_arrivals(self) -> tuple[float, ...]:
+        """Arrival times of this camera's still-waiting frames, oldest first.
+
+        Only frames still *waiting* in the entry stage appear — a frame
+        mid-service is beyond shedding, so policies judging the queue
+        should not count it.
+        """
+        stage = self.edge if self.scheme.edge_compute else self.uplink
+        waiting = {id(handle) for handle, _ in stage.queued_waits()}
+        return tuple(arrival for handle, arrival, _ in self._waiting if id(handle) in waiting)
+
+    def shed_frames(self, doomed: Callable[[int, float], bool]) -> int:
+        """Shed the waiting frames judged ``doomed(position, arrival)``.
+
+        The predicate sees each still-waiting frame's *entry-stage queue
+        position* — the number of jobs queued ahead of it in the stage it
+        waits in, which on a shared uplink counts the whole fleet's queued
+        transfers, credited for earlier sheds of this pass — and its arrival
+        time.  Both are observable at a deployed camera (its own buffer,
+        the access point's queue), so this is exactly the state an
+        estimated-time policy may reason over: position x estimated service
+        time bounds the frame's wait without reading any simulator
+        ground-truth times.  Frames already in service are skipped.  Shed
+        frames are logged as drops at the current time; returns the number
+        shed.
+        """
+        stage = self.edge if self.scheme.edge_compute else self.uplink
+        positions = {id(handle): index for index, (handle, _) in enumerate(stage.queued_waits())}
+        count = 0
+        index = 0
+        while index < len(self._waiting):
+            handle, arrival, record_index = self._waiting[index]
+            position = positions.get(id(handle))
+            if position is None:  # in service: beyond shedding
+                index += 1
+                continue
+            # Earlier sheds of this pass all sat ahead (the stage is FIFO
+            # and _waiting is in arrival order), so they no longer queue
+            # ahead of this frame.
+            if doomed(position - count, arrival):
+                stage.cancel(handle)
+                del self._waiting[index]
+                self._drop_shed(arrival, record_index)
+                count += 1
+            else:
+                index += 1
+        return count
+
     def buffer_has_room(self) -> bool:
         """Whether the camera buffer can take one more frame right now.
 
@@ -1249,7 +1401,10 @@ class _CameraStream:
         remaining = 0.0
         if self.scheme.edge_compute:
             remaining += self.edge_service
-        if not self.scheme.edge_compute or bool(self.mask[record_index]):
+        # An offload controller decides per frame at edge-finish time, so a
+        # queued frame *may* cross the network; the bound stays a lower
+        # bound only by charging the local-serve path (no remote leg).
+        if not self.scheme.edge_compute or (self.offload is None and bool(self.mask[record_index])):
             remaining += self.uplink_service(record_index) + self.cloud_service + self.downlink_latency
         self._min_remaining_cache[record_index] = remaining
         return remaining
@@ -1281,11 +1436,15 @@ class _CameraStream:
             self._cloud_path(self.records[record_index], start, record_index)
             return
         record = self.records[record_index]
-        send = bool(self.mask[record_index])
+        offload = self.offload
+        send = offload is None and bool(self.mask[record_index])
 
         def after_edge(_t: float) -> None:
             self._leave_waiting()
-            if send:
+            # A static mask is decided up front; an offload controller is
+            # consulted as the edge stage finishes — when the small model's
+            # output (the discriminator's features) actually exists.
+            if send or (offload is not None and offload.decide(self, record_index)):
                 self._cloud_path(record, start, record_index)
             else:
                 self._finish_local(start, record_index)
@@ -1344,6 +1503,147 @@ def _uplink_faults(
     return link.fault_model(generator_for(seed, "uplink-faults"))
 
 
+@dataclass(frozen=True, eq=False)
+class StreamSpec:
+    """Everything one streaming run serves, minus deployment/dataset/seed.
+
+    The spec object consolidates :func:`simulate_stream`'s keyword sprawl
+    into one frozen value a caller can build once and reuse across
+    deployments and seeds.  :func:`serve_stream` is the front door;
+    :func:`simulate_stream` survives as a thin wrapper that builds a spec,
+    so both paths are the same code and stay bit-for-bit identical.
+
+    ``mask`` and ``offload`` are mutually exclusive: a static mask decides
+    the cloud escalations up front, a controller decides per frame as each
+    edge stage finishes.
+    """
+
+    scheme: ServingScheme
+    config: StreamConfig = field(default_factory=StreamConfig)
+    mask: np.ndarray | None = None
+    small_detections: DetectionBatch | list[Detections] | None = None
+    detections: DetectionBatch | None = None
+    admission: AdmissionPolicy | None = None
+    escalation: EscalationPolicy | None = None
+    offload: OffloadController | None = None
+
+
+def _reset_stateful(*participants: object) -> None:
+    """Call ``reset()`` once per distinct stateful run participant.
+
+    Every engine entry point runs this over the admission policies, offload
+    controllers and fleet controller it was handed, so re-running a spec
+    never silently reuses stale estimator state.  Stateless participants
+    (no ``reset`` attribute) cost one ``getattr`` each.
+    """
+    seen: set[int] = set()
+    for participant in participants:
+        if participant is None or id(participant) in seen:
+            continue
+        seen.add(id(participant))
+        reset = getattr(participant, "reset", None)
+        if reset is not None:
+            reset()
+
+
+def _attach_observers(
+    camera: _CameraStream,
+    controller_observe: Callable[[CameraView, FrameEvent], None] | None = None,
+) -> None:
+    """Assemble the camera's completion-event observer chain.
+
+    Order: admission policy, offload controller, fleet controller.  The
+    hooks are structural (``observe`` is optional on every protocol), and a
+    camera whose participants define none keeps ``observers == ()`` — the
+    flag the hot path checks before constructing any :class:`FrameEvent`.
+    """
+    observers: list[Callable[[_CameraStream, FrameEvent], None]] = []
+    for source in (camera.admission, camera.offload):
+        observe = getattr(source, "observe", None) if source is not None else None
+        if observe is not None:
+            observers.append(observe)
+    if controller_observe is not None:
+        observers.append(controller_observe)
+    camera.observers = tuple(observers)
+
+
+def _resolve_mask(
+    scheme: ServingScheme,
+    dataset: Dataset,
+    small_detections: DetectionBatch | list[Detections] | None,
+    mask: np.ndarray | None,
+    offload: OffloadController | None,
+) -> np.ndarray:
+    """The run's static offload mask — all-local placeholder under a controller."""
+    if offload is None:
+        return scheme.offload_mask(dataset, small_detections, mask)
+    if mask is not None:
+        raise ConfigurationError(
+            "an explicit mask and an offload controller are mutually exclusive: "
+            "the mask decides escalations up front, the controller per frame"
+        )
+    return np.zeros(len(dataset), dtype=bool)
+
+
+def serve_stream(
+    deployment: Deployment,
+    dataset: Dataset,
+    spec: StreamSpec,
+    *,
+    seed: int = DEFAULT_SEED,
+) -> StreamReport:
+    """Serve one frame stream described by ``spec`` on a fresh event loop.
+
+    Frames cycle through ``dataset.records``.  The escalation mask comes
+    from ``spec.mask`` when given, else from the scheme's policy (fed
+    ``spec.small_detections``); a ``spec.offload`` controller replaces both
+    and decides per frame at edge-finish time.  When ``spec.detections``
+    holds the per-record served outputs, the report carries the served
+    stream and the per-frame log the online quality evaluation consumes.
+    ``spec.admission`` selects the camera buffer's shedding behaviour
+    (:class:`DropNewest` when omitted — the historical drop-at-arrival
+    rule, bit for bit).
+
+    When ``deployment.link`` is an :class:`UnreliableLink` with outages or
+    loss, uplink transfers can fail; ``spec.escalation`` selects what
+    happens then (:meth:`EscalationPolicy.drop_on_failure` when omitted).
+    An edge-fallback policy serves the frame's *small-model* verdict at the
+    failure instant, so runs that keep frame logs must supply
+    ``spec.small_detections``.
+
+    Stateful participants (an :class:`~repro.runtime.control.EstimatedDeadlineAware`
+    policy, an offload controller) are ``reset()`` at entry, so reusing a
+    spec across runs never leaks estimator state between them.
+    """
+    _reset_stateful(spec.admission, spec.offload)
+    detections = _check_stream_inputs(dataset, spec.detections)
+    mask = _resolve_mask(spec.scheme, dataset, spec.small_detections, spec.mask, spec.offload)
+    loop = EventLoop()
+    num_records = len(dataset)
+    camera = _CameraStream(
+        spec.scheme,
+        deployment,
+        dataset,
+        spec.config,
+        mask,
+        detections,
+        loop=loop,
+        edge=FifoResource(loop, "edge"),
+        uplink=FifoResource(loop, "uplink", faults=_uplink_faults(deployment.link, seed)),
+        cloud=FifoResource(loop, "cloud"),
+        record_for=lambda index: index % num_records,
+        admission=spec.admission,
+        escalation=spec.escalation,
+        escalation_rng=generator_for(seed, "stream-escalation"),
+        fallback_detections=_check_stream_inputs(dataset, spec.small_detections),
+        offload=spec.offload,
+    )
+    _attach_observers(camera)
+    camera.schedule(_arrival_times(spec.config, seed, "stream-arrivals"))
+    elapsed = loop.run()
+    return camera.report(elapsed)
+
+
 def simulate_stream(
     scheme: ServingScheme,
     deployment: Deployment,
@@ -1355,49 +1655,29 @@ def simulate_stream(
     detections: DetectionBatch | None = None,
     admission: AdmissionPolicy | None = None,
     escalation: EscalationPolicy | None = None,
+    offload: OffloadController | None = None,
     seed: int = DEFAULT_SEED,
 ) -> StreamReport:
-    """Serve one frame stream through ``scheme`` on a fresh event loop.
+    """Legacy keyword front door — builds a :class:`StreamSpec` and defers.
 
-    Frames cycle through ``dataset.records``.  The escalation mask comes
-    from ``mask`` when given, else from the scheme's policy (fed
-    ``small_detections``).  When ``detections`` holds the per-record served
-    outputs, the report carries the served stream and the per-frame log the
-    online quality evaluation consumes.  ``admission`` selects the camera
-    buffer's shedding behaviour (:class:`DropNewest` when omitted — the
-    historical drop-at-arrival rule, bit for bit).
-
-    When ``deployment.link`` is an :class:`UnreliableLink` with outages or
-    loss, uplink transfers can fail; ``escalation`` selects what happens
-    then (:meth:`EscalationPolicy.drop_on_failure` when omitted).  An
-    edge-fallback policy serves the frame's *small-model* verdict at the
-    failure instant, so runs that keep frame logs must supply
-    ``small_detections``.
+    Identical to :func:`serve_stream` (same code path, bit for bit); see
+    there for semantics.  New code should build specs directly.
     """
-    detections = _check_stream_inputs(dataset, detections)
-    mask = scheme.offload_mask(dataset, small_detections, mask)
-    loop = EventLoop()
-    num_records = len(dataset)
-    camera = _CameraStream(
-        scheme,
+    return serve_stream(
         deployment,
         dataset,
-        config,
-        mask,
-        detections,
-        loop=loop,
-        edge=FifoResource(loop, "edge"),
-        uplink=FifoResource(loop, "uplink", faults=_uplink_faults(deployment.link, seed)),
-        cloud=FifoResource(loop, "cloud"),
-        record_for=lambda index: index % num_records,
-        admission=admission,
-        escalation=escalation,
-        escalation_rng=generator_for(seed, "stream-escalation"),
-        fallback_detections=_check_stream_inputs(dataset, small_detections),
+        StreamSpec(
+            scheme=scheme,
+            config=config,
+            mask=mask,
+            small_detections=small_detections,
+            detections=detections,
+            admission=admission,
+            escalation=escalation,
+            offload=offload,
+        ),
+        seed=seed,
     )
-    camera.schedule(_arrival_times(config, seed, "stream-arrivals"))
-    elapsed = loop.run()
-    return camera.report(elapsed)
 
 
 @dataclass(frozen=True)
@@ -1425,31 +1705,64 @@ class CameraSpec:
     mask: np.ndarray | None = None
     small_detections: DetectionBatch | list[Detections] | None = None
     detections: DetectionBatch | None = None
+    offload: OffloadController | None = None
 
 
-def _simulate_fleet_impl(
-    scheme: ServingScheme,
+@dataclass(frozen=True, eq=False)
+class FleetSpec:
+    """Everything one fleet run serves, minus deployment/dataset/seed.
+
+    The fleet-level fields mirror :class:`StreamSpec`; ``cameras`` is a
+    count (homogeneous fleet) or a tuple of :class:`CameraSpec` whose unset
+    fields inherit the fleet defaults.  ``controller`` attaches an optional
+    :class:`~repro.runtime.control.FleetController` that sees every camera
+    on the shared event loop (coordinated shedding across the shared
+    uplink).  :func:`serve_fleet` is the front door; :func:`simulate_fleet`
+    survives as a thin wrapper that builds a spec, so both paths are the
+    same code and stay bit-for-bit identical.
+    """
+
+    scheme: ServingScheme
+    config: StreamConfig = field(default_factory=StreamConfig)
+    cameras: int | Sequence[CameraSpec] = 1
+    mask: np.ndarray | None = None
+    small_detections: DetectionBatch | list[Detections] | None = None
+    detections: DetectionBatch | None = None
+    admission: AdmissionPolicy | None = None
+    escalation: EscalationPolicy | None = None
+    offload: OffloadController | None = None
+    controller: FleetController | None = None
+
+
+def _serve_fleet_impl(
     deployment: Deployment,
     dataset: Dataset,
-    config: StreamConfig,
-    *,
-    cameras: int | Sequence[CameraSpec],
-    mask: np.ndarray | None = None,
-    small_detections: DetectionBatch | list[Detections] | None = None,
-    detections: DetectionBatch | None = None,
-    admission: AdmissionPolicy | None = None,
-    escalation: EscalationPolicy | None = None,
-    seed: int = DEFAULT_SEED,
+    spec: FleetSpec,
+    seed: int,
 ) -> FleetReport:
-    if isinstance(cameras, int):
-        if cameras < 1:
-            raise RuntimeModelError(f"a fleet needs at least one camera, got {cameras}")
-        specs: Sequence[CameraSpec] = (CameraSpec(),) * cameras
+    scheme = spec.scheme
+    config = spec.config
+    mask = spec.mask
+    small_detections = spec.small_detections
+    admission = spec.admission
+    escalation = spec.escalation
+    controller = spec.controller
+    if isinstance(spec.cameras, int):
+        if spec.cameras < 1:
+            raise RuntimeModelError(f"a fleet needs at least one camera, got {spec.cameras}")
+        specs: Sequence[CameraSpec] = (CameraSpec(),) * spec.cameras
     else:
-        specs = tuple(cameras)
+        specs = tuple(spec.cameras)
         if not specs:
             raise RuntimeModelError("a fleet needs at least one camera, got an empty spec list")
-    detections = _check_stream_inputs(dataset, detections)
+    _reset_stateful(
+        admission,
+        spec.offload,
+        controller,
+        *(cam.admission for cam in specs),
+        *(cam.offload for cam in specs),
+    )
+    detections = _check_stream_inputs(dataset, spec.detections)
     # The fleet-level mask is resolved once and shared by every camera that
     # inherits it, so expensive policies run select() exactly once.
     shared_mask: np.ndarray | None = None
@@ -1475,41 +1788,53 @@ def _simulate_fleet_impl(
     loop = EventLoop()
     uplink = FifoResource(loop, "uplink", faults=_uplink_faults(deployment.link, seed))
     cloud = FifoResource(loop, "cloud")
+    controller_observe = getattr(controller, "observe", None) if controller is not None else None
+    horizon_s = 0.0
     runs: list[_CameraStream] = []
-    for camera, spec in enumerate(specs):
-        cam_scheme = scheme if spec.scheme is None else spec.scheme
-        cam_config = config if spec.config is None else spec.config
-        cam_admission = admission if spec.admission is None else spec.admission
-        cam_escalation = escalation if spec.escalation is None else spec.escalation
-        if spec.dataset is None:
+    for camera, cam in enumerate(specs):
+        cam_scheme = scheme if cam.scheme is None else cam.scheme
+        cam_config = config if cam.config is None else cam.config
+        cam_admission = admission if cam.admission is None else cam.admission
+        cam_escalation = escalation if cam.escalation is None else cam.escalation
+        cam_offload = spec.offload if cam.offload is None else cam.offload
+        if cam.dataset is None:
             cam_dataset = dataset
-            cam_detections = detections if spec.detections is None else _check_stream_inputs(dataset, spec.detections)
+            cam_detections = detections if cam.detections is None else _check_stream_inputs(dataset, cam.detections)
         else:
-            cam_dataset = spec.dataset
-            if spec.detections is None and detections is not None:
+            cam_dataset = cam.dataset
+            if cam.detections is None and detections is not None:
                 raise RuntimeModelError(
                     f"camera {camera} overrides the dataset; supply its own detections "
                     "(the fleet-level ones describe the fleet-level records)"
                 )
-            cam_detections = _check_stream_inputs(cam_dataset, spec.detections)
-        if spec.scheme is None and spec.dataset is None and spec.mask is None and spec.small_detections is None:
+            cam_detections = _check_stream_inputs(cam_dataset, cam.detections)
+        if cam_offload is not None:
+            # A controller replaces the static mask: the camera's mask is an
+            # all-local placeholder and the controller decides per frame.
+            if cam.mask is not None or (cam.offload is None and mask is not None):
+                raise ConfigurationError(
+                    f"camera {camera} has both a mask and an offload controller; "
+                    "the mask decides escalations up front, the controller per frame"
+                )
+            cam_mask = np.zeros(len(cam_dataset), dtype=bool)
+        elif cam.scheme is None and cam.dataset is None and cam.mask is None and cam.small_detections is None:
             cam_mask = fleet_mask()
         else:
             # The fleet-level mask/small-detections describe the fleet-level
             # scheme over the fleet-level records; a camera that overrides
             # either resolves its own (its scheme's policy decides unless
             # the spec pins a mask).
-            cam_small = spec.small_detections
-            if cam_small is None and spec.dataset is None:
+            cam_small = cam.small_detections
+            if cam_small is None and cam.dataset is None:
                 cam_small = small_detections
-            cam_mask_input = spec.mask
-            if cam_mask_input is None and spec.scheme is None and spec.dataset is None:
+            cam_mask_input = cam.mask
+            if cam_mask_input is None and cam.scheme is None and cam.dataset is None:
                 cam_mask_input = mask
             cam_mask = cam_scheme.offload_mask(cam_dataset, cam_small, cam_mask_input)
-        if spec.small_detections is None and spec.dataset is None:
+        if cam.small_detections is None and cam.dataset is None:
             cam_fallback = fleet_fallback()
         else:
-            cam_fallback = _check_stream_inputs(cam_dataset, spec.small_detections)
+            cam_fallback = _check_stream_inputs(cam_dataset, cam.small_detections)
         num_records = len(cam_dataset)
         start = (camera * num_records) // len(specs)
         stream = _CameraStream(
@@ -1528,9 +1853,14 @@ def _simulate_fleet_impl(
             escalation=cam_escalation,
             escalation_rng=generator_for(seed, "fleet-escalation", camera),
             fallback_detections=cam_fallback,
+            offload=cam_offload,
         )
+        _attach_observers(stream, controller_observe)
         stream.schedule(_arrival_times(cam_config, seed, "fleet-arrivals", camera))
+        horizon_s = max(horizon_s, cam_config.duration_s)
         runs.append(stream)
+    if controller is not None:
+        controller.attach(loop, runs, horizon_s=horizon_s)
     elapsed = loop.run()
     reports = tuple(stream.report(elapsed) for stream in runs)
     all_latencies = [latency for stream in runs for latency in stream.latencies]
@@ -1553,6 +1883,52 @@ def _simulate_fleet_impl(
     )
 
 
+def serve_fleet(
+    deployment: Deployment,
+    dataset: Dataset,
+    spec: FleetSpec,
+    *,
+    seed: int = DEFAULT_SEED,
+) -> FleetReport:
+    """Serve a camera fleet described by ``spec`` contending for one deployment.
+
+    Each camera owns an edge accelerator (cameras are independent devices)
+    but every upload serialises through the *single* shared uplink and the
+    *single* shared cloud GPU — the contention that decides whether a scheme
+    scales to a fleet.  Camera ``c`` starts its cycle through the records at
+    offset ``c * len(records) // cameras`` so the fleet covers the split
+    rather than synchronising on the same frames; arrivals are seeded per
+    camera, so runs are deterministic for any camera count.
+
+    ``spec.cameras`` is either a count (a homogeneous fleet of identical
+    cameras) or a sequence of :class:`CameraSpec`, one per camera, whose
+    unset fields inherit the fleet-level spec fields — mixed frame rates,
+    per-camera schemes/offload policies, admission policies and per-camera
+    (e.g. quality-drifted) records all run over the same shared uplink and
+    cloud GPU.  ``spec.controller`` attaches a fleet controller that
+    observes every camera's completions and can shed across cameras;
+    stateful participants are ``reset()`` at entry so specs are reusable.
+
+    Setting ``REPRO_PROFILE=1`` in the environment wraps the run in
+    :mod:`cProfile` and dumps ``simulate_fleet.prof`` into
+    ``$REPRO_PROFILE_DIR`` (default ``benchmarks/_output``) for hot-path
+    hunts — no ad-hoc instrumentation needed.
+    """
+    if not os.environ.get("REPRO_PROFILE"):
+        return _serve_fleet_impl(deployment, dataset, spec, seed)
+    import cProfile
+
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        return _serve_fleet_impl(deployment, dataset, spec, seed)
+    finally:
+        profile.disable()
+        out_dir = os.environ.get("REPRO_PROFILE_DIR", os.path.join("benchmarks", "_output"))
+        os.makedirs(out_dir, exist_ok=True)
+        profile.dump_stats(os.path.join(out_dir, "simulate_fleet.prof"))
+
+
 def simulate_fleet(
     scheme: ServingScheme,
     deployment: Deployment,
@@ -1565,64 +1941,29 @@ def simulate_fleet(
     detections: DetectionBatch | None = None,
     admission: AdmissionPolicy | None = None,
     escalation: EscalationPolicy | None = None,
+    offload: OffloadController | None = None,
+    controller: FleetController | None = None,
     seed: int = DEFAULT_SEED,
 ) -> FleetReport:
-    """Serve a camera fleet contending for one deployment.
+    """Legacy keyword front door — builds a :class:`FleetSpec` and defers.
 
-    Each camera owns an edge accelerator (cameras are independent devices)
-    but every upload serialises through the *single* shared uplink and the
-    *single* shared cloud GPU — the contention that decides whether a scheme
-    scales to a fleet.  Camera ``c`` starts its cycle through the records at
-    offset ``c * len(records) // cameras`` so the fleet covers the split
-    rather than synchronising on the same frames; arrivals are seeded per
-    camera, so runs are deterministic for any camera count.
-
-    ``cameras`` is either a count (a homogeneous fleet of identical
-    cameras) or a sequence of :class:`CameraSpec`, one per camera, whose
-    unset fields inherit the fleet-level arguments — mixed frame rates,
-    per-camera schemes/offload policies, admission policies and per-camera
-    (e.g. quality-drifted) records all run over the same shared uplink and
-    cloud GPU.
-
-    Setting ``REPRO_PROFILE=1`` in the environment wraps the run in
-    :mod:`cProfile` and dumps ``simulate_fleet.prof`` into
-    ``$REPRO_PROFILE_DIR`` (default ``benchmarks/_output``) for hot-path
-    hunts — no ad-hoc instrumentation needed.
+    Identical to :func:`serve_fleet` (same code path, bit for bit); see
+    there for semantics.  New code should build specs directly.
     """
-    if not os.environ.get("REPRO_PROFILE"):
-        return _simulate_fleet_impl(
-            scheme,
-            deployment,
-            dataset,
-            config,
+    return serve_fleet(
+        deployment,
+        dataset,
+        FleetSpec(
+            scheme=scheme,
+            config=config,
             cameras=cameras,
             mask=mask,
             small_detections=small_detections,
             detections=detections,
             admission=admission,
             escalation=escalation,
-            seed=seed,
-        )
-    import cProfile
-
-    profile = cProfile.Profile()
-    profile.enable()
-    try:
-        return _simulate_fleet_impl(
-            scheme,
-            deployment,
-            dataset,
-            config,
-            cameras=cameras,
-            mask=mask,
-            small_detections=small_detections,
-            detections=detections,
-            admission=admission,
-            escalation=escalation,
-            seed=seed,
-        )
-    finally:
-        profile.disable()
-        out_dir = os.environ.get("REPRO_PROFILE_DIR", os.path.join("benchmarks", "_output"))
-        os.makedirs(out_dir, exist_ok=True)
-        profile.dump_stats(os.path.join(out_dir, "simulate_fleet.prof"))
+            offload=offload,
+            controller=controller,
+        ),
+        seed=seed,
+    )

@@ -247,3 +247,48 @@ class TestBoundedBufferBackpressure:
         assert report.frames_dropped > 0
         assert report.frames_uploaded == report.frames_served
         assert report.edge_utilization == 0.0  # nothing touched the edge
+
+
+class TestScheduleRepeating:
+    """The repeating-timer contract fleet controllers are built on."""
+
+    def test_fires_on_interval_until_predicate_dies(self):
+        loop = EventLoop()
+        fired: list[float] = []
+        loop.schedule(10.0, lambda: None)  # keeps the loop alive to t=10
+        loop.schedule_repeating(
+            2.5, lambda: fired.append(loop.now), keep_going=lambda: loop.now < 7.0
+        )
+        final = loop.run()
+        # First firing one interval in; the predicate is consulted *after*
+        # each firing, so the 7.5 tick runs and then stops the chain.
+        assert fired == [2.5, 5.0, 7.5]
+        assert final == 10.0
+
+    def test_dead_predicate_still_fires_once(self):
+        """The first firing is unconditional; the predicate only gates the
+        re-arm, so a controller always gets at least one tick."""
+        loop = EventLoop()
+        fired: list[float] = []
+        loop.schedule_repeating(1.0, lambda: fired.append(loop.now), keep_going=lambda: False)
+        final = loop.run()
+        assert fired == [1.0]
+        assert final == 1.0
+
+    def test_timer_cannot_outlive_its_reason(self):
+        """A repeating event never keeps an otherwise-drained loop alive:
+        once keep_going() is false the heap empties and run() returns."""
+        loop = EventLoop()
+        ticks: list[int] = []
+        loop.schedule_repeating(
+            0.5, lambda: ticks.append(len(ticks)), keep_going=lambda: len(ticks) < 100
+        )
+        final = loop.run()
+        assert len(ticks) == 100
+        assert final == pytest.approx(50.0)
+
+    @pytest.mark.parametrize("interval", [0.0, -1.0, float("nan")])
+    def test_rejects_non_positive_interval(self, interval):
+        loop = EventLoop()
+        with pytest.raises(ConfigurationError):
+            loop.schedule_repeating(interval, lambda: None, keep_going=lambda: True)

@@ -29,6 +29,7 @@ def test_expected_examples_present():
         "stream_fleet.py",
         "admission_control.py",
         "auto_compression.py",
+        "closed_loop_control.py",
         "outage_recovery.py",
     } <= names
 

@@ -21,6 +21,7 @@ from repro.runtime import (
     JETSON_NANO,
     RTX3060_SERVER,
     WLAN,
+    CameraSpec,
     DeadlineAware,
     Deployment,
     DropNewest,
@@ -29,17 +30,22 @@ from repro.runtime import (
     EscalationPolicy,
     EventLoop,
     FifoResource,
+    FleetSpec,
     OutageSchedule,
     RunCost,
     StreamConfig,
     StreamSimulator,
+    StreamSpec,
     UnreliableLink,
     cloud_only_scheme,
     collaborative_scheme,
     edge_only_scheme,
     paper_schemes,
     run_cost,
+    serve_fleet,
+    serve_stream,
     simulate_fleet,
+    simulate_stream,
 )
 from repro.runtime.codec import detections_payload_bytes
 from repro.runtime.executor import DISCRIMINATOR_FLOPS
@@ -505,3 +511,89 @@ class TestAvailabilityEquivalence:
             wrapped.frames_uploaded,
         )
         assert wrapped.escalations_failed == 0
+
+
+class TestSpecEquivalence:
+    """The spec front doors (`serve_stream`/`serve_fleet`) and the legacy
+    keyword entry points (`simulate_stream`/`simulate_fleet`) are the same
+    run, bit for bit — the API redesign may not move a single byte."""
+
+    CONFIG = StreamConfig(fps=6.0, duration_s=15.0)
+
+    @pytest.mark.parametrize("scheme", ["edge", "cloud", "collaborative"])
+    def test_stream_spec_identical_to_kwargs(self, deployment, helmet_mini, half_mask, scheme):
+        factory = {
+            "edge": edge_only_scheme,
+            "cloud": cloud_only_scheme,
+            "collaborative": collaborative_scheme,
+        }[scheme]
+        mask = half_mask if scheme == "collaborative" else None
+        spec = StreamSpec(scheme=factory(), config=self.CONFIG, mask=mask)
+        via_spec = serve_stream(deployment, helmet_mini, spec, seed=42)
+        via_kwargs = simulate_stream(
+            factory(), deployment, helmet_mini, self.CONFIG, mask=mask, seed=42
+        )
+        assert via_spec == via_kwargs
+
+    def test_stream_spec_with_admission_identical(self, deployment, helmet_mini):
+        config = StreamConfig(fps=14.0, duration_s=25.0, max_edge_queue=30)
+        spec = StreamSpec(
+            scheme=cloud_only_scheme(), config=config, admission=DeadlineAware(freshness_s=2.0)
+        )
+        via_spec = serve_stream(deployment, helmet_mini, spec, seed=42)
+        via_kwargs = simulate_stream(
+            cloud_only_scheme(),
+            deployment,
+            helmet_mini,
+            config,
+            admission=DeadlineAware(freshness_s=2.0),
+            seed=42,
+        )
+        assert via_spec == via_kwargs
+        assert via_spec.frames_shed > 0
+
+    def test_fleet_spec_identical_to_kwargs(self, deployment, helmet_mini, half_mask):
+        spec = FleetSpec(
+            scheme=collaborative_scheme(),
+            config=self.CONFIG,
+            cameras=8,
+            mask=half_mask,
+            admission=DeadlineAware(freshness_s=2.0),
+        )
+        via_spec = serve_fleet(deployment, helmet_mini, spec, seed=5)
+        via_kwargs = simulate_fleet(
+            collaborative_scheme(),
+            deployment,
+            helmet_mini,
+            self.CONFIG,
+            cameras=8,
+            mask=half_mask,
+            admission=DeadlineAware(freshness_s=2.0),
+            seed=5,
+        )
+        assert via_spec == via_kwargs
+
+    def test_unset_camera_specs_inherit_fleet_defaults(self, deployment, helmet_mini, half_mask):
+        """`CameraSpec()` per camera is the homogeneous fleet, bit for bit."""
+        homogeneous = FleetSpec(
+            scheme=collaborative_scheme(), config=self.CONFIG, cameras=4, mask=half_mask
+        )
+        explicit = FleetSpec(
+            scheme=collaborative_scheme(),
+            config=self.CONFIG,
+            cameras=(CameraSpec(),) * 4,
+            mask=half_mask,
+        )
+        assert serve_fleet(deployment, helmet_mini, homogeneous, seed=5) == serve_fleet(
+            deployment, helmet_mini, explicit, seed=5
+        )
+
+    def test_spec_reuse_is_deterministic(self, deployment, helmet_mini):
+        """One frozen spec value re-served across seeds and runs: the same
+        seed reproduces exactly, different seeds are independent."""
+        spec = StreamSpec(scheme=edge_only_scheme(), config=self.CONFIG)
+        first = serve_stream(deployment, helmet_mini, spec, seed=7)
+        second = serve_stream(deployment, helmet_mini, spec, seed=7)
+        other = serve_stream(deployment, helmet_mini, spec, seed=8)
+        assert first == second
+        assert first.frames_offered != other.frames_offered or first != other
