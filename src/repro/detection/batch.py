@@ -24,7 +24,8 @@ evaluation never re-flattens a split's ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -32,7 +33,13 @@ from repro.detection.boxes import box_area, validate_boxes
 from repro.detection.types import Detections, GroundTruth
 from repro.errors import GeometryError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids layering cycles
+    from repro.runtime.shm import SharedBatchHandle
+
 __all__ = ["DetectionBatch", "DetectionBatchBuilder", "GroundTruthBatch"]
+
+#: The four flat columns of the on-disk / shared-memory batch layout.
+BATCH_COLUMNS = ("boxes", "scores", "labels", "offsets")
 
 
 def _segment_view(batch: "DetectionBatch", index: int) -> Detections:
@@ -406,6 +413,93 @@ class DetectionBatch:
             offsets=payload["offsets"],
             detector=detector,
         )
+
+    def save_npy(self, directory) -> None:
+        """Serialise as one uncompressed ``.npy`` per column in a directory.
+
+        The mmap-friendly sibling of :meth:`save`: raw ``.npy`` files can be
+        memory-mapped by :meth:`load_npy`, which a zip container (``.npz``,
+        compressed or not) cannot.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name in BATCH_COLUMNS:
+            np.save(directory / f"{name}.npy", getattr(self, name))
+
+    @classmethod
+    def load_npy(
+        cls,
+        directory,
+        image_ids: tuple[str, ...],
+        *,
+        detector: str = "unknown",
+        mmap: bool = True,
+    ) -> "DetectionBatch":
+        """Rebuild a batch from :meth:`save_npy` output, mmap-backed.
+
+        With ``mmap`` (the default) the columns are ``np.load(...,
+        mmap_mode="r")`` views: nothing is decompressed or copied into the
+        heap, pages fault in on first touch and are shared across every
+        process reading the same cache shard.  Validation is structural
+        only (dtypes, shapes, offset endpoints/monotonicity) — the full
+        data scans of the public constructor would fault in every page and
+        defeat the lazy read; content integrity is the cache key's job.
+        Raises on malformed payloads; callers treat that as a cache miss.
+        """
+        directory = Path(directory)
+        mode = "r" if mmap else None
+        arrays = {name: np.load(directory / f"{name}.npy", mmap_mode=mode) for name in BATCH_COLUMNS}
+        if not mmap:
+            return cls(image_ids=tuple(image_ids), detector=detector, **arrays)
+        boxes, scores, labels, offsets = (arrays[name] for name in BATCH_COLUMNS)
+        if boxes.ndim != 2 or boxes.shape[1] != 4:
+            raise GeometryError(f"load_npy: boxes must be (N, 4), got {boxes.shape}")
+        expected = {"boxes": np.float64, "scores": np.float64, "labels": np.int64, "offsets": np.int64}
+        for name, dtype in expected.items():
+            if arrays[name].dtype != dtype:
+                raise GeometryError(f"load_npy: {name} has dtype {arrays[name].dtype}, expected {dtype}")
+        total = boxes.shape[0]
+        if scores.ndim != 1 or labels.ndim != 1 or scores.shape[0] != total or labels.shape[0] != total:
+            raise GeometryError(f"load_npy: got {scores.shape}/{labels.shape} scores/labels for {total} boxes")
+        if offsets.ndim != 1 or offsets.size == 0 or offsets[0] != 0 or offsets[-1] != total:
+            raise GeometryError("load_npy: offsets must run from 0 to len(boxes)")
+        if (np.diff(offsets) < 0).any():
+            raise GeometryError("load_npy: offsets must be non-decreasing")
+        image_ids = tuple(image_ids)
+        if len(image_ids) != offsets.size - 1:
+            raise GeometryError(f"load_npy: got {len(image_ids)} image ids for {offsets.size - 1} segments")
+        return cls._trusted(image_ids, boxes, scores, labels, offsets, detector)
+
+    # ------------------------------------------------------------------ #
+    # shared-memory transport (zero-copy worker-to-parent hand-off)
+    # ------------------------------------------------------------------ #
+    def to_shared(self, *, prefix: str = "repro-batch", max_bytes: int | None = None) -> "SharedBatchHandle":
+        """Park the four flat columns in a named shared-memory segment.
+
+        Returns a tiny picklable handle; :meth:`from_shared` (in any process
+        that can see ``/dev/shm``) adopts it back as zero-copy views.  See
+        :mod:`repro.runtime.shm` for the ownership hand-off rules.  Raises
+        :class:`~repro.errors.GeometryError` when ``max_bytes`` would be
+        exceeded — pool workers use :func:`repro.runtime.shm.share_batch`
+        directly to fall back to pickling instead.
+        """
+        from repro.runtime.shm import share_batch
+
+        handle = share_batch(self, prefix=prefix, max_bytes=max_bytes)
+        if handle is None:
+            raise GeometryError(f"to_shared: batch exceeds max_bytes={max_bytes}")
+        return handle
+
+    @classmethod
+    def from_shared(cls, handle: "SharedBatchHandle") -> "DetectionBatch":
+        """Adopt a :meth:`to_shared` handle as a batch of zero-copy views.
+
+        Consumes the handle: the segment name is unlinked immediately (the
+        mapping lives as long as the returned batch's arrays do).
+        """
+        from repro.runtime.shm import adopt_batch
+
+        return adopt_batch(handle)
 
 
 class DetectionBatchBuilder:

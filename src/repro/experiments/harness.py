@@ -48,10 +48,11 @@ from repro.metrics.counting import CountSummary, count_summary
 from repro.metrics.voc_ap import mean_average_precision
 from repro.runtime.parallel import (
     DEFAULT_MIN_SHARD_IMAGES,
-    run_shards,
-    run_split,
+    detect_records,
+    run_spans,
+    shard_spans,
 )
-from repro.runtime.pool import WorkerPool, resolve_workers
+from repro.runtime.pool import WorkerPool, register_inherited, resolve_workers
 from repro.simulate.detector import SimulatedDetector
 from repro.simulate.presets import make_detector
 
@@ -74,6 +75,13 @@ class HarnessConfig:
         changes wall time.
     cache_shard_size:
         Image-range width of one on-disk cache shard.
+    mmap_cache:
+        Store cache shards as uncompressed one-``.npy``-per-column
+        directories and read them back with ``np.load(mmap_mode="r")``:
+        warm-cache runs map the shard pages instead of decompressing and
+        materialising every ``.npz`` they touch.  The two layouts are
+        distinct cache entries — flipping the flag recomputes (or re-stores)
+        shards rather than silently reading the other format.
     """
 
     seed: int = DEFAULT_SEED
@@ -82,6 +90,7 @@ class HarnessConfig:
     cache_dir: str | None = None
     workers: int | None = None
     cache_shard_size: int = 1024
+    mmap_cache: bool = False
 
     @classmethod
     def quick(cls) -> "HarnessConfig":
@@ -165,7 +174,15 @@ class Harness:
                 fraction = min(1.0, self.config.train_images / entry.train_size)
             else:
                 fraction = self.config.test_fraction
-            self._datasets[key] = load_dataset(setting, split, seed=self.config.seed, fraction=fraction)
+            dataset = load_dataset(setting, split, seed=self.config.seed, fraction=fraction)
+            if self.config.resolve_workers() > 1:
+                # Park the record list for fork inheritance: workers forked
+                # after this point resolve (token, span) tasks without the
+                # parent pickling a single record out.  Splits materialised
+                # only after the pool starts simply fall back to pickled
+                # slices (span_payload's matrix) — still bit-for-bit.
+                register_inherited(dataset.records)
+            self._datasets[key] = dataset
         return self._datasets[key]
 
     def detector(self, model: str, setting: str) -> SimulatedDetector:
@@ -397,21 +414,32 @@ class Harness:
         the shared pool's workers); several missing ranges parallelise at
         range granularity, and ``on_result(position, batch)`` fires as each
         range completes so it is persisted as its cache shard right away.
+        Workers receive ``(detector, span)`` against the dataset's
+        fork-inherited record snapshot — the parent never slices a record
+        list per shard unless the pool predates the snapshot.
         """
         records = dataset.records
+        pool = self.pool()
         if len(spans) == 1:
             lo, hi = spans[0]
-            batch = run_split(detector, records[lo:hi], pool=self.pool())
+            effective = min(pool.workers, max(1, (hi - lo) // DEFAULT_MIN_SHARD_IMAGES))
+            if effective <= 1:
+                batch = detect_records(detector, records, (lo, hi))
+            else:
+                subs = [(lo + sub_lo, lo + sub_hi) for sub_lo, sub_hi in shard_spans(hi - lo, effective)]
+                parts = run_spans(detector, records, subs, pool=pool)
+                batch = DetectionBatch.concat(parts, detector=detector.name)
             on_result(0, batch)
             return [batch]
         # Same tiny-split fallback as run_split: don't fork workers when the
         # total missing work is under one pool-worthy shard per worker.
         total = sum(hi - lo for lo, hi in spans)
         workers = min(self.config.resolve_workers(), max(1, total // DEFAULT_MIN_SHARD_IMAGES))
-        return run_shards(
+        return run_spans(
             detector,
-            [records[lo:hi] for lo, hi in spans],
-            pool=self.pool() if workers > 1 else None,
+            records,
+            spans,
+            pool=pool if workers > 1 else None,
             on_result=on_result,
         )
 
@@ -467,7 +495,13 @@ class Harness:
             ).encode()
             + self._records_digest(dataset.records[lo:hi])
         ).hexdigest()[:20]
-        return root / f"det-{fingerprint}-{lo:06d}-{hi:06d}.npz"
+        stem = f"det-{fingerprint}-{lo:06d}-{hi:06d}"
+        # The two on-disk layouts are distinct cache entries: compressed
+        # single-file .npz vs a directory of raw per-column .npy files that
+        # numpy can memory-map (zip containers cannot be mmapped).
+        if self.config.mmap_cache:
+            return root / f"{stem}.mm"
+        return root / f"{stem}.npz"
 
     def _load_shard(
         self,
@@ -480,7 +514,10 @@ class Harness:
             return None
         lo, hi = span
         try:
-            batch = DetectionBatch.load(path, dataset.image_ids[lo:hi], detector=detector.name)
+            if self.config.mmap_cache:
+                batch = DetectionBatch.load_npy(path, dataset.image_ids[lo:hi], detector=detector.name)
+            else:
+                batch = DetectionBatch.load(path, dataset.image_ids[lo:hi], detector=detector.name)
         except (
             OSError,
             KeyError,
@@ -504,6 +541,9 @@ class Harness:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
         try:
-            detections.save(path)
+            if self.config.mmap_cache:
+                detections.save_npy(path)
+            else:
+                detections.save(path)
         except OSError:
             pass  # cache is best effort

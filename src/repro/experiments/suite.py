@@ -39,8 +39,11 @@ from repro.experiments.results import FigureResult, TableResult
 from repro.experiments.tables import all_tables
 from repro.runtime.parallel import (
     DEFAULT_MIN_SHARD_IMAGES,
-    _detect_shard_task,
+    _detect_task,
+    _discard_pending,
+    _materialize,
     shard_spans,
+    span_payload,
 )
 
 __all__ = [
@@ -143,6 +146,7 @@ def prefetch_detections(
     per_span = 1
     if pool.parallel and work:
         per_span = -(-pool.workers // len(work))  # ceil
+    transport = pool.shm_transport
     pending = {}
     for plan, index in work:
         lo, hi = plan.spans[index]
@@ -151,21 +155,29 @@ def prefetch_detections(
         subs = shard_spans(hi - lo, pieces)
         parts: list[DetectionBatch | None] = [None] * len(subs)
         for position, (sub_lo, sub_hi) in enumerate(subs):
-            shard_records = records[lo + sub_lo : lo + sub_hi]
-            future = pool.submit(_detect_shard_task, (plan.detector, shard_records))
+            source, span_arg = span_payload(pool, records, (lo + sub_lo, lo + sub_hi))
+            future = pool.submit(_detect_task, plan.detector, source, span_arg, transport)
             pending[future] = (plan, index, position, parts)
     # Drain in completion order, persisting each cache shard the moment its
     # last sub-batch lands so an interrupted run keeps every finished shard.
-    for future in as_completed(pending):
-        plan, index, position, parts = pending[future]
-        parts[position] = future.result()
-        if all(part is not None for part in parts):
-            if len(parts) == 1:
-                batch = parts[0]
-            else:
-                batch = DetectionBatch.concat(parts, detector=plan.detector.name)
-            plan.shards[index] = batch
-            harness._store_shard(plan.detector, plan.dataset, plan.spans[index], batch)
+    # On any error the outstanding futures are drained and their shared
+    # segments unlinked before the exception propagates.
+    outstanding = set(pending)
+    try:
+        for future in as_completed(pending):
+            outstanding.discard(future)
+            plan, index, position, parts = pending[future]
+            parts[position] = _materialize(future.result())
+            if all(part is not None for part in parts):
+                if len(parts) == 1:
+                    batch = parts[0]
+                else:
+                    batch = DetectionBatch.concat(parts, detector=plan.detector.name)
+                plan.shards[index] = batch
+                harness._store_shard(plan.detector, plan.dataset, plan.spans[index], batch)
+    except BaseException:
+        _discard_pending(outstanding)
+        raise
     results: dict[Artifact, DetectionBatch] = {}
     for key in keys:
         plan = plans.get(key)

@@ -15,13 +15,30 @@ produces dozens of detection artifacts paid process startup dozens of times.
   exception) shuts the executor down and marks the pool closed, and further
   submissions raise :class:`~repro.errors.ConfigurationError`.
 
+Two zero-copy data-plane facilities hang off the pool because their
+lifetimes are the pool's:
+
+* **Fork-inherited snapshots** — :func:`register_inherited` parks a large
+  parent-side object (a dataset's record list) in a module-level registry.
+  Workers forked *after* registration inherit the registry pages for free
+  (copy-on-write), so tasks can ship a tiny ``(token, span)`` instead of a
+  pickled record list; :meth:`WorkerPool.inherits` reports whether a given
+  token made it into the workers (parallel Linux pools capture the
+  registered token set at executor start).
+* **Shared-memory arena** — :attr:`WorkerPool.arena` scopes every segment
+  the workers publish results through (see :mod:`repro.runtime.shm`);
+  :meth:`~WorkerPool.shutdown` sweeps whatever was never adopted, so pool
+  teardown — normal or exceptional — leaves ``/dev/shm`` clean.
+
 Worker count resolution is shared with the experiment harness: an explicit
 ``workers`` argument wins, otherwise the ``REPRO_WORKERS`` environment
-variable, otherwise 1 (serial).
+variable, otherwise 1 (serial).  The ``REPRO_SHM`` environment variable
+(``0`` to disable) gates the shared-memory return path.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import sys
@@ -29,8 +46,15 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Callable
 
 from repro.errors import ConfigurationError
+from repro.runtime.shm import SharedArena, ShmTransport, shm_supported
 
-__all__ = ["WorkerPool", "resolve_workers"]
+__all__ = [
+    "WorkerPool",
+    "inherited_token",
+    "inherited_value",
+    "register_inherited",
+    "resolve_workers",
+]
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -49,14 +73,64 @@ def resolve_workers(workers: int | None = None) -> int:
     return workers
 
 
+# --------------------------------------------------------------------- #
+# fork-inherited snapshot registry
+# --------------------------------------------------------------------- #
+#: Token -> value.  Filled in the parent; forked workers inherit the whole
+#: mapping (copy-on-write pages), so resolving a token is free of transport.
+_INHERITED: dict[str, Any] = {}
+#: id(value) -> token, so re-registering the same object is idempotent.  The
+#: strong reference in ``_INHERITED`` keeps the id stable.
+_TOKENS_BY_ID: dict[int, str] = {}
+_token_counter = itertools.count()
+
+
+def register_inherited(value: Any) -> str:
+    """Park ``value`` for fork inheritance, returning its stable token.
+
+    Registering the same object again returns the same token.  The registry
+    holds a strong reference for the life of the process — register
+    long-lived objects (memoised dataset record lists), not throwaways.
+    Registration only reaches workers forked afterwards; check
+    :meth:`WorkerPool.inherits` before shipping a token to a started pool.
+    """
+    token = _TOKENS_BY_ID.get(id(value))
+    if token is not None and _INHERITED.get(token) is value:
+        return token
+    token = f"inherit-{os.getpid()}-{next(_token_counter)}"
+    _TOKENS_BY_ID[id(value)] = token
+    _INHERITED[token] = value
+    return token
+
+
+def inherited_token(value: Any) -> str | None:
+    """The token ``value`` is registered under, or ``None``."""
+    token = _TOKENS_BY_ID.get(id(value))
+    if token is not None and _INHERITED.get(token) is value:
+        return token
+    return None
+
+
+def inherited_value(token: str) -> Any:
+    """Resolve a token (worker side, via the fork-inherited registry)."""
+    try:
+        return _INHERITED[token]
+    except KeyError:
+        raise ConfigurationError(
+            f"snapshot {token!r} was not inherited by this process; "
+            "it must be registered before the worker pool starts"
+        ) from None
+
+
 class WorkerPool:
     """A lazily-started, reusable process pool with a serial fallback.
 
     The pool is cheap to construct and safe to share: the executor starts at
     most once per pool lifetime (see :attr:`start_count`), every submitter
     sees the same worker processes, and detections stay bit-for-bit identical
-    to the serial path because tasks are pure functions of their pickled
-    arguments.
+    to the serial path because tasks are pure functions of their arguments —
+    whether those arrive pickled, as fork-inherited snapshot spans, or leave
+    through the shared-memory arena.
     """
 
     def __init__(self, workers: int | None = None) -> None:
@@ -64,6 +138,14 @@ class WorkerPool:
         self._executor: ProcessPoolExecutor | None = None
         self._start_count = 0
         self._closed = False
+        self._arena: SharedArena | None = None
+        self._inherited_at_start: frozenset[str] | None = None
+        # Workers are pure compute over small inputs: fork is the cheapest
+        # start method where it is reliable (Linux), and pinning it keeps
+        # behaviour stable across Python versions that change the default.
+        # Fork is also what makes snapshot inheritance and the /dev/shm
+        # arena possible, so both features key off the same flag.
+        self._fork = sys.platform.startswith("linux")
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -98,6 +180,61 @@ class WorkerPool:
         return f"WorkerPool(workers={self._workers}, {state})"
 
     # ------------------------------------------------------------------ #
+    # zero-copy data plane
+    # ------------------------------------------------------------------ #
+    @property
+    def shm_enabled(self) -> bool:
+        """Whether shard results may return through shared memory.
+
+        True for parallel pools on Linux (where :mod:`repro.runtime.shm`
+        can map segments) unless ``REPRO_SHM=0`` disables the path.  Serial
+        pools run inline — there is nothing to transport.
+        """
+        if not self.parallel or self._closed or not self._fork:
+            return False
+        env = os.environ.get("REPRO_SHM", "").strip().lower()
+        if env in {"0", "off", "false", "no"}:
+            return False
+        return shm_supported()
+
+    @property
+    def arena(self) -> SharedArena | None:
+        """The pool's shared-memory arena (``None`` when shm is disabled).
+
+        Created lazily; swept by :meth:`shutdown`, so segment lifetime can
+        never exceed pool lifetime.
+        """
+        if not self.shm_enabled:
+            return None
+        if self._arena is None:
+            self._arena = SharedArena()
+        return self._arena
+
+    @property
+    def shm_transport(self) -> ShmTransport | None:
+        """Worker-side publish instructions, or ``None`` for the pickle path."""
+        arena = self.arena
+        return arena.transport if arena is not None else None
+
+    def inherits(self, token: str) -> bool:
+        """Whether workers can resolve ``token`` from the fork registry.
+
+        Serial pools run inline in the registering process, so every token
+        resolves.  Parallel pools inherit the registry at fork time: before
+        the executor starts, any currently-registered token will be
+        inherited; afterwards only the tokens captured at start are
+        available (later registrations fall back to pickled inputs).
+        Non-fork platforms never inherit.
+        """
+        if not self.parallel:
+            return True
+        if not self._fork:
+            return False
+        if self._executor is None:
+            return token in _INHERITED
+        return token in (self._inherited_at_start or frozenset())
+
+    # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
     def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
@@ -112,18 +249,20 @@ class WorkerPool:
             future: Future = Future()
             try:
                 future.set_result(fn(*args, **kwargs))
-            except BaseException as exc:
+            except Exception as exc:
+                # Only ordinary errors belong on the future;
+                # KeyboardInterrupt/SystemExit must propagate to the caller
+                # exactly as they would from any inline call.
                 future.set_exception(exc)
             return future
         return self._ensure_executor().submit(fn, *args, **kwargs)
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
-            # Workers are pure compute over pickled inputs: fork is the
-            # cheapest start method where it is reliable (Linux), and pinning
-            # it keeps behaviour stable across Python versions that change
-            # the default.
-            context = multiprocessing.get_context("fork") if sys.platform.startswith("linux") else None
+            # Capture the snapshot-token set before any worker can fork:
+            # everything registered up to here is inherited, nothing after.
+            self._inherited_at_start = frozenset(_INHERITED)
+            context = multiprocessing.get_context("fork") if self._fork else None
             self._executor = ProcessPoolExecutor(max_workers=self._workers, mp_context=context)
             self._start_count += 1
         return self._executor
@@ -132,10 +271,14 @@ class WorkerPool:
     # lifecycle
     # ------------------------------------------------------------------ #
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the workers (if any) and refuse further submissions."""
+        """Stop the workers (if any), sweep the arena, refuse further work."""
         if self._executor is not None:
             self._executor.shutdown(wait=wait)
             self._executor = None
+        if self._arena is not None:
+            # Deterministic unlink of anything the workers published but the
+            # parent never adopted (exception paths, abandoned futures).
+            self._arena.sweep()
         self._closed = True
 
     def __enter__(self) -> "WorkerPool":

@@ -1,0 +1,315 @@
+"""Zero-copy shared-memory transport for detection shards.
+
+The parallel split runner historically returned every worker's
+:class:`~repro.detection.batch.DetectionBatch` by pickling its flat numpy
+columns through the process-pool result pipe — a pure copy (serialise, pipe
+write, pipe read, deserialise) of arrays that are already process-shareable
+on Linux.  This module ships those columns through named
+``multiprocessing.shared_memory`` segments instead:
+
+* **Creator side** (the pool worker): :func:`share_batch` packs the four
+  flat columns of a batch — ``boxes``/``scores``/``labels``/``offsets`` —
+  into one named segment at a fixed, deterministic layout and returns a tiny
+  picklable :class:`SharedBatchHandle` (segment name + geometry + image
+  ids).  The worker unregisters the segment from its own resource tracker:
+  ownership is handed to whichever process adopts the handle.
+* **Adopter side** (the parent): :func:`adopt_batch` maps the segment via
+  ``numpy.memmap`` over its ``/dev/shm`` backing file, **unlinks the name
+  immediately** (the mapping stays valid until the views die, but the
+  segment can never outlive the process as a ``/dev/shm`` leak), and
+  returns a :class:`~repro.detection.batch.DetectionBatch` whose arrays are
+  read-only zero-copy views of the shared pages.
+
+Adoption is therefore a one-shot ownership transfer: a handle can be
+adopted once (or explicitly :func:`discard_batch`-ed); afterwards the name
+is gone.  Handles that never reach an adopter — worker crashes, exceptions
+mid-drain — are reaped deterministically by :class:`SharedArena`, which
+scopes every segment of one pool under a unique name prefix and unlinks
+whatever is left under that prefix on :meth:`~SharedArena.sweep` (called by
+:meth:`~repro.runtime.pool.WorkerPool.shutdown` and, as a last resort, by a
+``weakref`` finalizer on the arena itself).  :func:`leaked_segments` is the
+test/CI helper asserting that nothing survived.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import sys
+import uuid
+import weakref
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids layering cycles
+    from repro.detection.batch import DetectionBatch
+
+__all__ = [
+    "DEFAULT_MAX_SEGMENT_BYTES",
+    "SHM_DIR",
+    "SharedArena",
+    "SharedBatchHandle",
+    "ShmTransport",
+    "adopt_batch",
+    "discard_batch",
+    "leaked_segments",
+    "share_batch",
+    "shm_supported",
+]
+
+#: Backing directory of POSIX shared-memory segments on Linux.
+SHM_DIR = Path("/dev/shm")
+
+#: Segments above this size fall back to the pickle pipe (``/dev/shm`` is a
+#: tmpfs, typically capped at half of RAM — a runaway shard must not fill it).
+DEFAULT_MAX_SEGMENT_BYTES = 1 << 30
+
+_ITEM_BYTES = 8  # float64 / int64: every column is 8 bytes per element
+
+_segment_counter = itertools.count()
+
+
+def shm_supported() -> bool:
+    """Whether the zero-copy transport can engage on this platform.
+
+    Requires Linux (the pool pins the ``fork`` start method there, and
+    adoption maps the segment's ``/dev/shm`` backing file directly).
+    """
+    return sys.platform.startswith("linux") and SHM_DIR.is_dir()
+
+
+def _untrack(segment) -> None:
+    """Unregister a created segment from this process's resource tracker.
+
+    The creator hands ownership to the adopter; without this, the worker's
+    tracker would unlink (and warn about) segments the parent still reads.
+    """
+    try:  # pragma: no cover - tracker internals vary across 3.10-3.13
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _close_quietly(segment) -> None:
+    """Close a creator-side mapping, tolerating lingering buffer exports."""
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - exception-path bookkeeping only
+        pass  # mapping dies with the process; the name is already handled
+
+
+@dataclass(frozen=True)
+class ShmTransport:
+    """Picklable worker-side instructions for returning a shard via shm.
+
+    ``prefix`` scopes every segment the workers create under the owning
+    pool's :class:`SharedArena`; ``max_segment_bytes`` is the oversize
+    fallback threshold (bigger shards return through the pickle pipe).
+    """
+
+    prefix: str
+    max_segment_bytes: int = DEFAULT_MAX_SEGMENT_BYTES
+
+
+@dataclass(frozen=True)
+class SharedBatchHandle:
+    """The picklable description of one batch parked in shared memory.
+
+    The segment layout is fixed and derivable from the geometry alone:
+    ``boxes`` (float64, ``(num_boxes, 4)``) at offset 0, then ``scores``
+    (float64), ``labels`` (int64) and ``offsets`` (int64,
+    ``num_images + 1``), all 8-byte aligned by construction.
+    """
+
+    name: str
+    nbytes: int
+    num_boxes: int
+    image_ids: tuple[str, ...]
+    detector: str
+
+    @property
+    def num_images(self) -> int:
+        return len(self.image_ids)
+
+
+def _layout(num_boxes: int, num_images: int) -> tuple[int, int, int, int, int]:
+    """Byte offsets of the four columns plus the total segment size."""
+    boxes_off = 0
+    scores_off = boxes_off + num_boxes * 4 * _ITEM_BYTES
+    labels_off = scores_off + num_boxes * _ITEM_BYTES
+    offsets_off = labels_off + num_boxes * _ITEM_BYTES
+    total = offsets_off + (num_images + 1) * _ITEM_BYTES
+    return boxes_off, scores_off, labels_off, offsets_off, total
+
+
+def share_batch(
+    batch: "DetectionBatch",
+    *,
+    prefix: str,
+    max_bytes: int | None = None,
+) -> SharedBatchHandle | None:
+    """Park a batch's flat columns in a named shared-memory segment.
+
+    Returns the handle, or ``None`` when the segment would exceed
+    ``max_bytes`` (the caller then falls back to the pickle pipe).  On any
+    failure mid-write the segment is unlinked before the error propagates —
+    a handle either reaches the caller or the name is gone.
+    """
+    from multiprocessing.shared_memory import SharedMemory
+
+    num_boxes = batch.num_boxes
+    num_images = len(batch)
+    boxes_off, scores_off, labels_off, offsets_off, total = _layout(num_boxes, num_images)
+    if max_bytes is not None and total > max_bytes:
+        return None
+    name = f"{prefix}-{os.getpid()}-{next(_segment_counter)}"
+    segment = SharedMemory(create=True, name=name, size=max(total, 1))
+    try:
+        _write_columns(segment.buf, batch, boxes_off, scores_off, labels_off, offsets_off)
+        _untrack(segment)
+    except BaseException:
+        _untrack(segment)
+        _close_quietly(segment)
+        _unlink_name(name)
+        raise
+    _close_quietly(segment)
+    return SharedBatchHandle(
+        name=name,
+        nbytes=total,
+        num_boxes=num_boxes,
+        image_ids=batch.image_ids,
+        detector=batch.detector,
+    )
+
+
+def _write_columns(buf, batch, boxes_off, scores_off, labels_off, offsets_off) -> None:
+    """Copy the four columns into the mapping (views die on return, so the
+    creator can close its mapping without lingering buffer exports)."""
+    n = batch.num_boxes
+    m = len(batch)
+    np.ndarray((n, 4), dtype=np.float64, buffer=buf, offset=boxes_off)[...] = batch.boxes
+    np.ndarray((n,), dtype=np.float64, buffer=buf, offset=scores_off)[...] = batch.scores
+    np.ndarray((n,), dtype=np.int64, buffer=buf, offset=labels_off)[...] = batch.labels
+    np.ndarray((m + 1,), dtype=np.int64, buffer=buf, offset=offsets_off)[...] = batch.offsets
+
+
+def adopt_batch(handle: SharedBatchHandle) -> "DetectionBatch":
+    """Materialise a handle as a batch of zero-copy views, consuming it.
+
+    The segment name is unlinked *before* the batch is returned — the
+    mapping (held alive by the views' base chain) survives, but nothing is
+    left in ``/dev/shm`` no matter what the caller does afterwards.  A
+    handle can be adopted at most once.
+    """
+    from repro.detection.batch import DetectionBatch
+
+    path = SHM_DIR / handle.name
+    try:
+        raw = np.memmap(path, dtype=np.uint8, mode="r", shape=(max(handle.nbytes, 1),))
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(f"shared segment {handle.name!r} is gone or truncated: {exc}") from exc
+    _unlink_name(handle.name)
+    n = handle.num_boxes
+    m = handle.num_images
+    boxes_off, scores_off, labels_off, offsets_off, _ = _layout(n, m)
+    boxes = raw[boxes_off:scores_off].view(np.float64).reshape(n, 4)
+    scores = raw[scores_off:labels_off].view(np.float64)
+    labels = raw[labels_off:offsets_off].view(np.int64)
+    offsets = raw[offsets_off : offsets_off + (m + 1) * _ITEM_BYTES].view(np.int64)
+    return DetectionBatch._trusted(
+        handle.image_ids,
+        boxes,
+        scores,
+        labels,
+        offsets,
+        handle.detector,
+    )
+
+
+def discard_batch(handle: SharedBatchHandle) -> None:
+    """Unlink a handle's segment without adopting it (error-path cleanup)."""
+    _unlink_name(handle.name)
+
+
+def _unlink_name(name: str) -> None:
+    try:
+        os.unlink(SHM_DIR / name)
+    except OSError:
+        pass  # already adopted/swept, or never created
+
+
+def leaked_segments(prefix: str) -> tuple[str, ...]:
+    """Names of ``/dev/shm`` segments still carrying ``prefix``.
+
+    The leak-check helper: tests and CI assert this is empty after pool
+    shutdown, worker exceptions and ``WorkerPool.__exit__`` on error.
+    """
+    try:
+        entries = os.listdir(SHM_DIR)
+    except OSError:
+        return ()
+    return tuple(sorted(name for name in entries if name.startswith(prefix)))
+
+
+def _sweep_prefix(prefix: str) -> tuple[str, ...]:
+    leaked = leaked_segments(prefix)
+    for name in leaked:
+        _unlink_name(name)
+    return leaked
+
+
+class SharedArena:
+    """Scopes one pool's shared segments under a unique, sweepable prefix.
+
+    The arena itself allocates nothing — workers create segments named
+    under :attr:`prefix` (via the picklable :attr:`transport`), the parent
+    adopts them one by one, and whatever never got adopted (exception
+    paths, abandoned futures, crashed workers) is unlinked by
+    :meth:`sweep`.  :class:`~repro.runtime.pool.WorkerPool` sweeps on
+    shutdown; a ``weakref`` finalizer sweeps on garbage collection as the
+    last resort, so an arena can never outlive the run as a ``/dev/shm``
+    leak.
+    """
+
+    def __init__(
+        self,
+        *,
+        prefix: str | None = None,
+        max_segment_bytes: int = DEFAULT_MAX_SEGMENT_BYTES,
+    ) -> None:
+        if prefix is not None and ("/" in prefix or not prefix):
+            raise ConfigurationError(f"arena prefix must be a non-empty name without '/', got {prefix!r}")
+        self.prefix = prefix or f"repro-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        self.max_segment_bytes = int(max_segment_bytes)
+        self._finalizer = weakref.finalize(self, _sweep_prefix, self.prefix)
+
+    @property
+    def transport(self) -> ShmTransport:
+        """The picklable instructions workers need to publish into this arena."""
+        return ShmTransport(prefix=self.prefix, max_segment_bytes=self.max_segment_bytes)
+
+    def adopt(self, handle: SharedBatchHandle) -> "DetectionBatch":
+        """See :func:`adopt_batch`."""
+        return adopt_batch(handle)
+
+    def discard(self, handle: SharedBatchHandle) -> None:
+        """See :func:`discard_batch`."""
+        discard_batch(handle)
+
+    def leaked(self) -> tuple[str, ...]:
+        """Segments under this arena's prefix still present in ``/dev/shm``."""
+        return leaked_segments(self.prefix)
+
+    def sweep(self) -> tuple[str, ...]:
+        """Unlink every remaining segment under the prefix; returns names."""
+        return _sweep_prefix(self.prefix)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedArena(prefix={self.prefix!r}, max_segment_bytes={self.max_segment_bytes})"
