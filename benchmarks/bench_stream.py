@@ -21,11 +21,14 @@ from repro.runtime import (
     Deployment,
     DropOldest,
     EscalationPolicy,
+    EstimatedDeadlineAware,
     EventLoop,
     FifoResource,
     OutageSchedule,
+    RateSchedule,
     StreamConfig,
     UnreliableLink,
+    bundled_trace,
     cloud_only_scheme,
     collaborative_scheme,
     edge_only_scheme,
@@ -220,6 +223,74 @@ def test_micro_fleet_8_cameras_outage_durable(benchmark, outage_deployment, helm
     assert report.frames_offered == 8 * 100
     assert report.escalations_recovered > 0
     assert report.frames_served + report.frames_dropped == report.frames_offered
+
+
+def test_micro_fleet_8_cameras_lte_trace(benchmark, deployment, helmet_slice):
+    """Time-varying-link hot path: schedule integration on every transfer.
+
+    The saturated fleet on the bundled LTE-like trace with schedule-aware
+    estimated admission: every uplink grant resolves its duration through
+    the schedule's prefix sums, every downlink integrates from *now*, and
+    every admission doom test adds the schedule-integrated remaining-time
+    floor — the full cost of the trace-driven data path.
+    """
+    config = StreamConfig(fps=5.0, duration_s=20.0, poisson=False, max_edge_queue=30)
+    scheduled = Deployment(
+        edge=deployment.edge,
+        cloud=deployment.cloud,
+        link=deployment.link.with_rate_schedule(bundled_trace("lte_like")),
+        small_model_flops=deployment.small_model_flops,
+        big_model_flops=deployment.big_model_flops,
+    )
+
+    def run():
+        return simulate_fleet(
+            cloud_only_scheme(),
+            scheduled,
+            helmet_slice,
+            config,
+            cameras=8,
+            admission=EstimatedDeadlineAware(freshness_s=2.0),
+            seed=1,
+        )
+
+    report = benchmark(run)
+    assert report.frames_offered == 8 * 100
+    assert report.frames_served + report.frames_dropped == report.frames_offered
+
+
+def test_micro_fleet_8_cameras_constant_schedule(benchmark, deployment, helmet_slice):
+    """Zero-overhead contract: a constant schedule is the plain fleet.
+
+    Attaching ``RateSchedule.always(bandwidth)`` must keep the exact
+    pre-schedule code path — this case benches that path with the schedule
+    attached and pins the result bit-for-bit against the plain link, so the
+    2x gate catches both a perf leak and a semantic one.
+    """
+    config = StreamConfig(fps=5.0, duration_s=20.0, poisson=False, max_edge_queue=30)
+    scheduled = Deployment(
+        edge=deployment.edge,
+        cloud=deployment.cloud,
+        link=deployment.link.with_rate_schedule(RateSchedule.always(deployment.link.bandwidth_mbps)),
+        small_model_flops=deployment.small_model_flops,
+        big_model_flops=deployment.big_model_flops,
+    )
+
+    def run():
+        return simulate_fleet(
+            cloud_only_scheme(),
+            scheduled,
+            helmet_slice,
+            config,
+            cameras=8,
+            seed=1,
+        )
+
+    report = benchmark(run)
+    plain = simulate_fleet(
+        cloud_only_scheme(), deployment, helmet_slice, config, cameras=8, seed=1
+    )
+    assert report == plain
 
 
 def test_micro_fleet_heterogeneous(benchmark, deployment, helmet_slice, half_mask):

@@ -1,0 +1,161 @@
+"""Time-varying links: trace-driven bandwidth through the runtime stack.
+
+Run:  python examples/trace_driven_network.py
+
+The paper's testbed WLAN is a constant 5.5 Mbps.  Real uplinks are not: a
+cellular link breathes with load, and a camera moving away from its access
+point fades.  This example attaches the bundled bandwidth traces from
+``benchmarks/traces/`` to the shared fleet uplink and shows the two things
+the schedule buys:
+
+* **Admission that sees the dip coming.**  ``EstimatedDeadlineAware`` dooms
+  a frame by comparing its estimated completion against the freshness
+  deadline.  The constant-estimate variant trusts EWMA memory of *past*
+  completions, so at the onset of a congestion trough it keeps admitting
+  frames the link can no longer deliver in time.  The schedule-aware
+  variant folds the link schedule's remaining-time bound into every doom
+  test and sheds them at arrival instead.
+* **Per-camera mobility.**  ``CameraSpec.link_scale`` modulates the shared
+  schedule per camera — the bundled ``mobility_scale`` trace is a camera
+  walking away from the access point and back.
+
+The discriminator scheme rides every profile far more gracefully than
+cloud-only: its edge verdicts keep serving while the uplink crawls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DifficultCaseDiscriminator, load_dataset, make_detector
+from repro.core import DiscriminatorPolicy
+from repro.detection import DetectionBatch
+from repro.metrics import rolling_quality
+from repro.runtime import (
+    JETSON_NANO,
+    RTX3060_SERVER,
+    WLAN,
+    CameraSpec,
+    Deployment,
+    EstimatedDeadlineAware,
+    FleetSpec,
+    StreamConfig,
+    bundled_trace,
+    cloud_only_scheme,
+    collaborative_scheme,
+    serve_fleet,
+)
+from repro.zoo import build_model
+
+CAMERAS = 8
+CONFIG = StreamConfig(fps=1.5, poisson=True, duration_s=40.0, max_edge_queue=30)
+WINDOW_S = 8.0
+FRESHNESS_S = 2.0
+
+
+def main() -> None:
+    print("Preparing the helmet small-big system...")
+    small_model = make_detector("small1", "helmet")
+    big_model = make_detector("ssd", "helmet")
+    train = load_dataset("helmet", "train", fraction=0.4)
+    discriminator, _ = DifficultCaseDiscriminator.fit(
+        small_model.detect_split(train),
+        big_model.detect_split(train),
+        train.truths,
+    )
+    test = load_dataset("helmet", "test", fraction=0.5)
+    small = DetectionBatch.coerce(small_model.detect_split(test))
+    big = DetectionBatch.coerce(big_model.detect_split(test))
+    policy = DiscriminatorPolicy(discriminator)
+    mask = policy.select(test, small)
+    served = DetectionBatch.where(mask, big, small)
+
+    def deployment(link):
+        return Deployment(
+            edge=JETSON_NANO,
+            cloud=RTX3060_SERVER,
+            link=link,
+            small_model_flops=float(build_model("small1", num_classes=2).flops),
+            big_model_flops=float(build_model("ssd", num_classes=2).flops),
+        )
+
+    lte = bundled_trace("lte_like")
+    profiles = [
+        ("constant", WLAN),
+        ("periodic-dip", WLAN.with_rate_schedule(bundled_trace("periodic_dip"))),
+        ("lte-trace", WLAN.with_rate_schedule(lte)),
+    ]
+    print(
+        f"\nlte_like trace: mean {lte.mean_rate_mbps:.2f} Mbps, "
+        f"trough {min(lte.rates_mbps):.2f} Mbps at "
+        f"t=[{lte.times[lte.rates_mbps.index(min(lte.rates_mbps))]:.0f}s...] "
+        f"(WLAN constant: {WLAN.bandwidth_mbps:g} Mbps)"
+    )
+
+    schemes = [
+        ("cloud-only", cloud_only_scheme(), np.ones(len(test), dtype=bool), big),
+        ("discriminator", collaborative_scheme(policy, name="discriminator"), mask, served),
+    ]
+    admissions = [
+        ("estimated-constant", lambda: EstimatedDeadlineAware(FRESHNESS_S, schedule_aware=False)),
+        ("estimated-schedule", lambda: EstimatedDeadlineAware(FRESHNESS_S)),
+    ]
+    header = (
+        f"{'profile':<14}{'scheme':<15}{'admission':<20}"
+        f"{'served':>7}{'shed':>6}{'fresh':>8}{'rolling mAP':>13}"
+    )
+    print(f"\n{header}")
+    for profile_label, link in profiles:
+        for scheme_label, scheme, scheme_mask, scheme_served in schemes:
+            for admission_label, make_admission in admissions:
+                spec = FleetSpec(
+                    scheme=scheme,
+                    config=CONFIG,
+                    cameras=CAMERAS,
+                    mask=scheme_mask,
+                    small_detections=small,
+                    detections=scheme_served,
+                    admission=make_admission(),
+                )
+                fleet = serve_fleet(deployment(link), test, spec)
+                windows = rolling_quality(
+                    fleet, test, window_s=WINDOW_S,
+                    duration_s=CONFIG.duration_s, freshness_s=FRESHNESS_S,
+                )
+                scored = [w for w in windows if w.frames]
+                mean_map = sum(w.map_percent for w in scored) / max(len(scored), 1)
+                fresh = 100.0 * sum(w.served for w in windows) / max(fleet.frames_offered, 1)
+                print(
+                    f"{profile_label:<14}{scheme_label:<15}{admission_label:<20}"
+                    f"{fleet.frames_served:>7}{fleet.frames_shed:>6}"
+                    f"{fresh:>7.1f}%{mean_map:>13.2f}"
+                )
+
+    # Per-camera mobility: half the fleet walks away from the access point.
+    mobility = bundled_trace("mobility_scale")
+    cameras = tuple(
+        CameraSpec(link_scale=mobility if index % 2 else None) for index in range(CAMERAS)
+    )
+    spec = FleetSpec(
+        scheme=cloud_only_scheme(),
+        config=CONFIG,
+        cameras=cameras,
+        mask=np.ones(len(test), dtype=bool),
+        detections=big,
+        admission=EstimatedDeadlineAware(FRESHNESS_S),
+    )
+    fleet = serve_fleet(deployment(WLAN.with_rate_schedule(lte)), test, spec)
+    print(
+        f"\nmobility: {CAMERAS // 2} of {CAMERAS} cameras modulated by the "
+        f"mobility_scale trace -> {fleet.frames_served} served, "
+        f"{fleet.frames_shed} shed on the lte-trace uplink"
+    )
+    print("\nthe schedule-aware estimator sheds doomed frames at arrival,")
+    print("before they pay queue time; the constant-estimate variant learns")
+    print("the trough only from completions that already missed.  either")
+    print("way, the discriminator's edge verdicts ride out every profile")
+    print("that starves the cloud-only fleet.")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,16 @@ fleet using only each camera's own completion events, and adaptive offload
 quotas (:class:`~repro.runtime.control.AdaptiveQuota`) hold a drifted
 half-night fleet to the upload budget a congested uplink can actually
 carry, where the statically fitted thresholds saturate it and go stale.
+
+Table XXII and Figure 14 make the link itself time-varying: the shared
+uplink carries a :class:`~repro.runtime.network.RateSchedule` (the bundled
+``periodic_dip`` and ``lte_like`` traces from ``benchmarks/traces/``), and
+each serving scheme runs under each admission policy — including the
+schedule-aware vs constant-estimate variants of
+:class:`~repro.runtime.control.EstimatedDeadlineAware` — so the grid shows
+what folding the link schedule into every doom test buys once the rate
+actually moves, and how much more gracefully the discriminator scheme rides
+a bandwidth dip than cloud-only.
 """
 
 from __future__ import annotations
@@ -54,7 +64,7 @@ from repro.experiments.harness import Harness
 from repro.metrics.rolling import RollingWindow, rolling_quality
 from repro.runtime.control import AdaptiveQuota, EstimatedDeadlineAware, UplinkCoordinator
 from repro.runtime.devices import JETSON_NANO, RTX3060_SERVER
-from repro.runtime.network import WLAN, OutageSchedule, UnreliableLink
+from repro.runtime.network import WLAN, OutageSchedule, RateSchedule, UnreliableLink
 from repro.runtime.serving import (
     AdmissionPolicy,
     CameraSpec,
@@ -72,6 +82,7 @@ from repro.runtime.serving import (
     serve_fleet,
     simulate_fleet,
 )
+from repro.runtime.traces import bundled_trace
 from repro.zoo.registry import build_model
 
 __all__ = [
@@ -86,6 +97,7 @@ __all__ = [
     "AvailabilityOutcome",
     "ControlOutcome",
     "FleetOutcome",
+    "NetworkOutcome",
     "admission_policies",
     "admission_policy_outcomes",
     "availability_outcomes",
@@ -93,12 +105,16 @@ __all__ = [
     "compute_availability_outcomes",
     "compute_control_outcomes",
     "compute_fleet_outcomes",
+    "compute_network_outcomes",
     "control_plane_outcomes",
     "drift_degradation",
     "escalation_policies",
     "fleet_config",
     "fleet_deployment",
     "fleet_policy_outcomes",
+    "network_admissions",
+    "network_outcomes",
+    "network_profiles",
     "outage_schedules",
 ]
 
@@ -767,4 +783,168 @@ def compute_control_outcomes(
     outcomes.append(
         scored("drift", "adaptive-quota", report, day_quota.uploads + night_quota.uploads)
     )
+    return tuple(outcomes)
+
+
+# --------------------------------------------------------------------- #
+# Table XXII / Figure 14: time-varying links x scheme x admission
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class NetworkOutcome:
+    """One (bandwidth profile, scheme, admission policy) fleet run."""
+
+    profile: str
+    scheme: str
+    admission: str
+    report: FleetReport
+    windows: list[RollingWindow]
+
+    @property
+    def mean_map(self) -> float:
+        """Mean rolling mAP over windows that saw frames."""
+        values = [w.map_percent for w in self.windows if w.frames]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def mean_staleness_s(self) -> float:
+        """Mean served-frame result age in seconds."""
+        ages = [camera.trace.latencies() for camera in self.report.cameras]
+        stacked = np.concatenate(ages) if ages else np.zeros(0)
+        return float(stacked.mean()) if stacked.size else 0.0
+
+    @property
+    def fresh_percent(self) -> float:
+        """Percent of *offered* frames served within the freshness deadline."""
+        served = sum(w.served for w in self.windows)
+        offered = sum(w.frames for w in self.windows)
+        return 100.0 * served / offered if offered else 0.0
+
+
+def network_profiles() -> tuple[tuple[str, "RateSchedule | None"], ...]:
+    """The Table XXII bandwidth profiles on the shared fleet uplink.
+
+    ``constant`` is the plain scalar WLAN (the pre-schedule baseline, bit
+    for bit); the other two attach checked-in traces from
+    ``benchmarks/traces/`` — the deterministic congestion cycle and the
+    LTE-like random walk with a mid-run trough — via
+    :meth:`~repro.runtime.network.NetworkLink.with_rate_schedule`, so the
+    experiment and the examples consume the exact same profiles.
+    """
+    return (
+        ("constant", None),
+        ("periodic-dip", bundled_trace("periodic_dip")),
+        ("lte-trace", bundled_trace("lte_like")),
+    )
+
+
+def network_admissions(freshness_s: float = FLEET_FRESHNESS_S) -> tuple[tuple[str, AdmissionPolicy], ...]:
+    """The Table XXII admission ladder.
+
+    ``estimated-constant`` is :class:`~repro.runtime.control.EstimatedDeadlineAware`
+    with the schedule-aware floor disabled — the pre-refactor estimator
+    that believes its EWMA memory through a congestion dip;
+    ``estimated-schedule`` folds the link schedule's view of *now* into
+    every doom test.  On the constant profile the two are identical by
+    construction (the floor is exactly zero there).
+    """
+    return (
+        ("drop-newest", DropNewest()),
+        ("estimated-constant", EstimatedDeadlineAware(freshness_s=freshness_s, schedule_aware=False)),
+        ("estimated-schedule", EstimatedDeadlineAware(freshness_s=freshness_s, schedule_aware=True)),
+    )
+
+
+def network_outcomes(
+    harness: Harness,
+    *,
+    cameras: int = FLEET_CAMERAS,
+    config: StreamConfig | None = None,
+    window_s: float = FLEET_WINDOW_S,
+) -> tuple[NetworkOutcome, ...]:
+    """Trace-driven network outcomes, memoised by the harness.
+
+    Convenience front door over :meth:`Harness.network_outcomes` (the
+    cache owner), which delegates the actual runs to
+    :func:`compute_network_outcomes`.
+    """
+    return harness.network_outcomes(cameras=cameras, config=config, window_s=window_s)
+
+
+def compute_network_outcomes(
+    harness: Harness,
+    *,
+    cameras: int = FLEET_CAMERAS,
+    config: StreamConfig | None = None,
+    window_s: float = FLEET_WINDOW_S,
+) -> tuple[NetworkOutcome, ...]:
+    """Run the Table XXII / Figure 14 time-varying-link fleets.
+
+    The eight-camera fleet runs under every bandwidth profile
+    (:func:`network_profiles`) x serving scheme (cloud-only vs the
+    discriminator's collaborative scheme) x admission policy
+    (:func:`network_admissions`), all sharing one arrival process, so the
+    grid isolates two orderings: what schedule awareness buys the
+    estimated admission policy once the rate actually varies, and how much
+    more gracefully the discriminator scheme rides a bandwidth dip than
+    cloud-only (its edge verdicts keep serving while the uplink crawls).
+
+    Uncached — go through :meth:`Harness.network_outcomes` (or the
+    :func:`network_outcomes` front door) so the table and the figure
+    consume the same runs.
+    """
+    if config is None:
+        config = fleet_config()
+    dataset = harness.dataset(FLEET_SETTING, "test")
+    small = harness.detections("small1", FLEET_SETTING, "test")
+    big = harness.detections("ssd", FLEET_SETTING, "test")
+    discriminator, _ = harness.discriminator("small1", "ssd", FLEET_SETTING)
+    base_deployment = fleet_deployment(dataset.num_classes)
+    seed = harness.config.seed
+
+    disc_mask = np.asarray(discriminator.decide_split(small), dtype=bool)
+    disc_served = DetectionBatch.where(disc_mask, big, small)
+    everything = ~np.zeros(len(dataset), dtype=bool)
+    schemes = (
+        ("cloud-only", cloud_only_scheme(), everything, big, None),
+        (
+            "discriminator",
+            collaborative_scheme(DiscriminatorPolicy(discriminator), name="discriminator"),
+            disc_mask,
+            disc_served,
+            small,
+        ),
+    )
+
+    outcomes = []
+    for profile, schedule in network_profiles():
+        link = base_deployment.link if schedule is None else base_deployment.link.with_rate_schedule(schedule)
+        deployment = replace(base_deployment, link=link)
+        for scheme_label, scheme, mask, served, small_detections in schemes:
+            for admission_label, admission in network_admissions():
+                spec = FleetSpec(
+                    scheme=scheme,
+                    config=config,
+                    cameras=cameras,
+                    mask=mask,
+                    detections=served,
+                    small_detections=small_detections,
+                    admission=admission,
+                )
+                report = serve_fleet(deployment, dataset, spec, seed=seed)
+                windows = rolling_quality(
+                    report,
+                    dataset,
+                    window_s=window_s,
+                    duration_s=config.duration_s,
+                    freshness_s=FLEET_FRESHNESS_S,
+                )
+                outcomes.append(
+                    NetworkOutcome(
+                        profile=profile,
+                        scheme=scheme_label,
+                        admission=admission_label,
+                        report=report,
+                        windows=windows,
+                    )
+                )
     return tuple(outcomes)

@@ -350,6 +350,26 @@ class Harness:
             )
         return self._fleet[key]
 
+    def network_outcomes(self, *, cameras=None, config=None, window_s=None) -> tuple:
+        """Trace-driven network comparison (Table XXII / Figure 14), memoised.
+
+        Cache owner over
+        :func:`repro.experiments.fleet.compute_network_outcomes` — every
+        bandwidth profile x serving scheme x admission policy on the shared
+        fleet, consumed identically by the table and the figure.
+        """
+        from repro.experiments import fleet as _fleet
+
+        cameras = _fleet.FLEET_CAMERAS if cameras is None else cameras
+        config = _fleet.fleet_config() if config is None else config
+        window_s = _fleet.FLEET_WINDOW_S if window_s is None else window_s
+        key = ("network", cameras, config, window_s)
+        if key not in self._fleet:
+            self._fleet[key] = _fleet.compute_network_outcomes(
+                self, cameras=cameras, config=config, window_s=window_s
+            )
+        return self._fleet[key]
+
     # ------------------------------------------------------------------ #
     # detection production (sharded disk cache + parallel runner)
     # ------------------------------------------------------------------ #

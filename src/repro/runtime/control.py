@@ -149,6 +149,16 @@ class CameraView(Protocol):
         """Shed waiting frames judged ``doomed(position, arrival)``."""
         ...
 
+    def min_remaining_s(self) -> float:  # pragma: no cover - protocol signature
+        """Schedule-aware floor under any admitted frame's pipeline time.
+
+        ``0.0`` on a constant-rate link; on a time-varying one, the
+        cheapest frame's unavoidable remaining pipeline integrated from
+        now — the congestion signal estimated policies fold into their
+        doom tests ahead of any observed slowdown.
+        """
+        ...
+
 
 @runtime_checkable
 class OffloadController(Protocol):
@@ -281,6 +291,17 @@ class EstimatedDeadlineAware:
     One instance may serve a whole fleet: state is keyed per camera, and
     ``reset()`` (called by the engines at the start of every run) clears it,
     so reusing the instance across runs is safe.
+
+    On a time-varying link the EWMA memory is systematically stale the
+    moment the rate changes — completions observed at the old rate
+    under-estimate a dip.  ``schedule_aware`` (the default) floors every
+    doom estimate at the camera's :meth:`CameraView.min_remaining_s`, which
+    integrates the link schedule from *now*, so a congestion dip raises the
+    estimate immediately.  The floor is exactly ``0`` on constant-rate
+    links, keeping the pre-schedule behaviour bit for bit;
+    ``schedule_aware=False`` keeps the constant-estimate behaviour on
+    scheduled links too (the ablation the Table XXII ordering pins
+    against).
     """
 
     name = "estimated-deadline"
@@ -291,6 +312,7 @@ class EstimatedDeadlineAware:
         *,
         halflife: int = 8,
         min_observations: int = 1,
+        schedule_aware: bool = True,
     ) -> None:
         if freshness_s <= 0.0:
             raise RuntimeModelError(f"freshness_s must be positive, got {freshness_s}")
@@ -300,6 +322,7 @@ class EstimatedDeadlineAware:
             raise ConfigurationError(f"min_observations must be >= 1, got {min_observations}")
         self.freshness_s = freshness_s
         self.min_observations = min_observations
+        self.schedule_aware = schedule_aware
         self._alpha = 1.0 - 0.5 ** (1.0 / halflife)
         self._estimates: dict[int, _CameraEstimate] = {}
 
@@ -322,8 +345,14 @@ class EstimatedDeadlineAware:
         ):
             now = camera.now
             deadline = self.freshness_s
+            # Zero on constant-rate links (max() is then a no-op — the
+            # pre-schedule arithmetic bit for bit); on a time-varying link
+            # the floor carries the schedule's view of *now*.
+            floor = now + camera.min_remaining_s() if self.schedule_aware else now
             camera.shed_frames(
-                lambda position, queued_arrival: estimate.completion_estimate(now, position)
+                lambda position, queued_arrival: max(
+                    estimate.completion_estimate(now, position), floor
+                )
                 > queued_arrival + deadline
             )
         return camera.buffer_has_room()
@@ -355,6 +384,7 @@ class UplinkCoordinator:
         interval_s: float = 0.25,
         halflife: int = 8,
         min_observations: int = 1,
+        schedule_aware: bool = True,
     ) -> None:
         if freshness_s <= 0.0:
             raise RuntimeModelError(f"freshness_s must be positive, got {freshness_s}")
@@ -367,6 +397,7 @@ class UplinkCoordinator:
         self.freshness_s = freshness_s
         self.interval_s = interval_s
         self.min_observations = min_observations
+        self.schedule_aware = schedule_aware
         self._alpha = 1.0 - 0.5 ** (1.0 / halflife)
         self._estimates: dict[int, _CameraEstimate] = {}
         self._fleet_entry: float | None = None
@@ -439,9 +470,12 @@ class UplinkCoordinator:
             deadline = self.freshness_s
             downstream = self._fleet_downstream
             entry = self._fleet_entry
+            # Same schedule-aware floor as EstimatedDeadlineAware.admit:
+            # exactly `now` (a no-op under max) on constant-rate links.
+            floor = now + camera.min_remaining_s() if self.schedule_aware else now
             self.swept += camera.shed_frames(
-                lambda position, queued_arrival: estimate.completion_estimate(
-                    now, position, downstream, entry
+                lambda position, queued_arrival: max(
+                    estimate.completion_estimate(now, position, downstream, entry), floor
                 )
                 > queued_arrival + deadline
             )

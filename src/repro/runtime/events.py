@@ -173,7 +173,14 @@ class FifoResource:
         self._loop = loop
         self.name = name
         self._faults = faults
-        self._queue: deque[tuple[float, Callable[[float], None], Callable[[float], None] | None]] = deque()
+        self._queue: deque[
+            tuple[
+                float,
+                Callable[[float], None],
+                Callable[[float], None] | None,
+                Callable[[float], float] | None,
+            ]
+        ] = deque()
         self._busy = False
         self.busy_time = 0.0
         self.jobs_served = 0
@@ -196,12 +203,22 @@ class FifoResource:
         service_time: float,
         on_done: Callable[[float], None],
         on_fail: Callable[[float], None] | None = None,
+        *,
+        service_fn: Callable[[float], float] | None = None,
     ) -> object:
         """Enqueue a job; ``on_done(completion_time)`` fires when served.
 
         On an unreliable resource (one built with ``faults``) the job may
         instead fail, firing ``on_fail(failure_time)``; a faulty resource
         therefore requires ``on_fail`` for every job.
+
+        A job whose true cost depends on *when* it enters service (a
+        transfer on a time-varying link) passes ``service_fn(grant_time) ->
+        duration``: the duration is resolved at the grant instant, and
+        ``service_time`` stays as the caller's estimate for
+        :meth:`queued_waits` and :meth:`cancel` accounting.  The fault hook
+        then sees the resolved duration, so outages and loss compose with
+        variable-rate links unchanged.
 
         Returns a handle accepted by :meth:`cancel`.
         """
@@ -211,7 +228,7 @@ class FifoResource:
             raise ConfigurationError(
                 f"resource {self.name!r} can fail jobs; acquire() needs an on_fail callback"
             )
-        job = (service_time, on_done, on_fail)
+        job = (service_time, on_done, on_fail, service_fn)
         self._queue.append(job)
         if len(self._queue) > self.max_queue_depth:
             self.max_queue_depth = len(self._queue)
@@ -222,9 +239,11 @@ class FifoResource:
     def queued_waits(self) -> list[tuple[object, float]]:
         """``(handle, wait bound)`` for each waiting job, in queue order.
 
-        The bound sums the known service times of the waiting jobs ahead;
+        The bound sums the known service times of the waiting jobs ahead
+        (for deferred-cost jobs, the caller's ``service_time`` estimate);
         the in-service job's *remaining* time is unknown and excluded, so
-        each value is a lower bound on that job's actual wait.
+        each value is a lower bound on that job's actual wait on a
+        fixed-cost queue and an estimate on a deferred-cost one.
         """
         waits: list[tuple[object, float]] = []
         ahead = 0.0
@@ -254,7 +273,11 @@ class FifoResource:
             self._busy = False
             return
         self._busy = True
-        service_time, on_done, on_fail = self._queue.popleft()
+        service_time, on_done, on_fail, service_fn = self._queue.popleft()
+        if service_fn is not None:
+            service_time = service_fn(self._loop.now)
+            if service_time < 0.0:
+                raise RuntimeModelError(f"service_fn returned negative duration: {service_time}")
         if self._faults is None:
             occupancy, ok = service_time, True
         else:

@@ -51,7 +51,7 @@ from repro.runtime.codec import JpegCodec, detections_payload_bytes
 from repro.runtime.control import CameraView, FleetController, FrameEvent, OffloadController
 from repro.runtime.devices import ComputeDevice
 from repro.runtime.events import EventLoop, FifoResource
-from repro.runtime.network import NetworkLink, UnreliableLink
+from repro.runtime.network import NetworkLink, OutageSchedule, RateSchedule, UnreliableLink
 from repro.runtime.trace import FrameTrace, FrameTraceBuilder
 
 __all__ = [
@@ -102,7 +102,15 @@ RESULT_BOXES = 8
 # --------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class Deployment:
-    """Hardware/network description of one deployment."""
+    """Hardware/network description of one deployment.
+
+    ``cloud_outages`` schedules *cloud-side* down windows — the GPU service
+    itself (maintenance, preemption), distinct from link outages, which live
+    on an :class:`UnreliableLink`.  A frame whose cloud inference hits a
+    down window fails through the same :class:`EscalationPolicy` machinery
+    as an uplink failure; ``None`` (the default) is the always-up cloud and
+    keeps the exact pre-outage code path.
+    """
 
     edge: ComputeDevice
     cloud: ComputeDevice
@@ -110,6 +118,7 @@ class Deployment:
     codec: JpegCodec = field(default_factory=JpegCodec)
     small_model_flops: float = 6.3e9
     big_model_flops: float = 62.7e9
+    cloud_outages: OutageSchedule | None = None
 
     def __post_init__(self) -> None:
         if self.small_model_flops <= 0 or self.big_model_flops <= 0:
@@ -503,15 +512,41 @@ class EscalationQueue:
             return
         camera = self.camera
         entry = self._entries[0]
-        camera.uplink.acquire(camera.uplink_service(entry.record_index), self._on_success, self._on_failure)
+        estimate, service_fn = camera.uplink_job(entry.record_index)
+        camera.uplink.acquire(estimate, self._on_success, self._on_failure, service_fn=service_fn)
 
     def _on_success(self, _now: float) -> None:
         entry = self._entries.popleft()
         self._failures = 0
         camera = self.camera
         camera.uploads += 1
-        camera.cloud.acquire(camera.cloud_service, lambda _t: camera._recover(entry))
+        on_cloud_fail = None
+        if camera.cloud.can_fail:
+
+            def on_cloud_fail(_t: float, entry: _Escalation = entry) -> None:
+                self._on_cloud_retry_failure(entry)
+
+        camera.cloud.acquire(camera.cloud_service, lambda _t: camera._recover(entry), on_cloud_fail)
         self._retry()  # link evidently up: drain the next case immediately
+
+    def _on_cloud_retry_failure(self, entry: _Escalation) -> None:
+        """A retried case crossed the uplink but hit a cloud-side outage.
+
+        The case re-spools at the tail (its upload is spent; the next
+        attempt pays a fresh one), feeding the same backoff and retry-cap
+        accounting as an uplink retry failure.
+        """
+        camera = self.camera
+        camera.escalations_failed += 1
+        self._failures += 1
+        entry.attempts += 1
+        if entry.attempts >= self.policy.max_retries or len(self._entries) >= self.policy.capacity:
+            camera.escalations_dropped += 1
+        else:
+            self._entries.append(entry)
+        if self._entries and not self._draining:
+            self._draining = True
+            camera.loop.schedule(self._backoff(), self._retry)
 
     def _on_failure(self, _now: float) -> None:
         camera = self.camera
@@ -979,6 +1014,11 @@ class _CameraStream:
         "edge_service",
         "cloud_service",
         "downlink_latency",
+        "link_schedule",
+        "link_half_rtt",
+        "uplink_mean_rate",
+        "result_payload",
+        "_min_payload",
         "latencies",
         "served",
         "dropped",
@@ -1015,6 +1055,7 @@ class _CameraStream:
         escalation_rng: np.random.Generator | None = None,
         fallback_detections: DetectionBatch | None = None,
         offload: OffloadController | None = None,
+        link_scale: RateSchedule | None = None,
     ) -> None:
         self.scheme = scheme
         self.deployment = deployment
@@ -1037,7 +1078,40 @@ class _CameraStream:
         self.fallback_detections = fallback_detections
         self.edge_service = scheme.edge_latency(deployment, online=True)
         self.cloud_service = deployment.cloud.inference_latency(deployment.big_model_flops)
-        self.downlink_latency = deployment.link.expected_transfer_time(detections_payload_bytes(RESULT_BOXES))
+        # Effective rate model for *this camera's* transfers: the shared
+        # link's schedule, modulated by the camera's mobility profile.
+        # ``link_schedule is None`` + ``uplink_mean_rate is None`` is the
+        # plain scalar link and keeps the pre-schedule arithmetic bit for
+        # bit; a constant effective rate (scaled but not time-varying) keeps
+        # the fixed-cost path at the scaled rate; only a genuinely
+        # time-varying rate resolves transfer durations at grant time.
+        link = deployment.link
+        if link_scale is None:
+            effective = link.schedule if link.time_varying else None
+        else:
+            base = link.schedule if link.schedule is not None else RateSchedule.always(link.bandwidth_mbps)
+            effective = base.scaled(link_scale)
+            if effective.is_constant:
+                effective = None if effective.rates_mbps[0] == link.bandwidth_mbps else effective
+        self.link_half_rtt = link.rtt_s / 2.0
+        self.result_payload = detections_payload_bytes(RESULT_BOXES)
+        if effective is None:
+            self.link_schedule = None
+            self.uplink_mean_rate = None
+            self.downlink_latency = link.expected_transfer_time(self.result_payload)
+        elif effective.is_constant:
+            self.link_schedule = None
+            self.uplink_mean_rate = effective.rates_mbps[0]
+            self.downlink_latency = (
+                self.link_half_rtt + self.result_payload * 8 / (self.uplink_mean_rate * 1e6)
+            )
+        else:
+            self.link_schedule = effective
+            self.uplink_mean_rate = effective.mean_rate_mbps
+            self.downlink_latency = (
+                self.link_half_rtt + self.result_payload * 8 / (self.uplink_mean_rate * 1e6)
+            )
+        self._min_payload: int | None = None
         self.latencies: list[float] = []
         self.served = self.dropped = self.shed = self.uploads = 0
         self.escalations_failed = self.escalations_dropped = self.escalations_recovered = 0
@@ -1055,7 +1129,7 @@ class _CameraStream:
             self.builder = DetectionBatchBuilder(detector=detections.detector)
             self.trace = FrameTraceBuilder()
         if (
-            uplink.can_fail
+            (uplink.can_fail or cloud.can_fail)
             and self.escalation.fallback
             and scheme.edge_compute
             and self.builder is not None
@@ -1063,7 +1137,7 @@ class _CameraStream:
             and bool(mask.any())
         ):
             raise ConfigurationError(
-                "an unreliable uplink with an edge-fallback escalation policy needs "
+                "an unreliable uplink or cloud with an edge-fallback escalation policy needs "
                 "small_detections: the edge verdict serves when the cloud path fails"
             )
         if offload is not None:
@@ -1078,7 +1152,7 @@ class _CameraStream:
                     "frames it keeps local serve the edge verdict"
                 )
         self.escalation_queue: EscalationQueue | None = None
-        if uplink.can_fail and self.escalation.durable:
+        if (uplink.can_fail or cloud.can_fail) and self.escalation.durable:
             if escalation_rng is None:
                 raise ConfigurationError("a durable escalation queue needs an RNG for backoff jitter")
             self.escalation_queue = EscalationQueue(self, self.escalation, escalation_rng)
@@ -1134,9 +1208,22 @@ class _CameraStream:
         for observe in self.observers:
             observe(self, event)
 
+    def _downlink_time(self) -> float:
+        """Result-download seconds for a cloud verdict landing *now*.
+
+        The constant figure on a fixed-rate path; integrated from the
+        current instant on a time-varying one, so a verdict completing
+        inside a congestion dip pays the dip.
+        """
+        if self.link_schedule is None:
+            return self.downlink_latency
+        return self.link_half_rtt + self.link_schedule.transfer_duration(
+            self.loop.now, self.result_payload
+        )
+
     def _finish(self, start: float, record_index: int, timing: tuple[float, float] | None = None) -> None:
         self.served += 1
-        latency = self.loop.now - start + self.downlink_latency
+        latency = self.loop.now - start + self._downlink_time()
         self.latencies.append(latency)
         segment = self._collect(record_index)
         self._log(start, start + latency, record_index, True, segment)
@@ -1166,15 +1253,44 @@ class _CameraStream:
             )
 
     def uplink_service(self, record_index: int) -> float:
-        """Deterministic uplink serialisation time of one record's frame."""
+        """Deterministic uplink serialisation time of one record's frame.
+
+        On a plain link this is the exact service time; on a scheduled (or
+        mobility-scaled) link it is the *mean-rate estimate* — the figure
+        queue-wait bounds and admission arithmetic use, while the true
+        duration is resolved at grant time by :meth:`uplink_job`'s
+        ``service_fn``.
+        """
         dep = self.deployment
-        return dep.link.expected_transfer_time(dep.codec.encoded_bytes(self.records[record_index]))
+        payload = dep.codec.encoded_bytes(self.records[record_index])
+        if self.uplink_mean_rate is None:
+            return dep.link.expected_transfer_time(payload)
+        return self.link_half_rtt + payload * 8 / (self.uplink_mean_rate * 1e6)
+
+    def uplink_job(self, record_index: int) -> tuple[float, Callable[[float], float] | None]:
+        """``(estimate, service_fn)`` for one record's uplink transfer.
+
+        ``service_fn`` is ``None`` on a fixed-rate path (the estimate *is*
+        the duration); on a time-varying one it integrates the camera's
+        effective schedule from the grant instant.
+        """
+        estimate = self.uplink_service(record_index)
+        schedule = self.link_schedule
+        if schedule is None:
+            return estimate, None
+        payload = self.deployment.codec.encoded_bytes(self.records[record_index])
+        half_rtt = self.link_half_rtt
+
+        def service_fn(grant: float) -> float:
+            return half_rtt + schedule.transfer_duration(grant, payload)
+
+        return estimate, service_fn
 
     def _cloud_path(self, record: ImageRecord, start: float, record_index: int) -> None:
         self.uploads += 1
         self.in_uplink += 1
         entry_stage = not self.scheme.edge_compute
-        uplink_time = self.uplink_service(record_index)
+        uplink_time, uplink_fn = self.uplink_job(record_index)
         observing = bool(self.observers)
         # Entry-stage timing for the completion event: for edge schemes the
         # edge stage just finished, so it is known here; for no-edge schemes
@@ -1184,15 +1300,36 @@ class _CameraStream:
             if observing and not entry_stage
             else None
         )
+        # On a time-varying entry stage the observed entry time is the
+        # *resolved* duration, not the estimate: capture it at grant.
+        measured: list[float] | None = None
+        if uplink_fn is not None and observing and entry_stage:
+            inner_fn = uplink_fn
+            measured = [uplink_time]
+
+            def uplink_fn(grant: float, _inner=inner_fn, _cell=measured) -> float:
+                _cell[0] = _inner(grant)
+                return _cell[0]
 
         def after_uplink(_t: float) -> None:
             timing = entry_timing
             if entry_stage:
                 self._leave_waiting()
                 if observing:
-                    timing = (_t - start - uplink_time, uplink_time)
+                    served_uplink = uplink_time if measured is None else measured[0]
+                    timing = (_t - start - served_uplink, served_uplink)
             self.in_uplink -= 1
-            self.cloud.acquire(self.cloud_service, lambda _t2: self._finish(start, record_index, timing))
+            on_cloud_fail = None
+            if self.cloud.can_fail:
+
+                def on_cloud_fail(_t2: float) -> None:
+                    self._on_cloud_failure(start, record_index)
+
+            self.cloud.acquire(
+                self.cloud_service,
+                lambda _t2: self._finish(start, record_index, timing),
+                on_cloud_fail,
+            )
 
         def on_fail(_t: float) -> None:
             if entry_stage:
@@ -1200,7 +1337,7 @@ class _CameraStream:
             self.in_uplink -= 1
             self._on_uplink_failure(start, record_index)
 
-        handle = self.uplink.acquire(uplink_time, after_uplink, on_fail)
+        handle = self.uplink.acquire(uplink_time, after_uplink, on_fail, service_fn=uplink_fn)
         if entry_stage:
             self._waiting.append((handle, start, record_index))
 
@@ -1209,7 +1346,20 @@ class _CameraStream:
     # ------------------------------------------------------------------ #
     def _on_uplink_failure(self, start: float, record_index: int) -> None:
         """The frame's uplink transfer failed (outage or loss)."""
-        self.uploads -= 1
+        self.uploads -= 1  # the frame never crossed the link
+        self._on_remote_failure(start, record_index)
+
+    def _on_cloud_failure(self, start: float, record_index: int) -> None:
+        """The frame's cloud inference hit a cloud-side outage.
+
+        The upload itself completed — ``uploads`` (and its bytes) stand —
+        but the verdict is lost exactly like an uplink failure: fallback
+        serve, spool, or drop per the :class:`EscalationPolicy`; a spooled
+        retry re-enters at the uplink and contends like live traffic.
+        """
+        self._on_remote_failure(start, record_index)
+
+    def _on_remote_failure(self, start: float, record_index: int) -> None:
         self.escalations_failed += 1
         if self.escalation_queue is not None:
             self.escalation_queue.note_failure()
@@ -1239,7 +1389,7 @@ class _CameraStream:
 
     def _recover(self, entry: _Escalation) -> None:
         """A spooled escalation's cloud verdict finally landed."""
-        verdict_time = self.loop.now + self.downlink_latency
+        verdict_time = self.loop.now + self._downlink_time()
         self.escalations_recovered += 1
         segment = self._collect(entry.record_index)
         if entry.served_by_fallback:
@@ -1389,15 +1539,19 @@ class _CameraStream:
         return count
 
     def _min_remaining(self, record_index: int) -> float:
-        """Lower bound on one queued frame's remaining pipeline time.
+        """Bound on one queued frame's remaining pipeline time.
 
         Exact stage service times (the stream engine's transfers are
         jitter-free), zero queueing: the earliest this frame could possibly
-        finish if it entered service right now.
+        finish if it entered service right now.  On a fixed-rate path the
+        figure is per-record constant and memoised; on a time-varying one
+        it is re-integrated from the current instant — a congestion dip
+        *raises* it — so it cannot be cached.
         """
-        cached = self._min_remaining_cache.get(record_index)
-        if cached is not None:
-            return cached
+        if self.link_schedule is None:
+            cached = self._min_remaining_cache.get(record_index)
+            if cached is not None:
+                return cached
         remaining = 0.0
         if self.scheme.edge_compute:
             remaining += self.edge_service
@@ -1405,9 +1559,54 @@ class _CameraStream:
         # queued frame *may* cross the network; the bound stays a lower
         # bound only by charging the local-serve path (no remote leg).
         if not self.scheme.edge_compute or (self.offload is None and bool(self.mask[record_index])):
-            remaining += self.uplink_service(record_index) + self.cloud_service + self.downlink_latency
-        self._min_remaining_cache[record_index] = remaining
+            if self.link_schedule is None:
+                remaining += self.uplink_service(record_index) + self.cloud_service + self.downlink_latency
+            else:
+                now = self.loop.now
+                schedule = self.link_schedule
+                payload = self.deployment.codec.encoded_bytes(self.records[record_index])
+                remaining += (
+                    self.link_half_rtt
+                    + schedule.transfer_duration(now, payload)
+                    + self.cloud_service
+                    + self.link_half_rtt
+                    + schedule.transfer_duration(now, self.result_payload)
+                )
+                return remaining
+        if self.link_schedule is None:
+            self._min_remaining_cache[record_index] = remaining
         return remaining
+
+    def min_remaining_s(self) -> float:
+        """Schedule-aware floor under any admitted frame's completion time.
+
+        ``0.0`` on a fixed-rate path — there the EWMA estimators' memory is
+        already unbiased, and a zero floor keeps the pre-schedule admission
+        arithmetic bit for bit.  On a time-varying link the floor charges
+        the *cheapest* frame's unavoidable pipeline (integrating the
+        schedule from now), so a congestion dip raises doom estimates
+        before any slowed completion feeds back through the estimators.
+        Edge-compute schemes floor at the local path — their frames may
+        never cross the network.
+        """
+        schedule = self.link_schedule
+        if schedule is None:
+            return 0.0
+        if self.scheme.edge_compute:
+            return self.edge_service
+        payload = self._min_payload
+        if payload is None:
+            codec = self.deployment.codec
+            payload = min(codec.encoded_bytes(record) for record in self.records)
+            self._min_payload = payload
+        now = self.loop.now
+        return (
+            self.link_half_rtt
+            + schedule.transfer_duration(now, payload)
+            + self.cloud_service
+            + self.link_half_rtt
+            + schedule.transfer_duration(now, self.result_payload)
+        )
 
     def _drop_shed(self, arrival: float, record_index: int) -> None:
         self.dropped += 1
@@ -1501,6 +1700,28 @@ def _uplink_faults(
     if not link.outages.windows and link.loss_probability == 0.0:
         return None
     return link.fault_model(generator_for(seed, "uplink-faults"))
+
+
+def _cloud_faults(
+    deployment: Deployment,
+) -> Callable[[float, float], tuple[float, bool]] | None:
+    """The cloud GPU resource's fault hook — ``None`` for an always-up cloud.
+
+    Deterministic (scheduled windows only, no loss draw), mirroring the
+    zero-overhead rule of :func:`_uplink_faults`: a ``None`` or empty
+    schedule gets no hook and runs the exact pre-outage code path.
+    """
+    outages = deployment.cloud_outages
+    if outages is None or not outages.windows:
+        return None
+
+    def outcome(start: float, duration: float) -> tuple[float, bool]:
+        failure = outages.failure_instant(start, duration)
+        if failure is not None:
+            return failure - start, False
+        return duration, True
+
+    return outcome
 
 
 @dataclass(frozen=True, eq=False)
@@ -1630,7 +1851,7 @@ def serve_stream(
         loop=loop,
         edge=FifoResource(loop, "edge"),
         uplink=FifoResource(loop, "uplink", faults=_uplink_faults(deployment.link, seed)),
-        cloud=FifoResource(loop, "cloud"),
+        cloud=FifoResource(loop, "cloud", faults=_cloud_faults(deployment)),
         record_for=lambda index: index % num_records,
         admission=spec.admission,
         escalation=spec.escalation,
@@ -1695,6 +1916,13 @@ class CameraSpec:
     A camera that overrides ``dataset`` must bring its own ``detections``
     (and ``small_detections`` / ``mask`` when its scheme needs them): the
     fleet-level ones describe the fleet-level records.
+
+    ``link_scale`` is a *dimensionless* :class:`RateSchedule` modulating
+    the shared uplink's rate for this camera only — a moving camera whose
+    radio quality co-varies with its position.  The camera's transfers see
+    the link schedule (constant when the link is scalar) multiplied
+    pointwise by the profile; the link itself, and every other camera,
+    is untouched.
     """
 
     scheme: ServingScheme | None = None
@@ -1706,6 +1934,7 @@ class CameraSpec:
     small_detections: DetectionBatch | list[Detections] | None = None
     detections: DetectionBatch | None = None
     offload: OffloadController | None = None
+    link_scale: RateSchedule | None = None
 
 
 @dataclass(frozen=True, eq=False)
@@ -1787,7 +2016,7 @@ def _serve_fleet_impl(
 
     loop = EventLoop()
     uplink = FifoResource(loop, "uplink", faults=_uplink_faults(deployment.link, seed))
-    cloud = FifoResource(loop, "cloud")
+    cloud = FifoResource(loop, "cloud", faults=_cloud_faults(deployment))
     controller_observe = getattr(controller, "observe", None) if controller is not None else None
     horizon_s = 0.0
     runs: list[_CameraStream] = []
@@ -1854,6 +2083,7 @@ def _serve_fleet_impl(
             escalation_rng=generator_for(seed, "fleet-escalation", camera),
             fallback_detections=cam_fallback,
             offload=cam_offload,
+            link_scale=cam.link_scale,
         )
         _attach_observers(stream, controller_observe)
         stream.schedule(_arrival_times(cam_config, seed, "fleet-arrivals", camera))

@@ -1,0 +1,60 @@
+"""Bundled bandwidth traces shared by experiments, examples and benches.
+
+Trace files live under ``benchmarks/traces/`` as small JSON documents::
+
+    {"name": "...", "description": "...", "times_s": [...], "mbps": [...]}
+
+``times_s`` are sample instants (seconds), ``mbps`` the rate holding from
+each instant to the next — exactly the :meth:`RateSchedule.from_trace`
+contract, so a loaded trace is a ready-to-attach schedule.  The bundled set:
+
+* ``lte_like`` — a seeded random-walk cellular uplink with a deep mid-run
+  congestion trough (the Figure 14 workload).
+* ``periodic_dip`` — deterministic congestion cycle on the testbed WLAN.
+* ``mobility_scale`` — a dimensionless modulation profile (values around
+  1.0) for ``CameraSpec.link_scale``: a camera moving away from and back
+  toward the access point.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import lru_cache
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.runtime.network import RateSchedule
+
+__all__ = ["TRACE_DIR", "bundled_trace", "load_rate_trace"]
+
+#: Repo-local trace directory (the repo layout is the install layout here,
+#: same convention as the harness's ``.repro_cache``).
+TRACE_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "traces"
+
+
+def load_rate_trace(path: str | Path) -> RateSchedule:
+    """Read one trace JSON file into a :class:`RateSchedule`."""
+    trace_path = Path(path)
+    try:
+        payload = json.loads(trace_path.read_text())
+    except FileNotFoundError:
+        raise ConfigurationError(f"rate trace file not found: {trace_path}") from None
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"rate trace {trace_path} is not valid JSON: {error}") from None
+    times = payload.get("times_s")
+    mbps = payload.get("mbps")
+    if not isinstance(times, list) or not isinstance(mbps, list):
+        raise ConfigurationError(
+            f"rate trace {trace_path} must carry 'times_s' and 'mbps' lists"
+        )
+    return RateSchedule.from_trace(times, mbps)
+
+
+@lru_cache(maxsize=None)
+def bundled_trace(name: str) -> RateSchedule:
+    """Load a checked-in trace from ``benchmarks/traces/`` by stem name."""
+    path = TRACE_DIR / f"{name}.json"
+    if not path.exists():
+        available = sorted(p.stem for p in TRACE_DIR.glob("*.json")) if TRACE_DIR.exists() else []
+        raise ConfigurationError(f"unknown bundled trace {name!r}; available: {available}")
+    return load_rate_trace(path)

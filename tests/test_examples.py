@@ -31,6 +31,7 @@ def test_expected_examples_present():
         "auto_compression.py",
         "closed_loop_control.py",
         "outage_recovery.py",
+        "trace_driven_network.py",
     } <= names
 
 

@@ -387,6 +387,117 @@ class TestStreamUnderOutage:
 
 
 # --------------------------------------------------------------------- #
+# cloud-side outages: the GPU service itself goes down
+# --------------------------------------------------------------------- #
+class TestCloudOutages:
+    """``Deployment.cloud_outages`` fails frames at the cloud GPU, not the
+    link: the upload stands (its bytes crossed), the verdict is lost, and
+    the same escalation machinery decides what happens next."""
+
+    CONFIG = StreamConfig(fps=2.0, duration_s=30.0, poisson=True, max_edge_queue=10)
+
+    def _cloudy(self, outages=OUTAGE):
+        return Deployment(
+            edge=JETSON_NANO,
+            cloud=RTX3060_SERVER,
+            link=WLAN,
+            small_model_flops=5.6e9,
+            big_model_flops=61.2e9,
+            cloud_outages=outages,
+        )
+
+    def test_always_up_cloud_is_bit_for_bit_plain(self, helmet_mini, big_batch):
+        """An empty (or None) cloud schedule keeps the pre-outage path."""
+        plain = simulate_stream(
+            cloud_only_scheme(), _deployment(WLAN), helmet_mini, self.CONFIG,
+            detections=big_batch, seed=7,
+        )
+        empty = simulate_stream(
+            cloud_only_scheme(), self._cloudy(OutageSchedule.always_up()), helmet_mini,
+            self.CONFIG, detections=big_batch, seed=7,
+        )
+        assert plain == empty
+
+    def test_cloud_failures_escalate_on_reliable_link(self, helmet_mini, big_batch):
+        """Escalations fire even though the link itself never fails."""
+        report = simulate_stream(
+            cloud_only_scheme(), self._cloudy(), helmet_mini, self.CONFIG,
+            detections=big_batch, escalation=EscalationPolicy.drop_on_failure(), seed=7,
+        )
+        assert report.escalations_failed > 0
+        assert report.frames_served + report.frames_dropped == report.frames_offered
+        # The upload completed before the cloud failed: failed frames still
+        # count as uploaded, unlike an uplink failure.
+        assert report.frames_uploaded > report.frames_served
+
+    def test_durable_queue_recovers_cloud_failures(self, helmet_mini, big_batch):
+        drop = simulate_stream(
+            cloud_only_scheme(), self._cloudy(), helmet_mini, self.CONFIG,
+            detections=big_batch, escalation=EscalationPolicy.drop_on_failure(), seed=7,
+        )
+        durable = simulate_stream(
+            cloud_only_scheme(), self._cloudy(), helmet_mini, self.CONFIG,
+            detections=big_batch, escalation=DURABLE, seed=7,
+        )
+        assert durable.escalations_recovered > 0
+        assert durable.frames_served > drop.frames_served
+
+    def test_collaborative_cloud_outage_requires_fallback_verdicts(self, helmet_mini, big_batch):
+        """A failable cloud, like a failable link, needs small_detections."""
+        mask = np.zeros(len(helmet_mini), dtype=bool)
+        mask[::2] = True
+        with pytest.raises(ConfigurationError):
+            simulate_stream(
+                collaborative_scheme(), self._cloudy(), helmet_mini, self.CONFIG,
+                mask=mask, detections=big_batch, seed=7,
+            )
+
+    def test_cloud_and_link_outages_compose(self, helmet_mini, small_batch, big_batch):
+        """Staggered cloud and link windows both feed the escalation queue."""
+        link_outages = OutageSchedule.periodic(
+            period_s=10.0, downtime_s=2.0, duration_s=30.0, offset_s=6.0
+        )
+        deployment = Deployment(
+            edge=JETSON_NANO,
+            cloud=RTX3060_SERVER,
+            link=UnreliableLink.wrap(WLAN, outages=link_outages),
+            small_model_flops=5.6e9,
+            big_model_flops=61.2e9,
+            cloud_outages=OUTAGE,
+        )
+        mask = np.zeros(len(helmet_mini), dtype=bool)
+        mask[::2] = True
+        runs = [
+            simulate_stream(
+                collaborative_scheme(), deployment, helmet_mini, self.CONFIG,
+                mask=mask, small_detections=small_batch, detections=big_batch,
+                escalation=DURABLE, seed=13,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        report = runs[0]
+        assert report.escalations_failed > 0
+        assert report.escalations_recovered > 0
+        assert report.frames_served + report.frames_dropped == report.frames_offered
+
+    def test_fleet_cloud_outage_durable_beats_drop(self, helmet_mini, big_batch):
+        """The Table XX acceptance shape holds for cloud-side outages too."""
+        config = StreamConfig(fps=1.5, duration_s=30.0, poisson=True, max_edge_queue=30)
+
+        def run(policy):
+            return simulate_fleet(
+                cloud_only_scheme(), self._cloudy(), helmet_mini, config,
+                cameras=8, detections=big_batch, escalation=policy, seed=20230701,
+            )
+
+        drop = run(EscalationPolicy.drop_on_failure())
+        durable = run(DURABLE)
+        assert durable.escalations_recovered > 0
+        assert durable.frames_served > drop.frames_served
+
+
+# --------------------------------------------------------------------- #
 # rolling-quality reconciliation of deferred verdicts
 # --------------------------------------------------------------------- #
 class TestVerdictReconciliation:

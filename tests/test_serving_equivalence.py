@@ -32,6 +32,7 @@ from repro.runtime import (
     FifoResource,
     FleetSpec,
     OutageSchedule,
+    RateSchedule,
     RunCost,
     StreamConfig,
     StreamSimulator,
@@ -511,6 +512,122 @@ class TestAvailabilityEquivalence:
             wrapped.frames_uploaded,
         )
         assert wrapped.escalations_failed == 0
+
+
+class TestScheduleEquivalence:
+    """A constant rate schedule is the plain scalar link: attaching
+    ``RateSchedule.always(bandwidth)`` may not move a byte on any engine,
+    scheme, fleet, or admission policy — the schedule-aware refactor's
+    zero-overhead contract."""
+
+    @pytest.fixture(scope="class")
+    def scheduled_deployment(self, deployment):
+        link = deployment.link.with_rate_schedule(
+            RateSchedule.always(deployment.link.bandwidth_mbps)
+        )
+        assert link.bandwidth_mbps == deployment.link.bandwidth_mbps
+        assert not link.time_varying
+        return Deployment(
+            edge=deployment.edge,
+            cloud=deployment.cloud,
+            link=link,
+            small_model_flops=deployment.small_model_flops,
+            big_model_flops=deployment.big_model_flops,
+        )
+
+    @pytest.mark.parametrize("scheme_name", ["edge", "cloud", "collaborative"])
+    def test_static_engine_identical(
+        self, deployment, scheduled_deployment, helmet_mini, half_mask, scheme_name
+    ):
+        scheme = paper_schemes()[scheme_name]
+        mask = half_mask if scheme_name == "collaborative" else None
+        plain = run_cost(scheme, deployment, helmet_mini, mask=mask, seed=42)
+        scheduled = run_cost(scheme, scheduled_deployment, helmet_mini, mask=mask, seed=42)
+        assert plain == scheduled
+
+    @pytest.mark.parametrize("scheme_name", ["edge", "cloud", "collaborative"])
+    @pytest.mark.parametrize(
+        "config",
+        [
+            StreamConfig(fps=6.0, duration_s=15.0),
+            StreamConfig(fps=14.0, duration_s=25.0, max_edge_queue=5),
+        ],
+        ids=["poisson", "saturating"],
+    )
+    def test_stream_identical(
+        self, deployment, scheduled_deployment, helmet_mini, half_mask, scheme_name, config
+    ):
+        uploaded = half_mask if scheme_name == "collaborative" else None
+        plain = StreamSimulator(deployment, helmet_mini, seed=42).run(scheme_name, config, uploaded)
+        scheduled = StreamSimulator(scheduled_deployment, helmet_mini, seed=42).run(
+            scheme_name, config, uploaded
+        )
+        assert plain == scheduled
+
+    @pytest.mark.parametrize(
+        "scheme_factory",
+        [edge_only_scheme, cloud_only_scheme, collaborative_scheme],
+        ids=["edge", "cloud", "collaborative"],
+    )
+    def test_fleet_identical(
+        self, deployment, scheduled_deployment, helmet_mini, half_mask, scheme_factory
+    ):
+        config = StreamConfig(fps=1.5, duration_s=30.0)
+        mask = half_mask if scheme_factory is collaborative_scheme else None
+        kwargs = dict(cameras=8, mask=mask, seed=5)
+        plain = simulate_fleet(scheme_factory(), deployment, helmet_mini, config, **kwargs)
+        scheduled = simulate_fleet(
+            scheme_factory(), scheduled_deployment, helmet_mini, config, **kwargs
+        )
+        assert plain == scheduled
+
+    def test_schedule_aware_admission_identical_on_constant_link(
+        self, deployment, scheduled_deployment, helmet_mini
+    ):
+        """On a fixed-rate link the schedule-aware estimator's floor is
+        exactly zero, so both variants are the same run."""
+        from repro.runtime.control import EstimatedDeadlineAware
+
+        config = StreamConfig(fps=14.0, duration_s=25.0, max_edge_queue=30)
+        runs = {}
+        for label, dep, aware in (
+            ("plain-aware", deployment, True),
+            ("scheduled-aware", scheduled_deployment, True),
+            ("scheduled-blind", scheduled_deployment, False),
+        ):
+            spec = StreamSpec(
+                scheme=cloud_only_scheme(),
+                config=config,
+                admission=EstimatedDeadlineAware(freshness_s=2.0, schedule_aware=aware),
+            )
+            runs[label] = serve_stream(dep, helmet_mini, spec, seed=42)
+        assert runs["plain-aware"] == runs["scheduled-aware"] == runs["scheduled-blind"]
+        assert runs["plain-aware"].frames_shed > 0
+
+    def test_constant_schedule_composes_with_unreliable_link(
+        self, deployment, scheduled_deployment, helmet_mini, half_mask
+    ):
+        """Wrapping the scheduled link with an all-up outage schedule keeps
+        the schedule field and still matches the plain run."""
+        wrapped_link = UnreliableLink.wrap(
+            scheduled_deployment.link, outages=OutageSchedule.always_up()
+        )
+        assert wrapped_link.schedule == scheduled_deployment.link.schedule
+        wrapped = Deployment(
+            edge=deployment.edge,
+            cloud=deployment.cloud,
+            link=wrapped_link,
+            small_model_flops=deployment.small_model_flops,
+            big_model_flops=deployment.big_model_flops,
+        )
+        config = StreamConfig(fps=6.0, duration_s=15.0)
+        plain = StreamSimulator(deployment, helmet_mini, seed=42).run(
+            "collaborative", config, half_mask
+        )
+        scheduled = StreamSimulator(wrapped, helmet_mini, seed=42).run(
+            "collaborative", config, half_mask
+        )
+        assert plain == scheduled
 
 
 class TestSpecEquivalence:
